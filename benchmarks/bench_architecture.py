@@ -1,0 +1,75 @@
+"""Experiments F1/F2 — the FANTOM architecture (paper Figures 1 and 2).
+
+Figure 1 is the machine block diagram (FFX/FFZ banks, combinational
+logic, the G latch); Figure 2 is the VOM block (``VOM = Ḡ·f̄sv·SSD``).
+Both are structural claims, so this bench instantiates the architecture
+for every benchmark, verifies the block structure, and reports the gate
+economy of the resulting netlists (including the overhead the paper
+concedes in Section 8, measured against the fsv-less machine).
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.bench import TABLE1_BENCHMARKS
+from repro.bench import benchmark as load_bench
+from repro.core.seance import SynthesisOptions, synthesize
+from repro.netlist.fantom import build_fantom
+from repro.netlist.gates import GateType
+
+_rows: list[tuple] = []
+
+
+@pytest.mark.parametrize("name", TABLE1_BENCHMARKS)
+def test_architecture(benchmark, name):
+    table = load_bench(name)
+    result = synthesize(table)
+    machine = benchmark(build_fantom, result)
+    netlist = machine.netlist
+
+    # Figure 1: one FFX per input (clocked by G), one FFZ per output
+    # (clocked by VOM), no flip-flop in the state feedback.
+    ffx = [f for f in netlist.dffs if f.name.startswith("FFX")]
+    ffz = [f for f in netlist.dffs if f.name.startswith("FFZ")]
+    assert len(ffx) == table.num_inputs
+    assert len(ffz) == table.num_outputs
+    assert all(f.clock == "G" for f in ffx)
+    assert all(f.clock == "VOM" for f in ffz)
+    dff_outputs = {f.q for f in netlist.dffs}
+    assert not (set(machine.state_nets) & dff_outputs)
+
+    # Figure 2: the VOM AND gate fed by NOR(G), NOR(fsv) and SSD.
+    gate_a = next(g for g in netlist.gates if g.name == "gateA")
+    assert gate_a.type is GateType.AND
+    assert set(gate_a.inputs) == {"G_n", "fsv_n", "SSD"}
+
+    # Overhead vs the unprotected machine (Section 8's concession).
+    naive = build_fantom(
+        synthesize(table, SynthesisOptions(hazard_correction=False))
+    )
+    stats = netlist.stats()
+    naive_stats = naive.netlist.stats()
+    overhead = stats["gates"] - naive_stats["gates"]
+    _rows.append(
+        (
+            name,
+            stats["gates"],
+            stats["dffs"],
+            stats["nets"],
+            naive_stats["gates"],
+            f"+{overhead}",
+        )
+    )
+    benchmark.extra_info.update(stats)
+
+
+def test_print_architecture(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if _rows:
+        print_table(
+            "Figures 1-2 — FANTOM architecture instantiation "
+            "(gate overhead of the hazard protection)",
+            ["Benchmark", "gates", "dffs", "nets",
+             "gates w/o fsv", "overhead"],
+            _rows,
+        )

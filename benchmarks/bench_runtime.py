@@ -1,0 +1,50 @@
+"""Experiment S6 — synthesis runtime (the paper's CPU-time remark).
+
+"SEANCE takes about four seconds of CPU time on a Digital Equipment
+VAXStation 3100 to run an example."  (Paper Section 6.)
+
+Absolute numbers are incomparable across 35 years of hardware; the
+reproduction's claim is that each example synthesises well inside the
+paper's envelope, and the per-stage breakdown shows where the time goes
+(assignment and factoring dominate, as the paper's discussion of the
+covering steps suggests).
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.bench import TABLE1_BENCHMARKS
+from repro.bench import benchmark as load_bench
+from repro.core.seance import synthesize
+
+_rows: list[tuple] = []
+
+
+@pytest.mark.parametrize("name", TABLE1_BENCHMARKS)
+def test_synthesis_runtime(benchmark, name):
+    table = load_bench(name)
+    result = benchmark(synthesize, table)
+    stages = result.stage_seconds
+    dominant = max(stages, key=stages.get)
+    _rows.append(
+        (
+            name,
+            f"{result.total_seconds * 1000:.1f}",
+            dominant,
+            f"{stages[dominant] * 1000:.1f}",
+        )
+    )
+    benchmark.extra_info["dominant_stage"] = dominant
+    # well inside the paper's 4-second envelope
+    assert result.total_seconds < 4.0
+
+
+def test_print_runtime(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if _rows:
+        print_table(
+            "Section 6 — synthesis CPU time "
+            "(paper: ~4 s/example on a VAXStation 3100)",
+            ["Benchmark", "total (ms)", "dominant stage", "stage (ms)"],
+            _rows,
+        )

@@ -1,0 +1,64 @@
+"""Extension — synthesis scaling beyond the paper's benchmark sizes.
+
+The paper's largest machine has 11 states.  This bench grows the
+lion9/train11 chain geometry to larger position counts and measures how
+the pipeline scales (the closed-cover search and the Tracey covering are
+the combinatorial cores), confirming the tool remains practical well
+past the published sizes.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.bench.suite import _chain_machine
+from repro.core.seance import SynthesisOptions, synthesize
+
+_rows: list[tuple] = []
+
+
+def growing_chain(positions: int):
+    """A chain in the lion9 style of arbitrary length.
+
+    Alternating output zones keep the machine well-formed at any length;
+    positions of equal parity remain behaviourally mergeable, so the
+    scaling run disables Step 2 (see below) to measure the assignment /
+    hazard-search / factoring pipeline on the full state count.
+    """
+    zones = [0, 1] * positions
+
+    return _chain_machine(
+        f"chain{positions}",
+        num_positions=positions,
+        z_of=lambda k: zones[k],
+        jump_from=lambda k: True,
+        resync=None,
+    )
+
+
+@pytest.mark.parametrize("positions", [5, 7, 9, 11, 13])
+def test_scaling(benchmark, positions):
+    table = growing_chain(positions)
+    result = benchmark(
+        synthesize, table, SynthesisOptions(minimize=False)
+    )
+    _rows.append(
+        (
+            positions,
+            result.table.num_states,
+            result.assignment.encoding.num_variables,
+            len(result.analysis.fl),
+            f"{result.total_seconds * 1000:.0f}",
+        )
+    )
+    assert result.total_seconds < 30.0
+
+
+def test_print_scaling(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if _rows:
+        print_table(
+            "Extension — pipeline scaling on growing chain machines",
+            ["positions", "states", "state vars",
+             "hazard points", "synthesis (ms)"],
+            _rows,
+        )

@@ -1,0 +1,96 @@
+"""Experiment S2b — FANTOM vs the classic SIC machine, dynamically.
+
+The paper's Section 1/2 framing: existing hazard-free machines work only
+under single-input changes; FANTOM removes that restriction.  This bench
+drives both machines on both workload classes:
+
+* the SIC Huffman baseline on single-input-change walks — clean (its
+  all-primes covers honour its contract);
+* the same baseline on multiple-input-change walks with input skew —
+  broken (the restriction is real);
+* FANTOM on the same multiple-input-change walks — clean (the paper's
+  contribution).
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.baselines.huffman import synthesize_huffman
+from repro.baselines.huffman_sim import (
+    build_huffman,
+    default_baseline_delays,
+    run_walk,
+    sic_walk,
+)
+from repro.bench import benchmark as load_bench
+from repro.core.seance import synthesize
+from repro.netlist.fantom import build_fantom
+from repro.sim.delays import skewed_random
+from repro.sim.harness import random_legal_walk, validate_against_reference
+
+MACHINES = ("hazard_demo", "lion", "traffic")
+SEEDS = (0, 1, 2)
+STEPS = 20
+
+_rows: list[tuple] = []
+
+
+@pytest.mark.parametrize("name", MACHINES)
+def test_sic_baseline_comparison(benchmark, name):
+    table = load_bench(name)
+    baseline = build_huffman(synthesize_huffman(table))
+    fantom = build_fantom(synthesize(table))
+
+    def run_all():
+        sic_errors = 0
+        mic_errors = 0
+        for seed in SEEDS:
+            walk = sic_walk(baseline.result.table, STEPS, seed)
+            run = run_walk(
+                baseline, walk, default_baseline_delays(seed), seed=seed
+            )
+            sic_errors += run.state_errors + run.output_errors
+            mic = random_legal_walk(baseline.result.table, STEPS, seed)
+            run = run_walk(
+                baseline,
+                mic,
+                default_baseline_delays(seed),
+                input_skew=3.0,
+                seed=seed,
+            )
+            mic_errors += run.state_errors + run.output_errors
+        summary = validate_against_reference(
+            fantom, steps=STEPS, seeds=SEEDS, delays_factory=skewed_random
+        )
+        return sic_errors, mic_errors, summary
+
+    sic_errors, mic_errors, fantom_summary = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+    fantom_errors = (
+        fantom_summary.state_errors + fantom_summary.output_errors
+    )
+    _rows.append((name, sic_errors, mic_errors, fantom_errors))
+    # the baseline honours its own contract...
+    assert sic_errors == 0
+    # ...and FANTOM honours the extended one.
+    assert fantom_errors == 0
+
+
+def test_baseline_breaks_somewhere_on_mic(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert any(row[2] > 0 for row in _rows), (
+        "the SIC baseline survived every MIC walk"
+    )
+
+
+def test_print_sic_comparison(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if _rows:
+        print_table(
+            "Section 1/2 framing — SIC baseline vs FANTOM "
+            "(errors over 3 seeded walks each)",
+            ["Benchmark", "baseline on SIC walks",
+             "baseline on MIC walks", "FANTOM on MIC walks"],
+            _rows,
+        )

@@ -1,0 +1,64 @@
+"""Experiment S5.3 — "finding hazards doubles the state space".
+
+"The effect of finding hazards in the machine doubles the state space,
+because the case when fsv = 1 must be handled."  (Paper Section 5.3.)
+
+Per benchmark: the base (x, y) minterm space, the doubled space once
+``fsv`` joins, the hazard points that forced it, and the literal-count
+overhead of the corrected next-state equations versus the unprotected
+ones — the quantified version of Section 8's "some overhead ... greatly
+increased flexibility".
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.bench import TABLE1_BENCHMARKS
+from repro.bench import benchmark as load_bench
+from repro.core.fsv import state_space_growth
+from repro.core.seance import SynthesisOptions, synthesize
+
+_rows: list[tuple] = []
+
+
+@pytest.mark.parametrize("name", TABLE1_BENCHMARKS)
+def test_state_space(benchmark, name):
+    table = load_bench(name)
+    result = synthesize(table)
+    growth = benchmark(state_space_growth, result.spec, result.analysis)
+
+    naive = synthesize(
+        table, SynthesisOptions(hazard_correction=False)
+    )
+    protected_literals = sum(
+        len(eq.expr.literals()) for eq in result.next_state
+    ) + len(result.fsv.expr.literals())
+    naive_literals = sum(
+        len(eq.expr.literals()) for eq in naive.next_state
+    )
+
+    _rows.append(
+        (
+            name,
+            growth["base_space"],
+            growth["doubled_space"],
+            growth["hazard_points"],
+            naive_literals,
+            protected_literals,
+        )
+    )
+    # the paper's claim, literally:
+    assert growth["doubled_space"] == 2 * growth["base_space"]
+    assert growth["hazard_points"] > 0
+
+
+def test_print_state_space(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if _rows:
+        print_table(
+            "Section 5.3 — fsv doubles the minterm space "
+            "(and the logic overhead it costs)",
+            ["Benchmark", "base space", "doubled", "hazard points",
+             "Y literals w/o fsv", "Y+fsv literals"],
+            _rows,
+        )

@@ -1,0 +1,59 @@
+"""Experiment T1 — regenerate paper Table 1.
+
+Paper Table 1 reports, per MCNC benchmark, the logic depth of ``fsv``,
+of the longest next-state variable, and the total worst-case depth to
+``VOM`` assertion.  This bench re-synthesises every machine, prints the
+regenerated rows next to the paper's, and times the synthesis.
+
+Reproduction notes (see EXPERIMENTS.md): the flow tables are
+reconstructions and the state assignment is a different valid solution
+of the same covering problems, so depths match in *shape* (fsv 2-4,
+Y ~5, total = fsv + Y + 1) rather than bit-exactly; the ``lion`` and
+``traffic`` rows happen to match the paper exactly.
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.bench import PAPER_TABLE1, TABLE1_BENCHMARKS
+from repro.bench import benchmark as load_bench
+from repro.core.seance import synthesize
+
+_rows: dict[str, tuple] = {}
+
+
+@pytest.mark.parametrize("name", TABLE1_BENCHMARKS)
+def test_table1_row(benchmark, name):
+    table = load_bench(name)
+    result = benchmark(synthesize, table)
+    _, fsv_depth, y_depth, total = result.table1_row()
+    paper_fsv, paper_y, paper_total = PAPER_TABLE1[name]
+    benchmark.extra_info.update(
+        fsv_depth=fsv_depth,
+        y_depth=y_depth,
+        total_depth=total,
+        paper=f"{paper_fsv}/{paper_y}/{paper_total}",
+    )
+    _rows[name] = (
+        name,
+        fsv_depth,
+        y_depth,
+        total,
+        f"{paper_fsv}/{paper_y}/{paper_total}",
+    )
+    # Shape assertions: the qualitative content of Table 1.
+    assert total == fsv_depth + y_depth + 1
+    assert 2 <= fsv_depth <= 4
+    assert 4 <= y_depth <= 6
+
+
+def test_print_table1(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [_rows[name] for name in TABLE1_BENCHMARKS if name in _rows]
+    if rows:
+        print_table(
+            "Table 1 — Results Using MCNC Benchmarks (reconstructed)",
+            ["Benchmark", "fsv Depth", "Y Depth", "Total Depth",
+             "paper (fsv/Y/total)"],
+            rows,
+        )

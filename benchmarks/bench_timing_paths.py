@@ -1,0 +1,54 @@
+"""Experiment S43 — the four critical-path relations of Section 4.3.
+
+The paper derives four timing relations the architecture must satisfy
+(FFX setup vs t_G; FFZ setup vs t_VOM; output settling vs VOM; fsv/SSD
+taking over VOM's disabling before G deasserts).  This bench instantiates
+them with each synthesised machine's real logic depths and checks all
+four, plus the paper's claim that the relationship "for critical path 2
+subsumes critical path 3".
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.bench import TABLE1_BENCHMARKS
+from repro.bench import benchmark as load_bench
+from repro.core.seance import synthesize
+from repro.netlist.timing import timing_report
+
+_rows: list[tuple] = []
+
+
+@pytest.mark.parametrize("name", TABLE1_BENCHMARKS)
+def test_timing_paths(benchmark, name):
+    table = load_bench(name)
+    result = synthesize(table)
+    report = benchmark(timing_report, result)
+    checks = {row[0]: row[2] for row in report.rows()}
+    _rows.append(
+        (
+            name,
+            report.t_fsv,
+            report.t_y,
+            report.t_z,
+            report.t_ssd,
+            report.t_vom,
+            " ".join(f"{k}:{'ok' if v else 'VIOLATED'}"
+                     for k, v in checks.items()),
+        )
+    )
+    benchmark.extra_info.update(t_vom=report.t_vom)
+    assert report.all_satisfied(), report.rows()
+    # CP2 subsumes CP3 (paper): whenever CP2 holds, CP3 must too.
+    assert not (report.check_path2() and not report.check_path3())
+
+
+def test_print_timing(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if _rows:
+        print_table(
+            "Section 4.3 — critical-path relations (unit gate levels)",
+            ["Benchmark", "t_fsv", "t_Y", "t_Z", "t_SSD", "t_VOM",
+             "relations"],
+            _rows,
+        )

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every module in this directory regenerates one row of DESIGN.md's
+experiment index (a paper table, figure, or quantified claim).  Run with
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the regenerated tables; timing statistics come from
+pytest-benchmark as usual.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
+    """Print an aligned table (the regenerated paper artifact)."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print()
+    print(title)
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,62 @@
+"""The highway/farm-road traffic-light controller (Mead & Conway's story).
+
+Inputs: ``c`` — a car is waiting on the farm road, ``t`` — the active
+phase's timer has expired.  Outputs: highway-green and farm-green.  The
+hazard: with the highway green and no car, a car can arrive in the same
+reaction window as the timer expiring (``00 -> 11``), and while the
+farm road is green the car can leave exactly as the timer expires
+(``10 <-> 01``) — multiple-input changes on a safety-critical machine.
+
+Run:  python examples/traffic_intersection.py
+"""
+
+from repro import benchmark, build_fantom, synthesize
+from repro.sim import FantomHarness, FlowTableInterpreter, skewed_random
+
+LIGHTS = {
+    (1, 0): "highway GREEN | farm red",
+    (0, 1): "highway red   | farm GREEN",
+    (0, 0): "both red (yellow phase)",
+    (1, 1): "both green (IMPOSSIBLE)",
+}
+
+
+def main():
+    table = benchmark("traffic")
+    result = synthesize(table)
+    print(result.describe())
+    print()
+
+    machine = build_fantom(result)
+    harness = FantomHarness(machine, delays=skewed_random(seed=11))
+    reference = FlowTableInterpreter(table)
+    col = table.column_of
+
+    scenario = [
+        ("quiet highway traffic", col("00")),
+        ("car arrives AND timer expires together", col("11")),
+        ("timer resets as the yellow ends", col("10")),
+        ("farm road served; timer expires, car gone", col("01")),
+        ("all clear again", col("00")),
+        ("lone timer tick (no car): stay green", col("01")),
+        ("car + timer together again", col("11")),
+        ("car leaves while timer resets (both change)", col("00")),
+    ]
+
+    print("scenario (driving the gate-level machine, skewed delays):")
+    for description, column in scenario:
+        expected = reference.apply(column)
+        state, outputs = harness.apply(column)
+        lights = LIGHTS[tuple(outputs)]
+        ok = "ok" if state == expected.state else "WRONG STATE"
+        print(
+            f"  c/t={table.column_string(column)}  {description:45s} "
+            f"-> {lights}   [{ok}]"
+        )
+
+    assert harness.cycle_count == len(scenario)
+    print("\nall transitions settled correctly, outputs glitch-free")
+
+
+if __name__ == "__main__":
+    main()

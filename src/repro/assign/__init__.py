@@ -1,0 +1,19 @@
+"""USTT state assignment via Tracey partition sets (SEANCE Step 3)."""
+
+from .dichotomy import Dichotomy, maximal_merged_dichotomies, merge_all
+from .encoding import StateEncoding
+from .tracey import AssignmentResult, assign_states, seed_dichotomies
+from .verify import is_valid_ustt, unique_code_violations, ustt_violations
+
+__all__ = [
+    "AssignmentResult",
+    "Dichotomy",
+    "StateEncoding",
+    "assign_states",
+    "is_valid_ustt",
+    "maximal_merged_dichotomies",
+    "merge_all",
+    "seed_dichotomies",
+    "unique_code_violations",
+    "ustt_violations",
+]

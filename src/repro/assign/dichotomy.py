@@ -1,0 +1,143 @@
+"""Dichotomies: the partition-pair currency of Tracey state assignment.
+
+Paper Step 3 finds "a valid unicode single-time transition (USTT) state
+assignment ... using partition sets [Tracey 1966]".  Tracey's method works
+with *dichotomies*: ordered pairs of disjoint state blocks ``(L; R)``.  A
+state variable *covers* a dichotomy when it is constant 0 on every state
+of one block and constant 1 on every state of the other.
+
+Two facts drive the algorithm:
+
+* every pair of transitions ``s -> S`` and ``t -> T`` in the same input
+  column with different destinations generates the seed dichotomy
+  ``({s, S}; {t, T})`` — a variable covering it keeps the two transition
+  subcubes disjoint, which is exactly the USTT race-freedom condition;
+* ordered dichotomies merge when their left blocks avoid each other's
+  right blocks, and a set of pairwise-compatible dichotomies merges as a
+  whole (unions of lefts and rights stay disjoint), so maximal merged
+  dichotomies are maximal cliques of the pairwise-compatibility graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import StateAssignmentError
+
+
+@dataclass(frozen=True)
+class Dichotomy:
+    """An ordered pair of disjoint, non-empty state blocks."""
+
+    left: frozenset[str]
+    right: frozenset[str]
+
+    def __post_init__(self) -> None:
+        if not self.left or not self.right:
+            raise StateAssignmentError("dichotomy blocks must be non-empty")
+        if self.left & self.right:
+            raise StateAssignmentError(
+                f"dichotomy blocks overlap: {sorted(self.left & self.right)}"
+            )
+
+    # ------------------------------------------------------------------
+    def reversed(self) -> "Dichotomy":
+        """The opposite orientation (blocks swapped)."""
+        return Dichotomy(self.right, self.left)
+
+    def canonical(self) -> "Dichotomy":
+        """Orientation-independent canonical form (for deduplication)."""
+        if sorted(self.left) <= sorted(self.right):
+            return self
+        return self.reversed()
+
+    def compatible(self, other: "Dichotomy") -> bool:
+        """True when the two ordered dichotomies can merge."""
+        return not (self.left & other.right) and not (self.right & other.left)
+
+    def merge(self, other: "Dichotomy") -> "Dichotomy":
+        """Union of blocks; only valid when :meth:`compatible`."""
+        if not self.compatible(other):
+            raise StateAssignmentError(
+                f"cannot merge incompatible dichotomies {self} and {other}"
+            )
+        return Dichotomy(self.left | other.left, self.right | other.right)
+
+    def covers(self, seed: "Dichotomy") -> bool:
+        """True when this (merged) dichotomy covers ``seed`` in either
+        orientation."""
+        return (seed.left <= self.left and seed.right <= self.right) or (
+            seed.left <= self.right and seed.right <= self.left
+        )
+
+    @property
+    def states(self) -> frozenset[str]:
+        return self.left | self.right
+
+    def __str__(self) -> str:
+        left = ",".join(sorted(self.left))
+        right = ",".join(sorted(self.right))
+        return f"({left} ; {right})"
+
+
+def merge_all(dichotomies: list[Dichotomy]) -> Dichotomy:
+    """Merge a pairwise-compatible family into one dichotomy."""
+    if not dichotomies:
+        raise StateAssignmentError("cannot merge an empty family")
+    merged = dichotomies[0]
+    for other in dichotomies[1:]:
+        merged = merged.merge(other)
+    return merged
+
+
+def maximal_merged_dichotomies(seeds: list[Dichotomy]) -> list[Dichotomy]:
+    """All maximal merges of pairwise-compatible seed orientations.
+
+    Both orientations of every seed participate; the result is
+    deduplicated up to orientation and deterministically ordered.  Each
+    returned dichotomy corresponds to one candidate state variable.
+    """
+    oriented: list[Dichotomy] = []
+    seen: set[tuple[frozenset[str], frozenset[str]]] = set()
+    for seed in seeds:
+        for d in (seed, seed.reversed()):
+            key = (d.left, d.right)
+            if key not in seen:
+                seen.add(key)
+                oriented.append(d)
+
+    n = len(oriented)
+    compatible = [
+        {
+            j
+            for j in range(n)
+            if j != i and oriented[i].compatible(oriented[j])
+        }
+        for i in range(n)
+    ]
+
+    cliques: list[frozenset[int]] = []
+
+    def bron_kerbosch(r: set[int], p: set[int], x: set[int]) -> None:
+        if not p and not x:
+            cliques.append(frozenset(r))
+            return
+        pivot = max(p | x, key=lambda v: len(compatible[v] & p))
+        for v in sorted(p - compatible[pivot]):
+            bron_kerbosch(r | {v}, p & compatible[v], x & compatible[v])
+            p = p - {v}
+            x = x | {v}
+
+    bron_kerbosch(set(), set(range(n)), set())
+
+    merged: list[Dichotomy] = []
+    seen_canonical: set[tuple[frozenset[str], frozenset[str]]] = set()
+    for clique in cliques:
+        combined = merge_all([oriented[i] for i in sorted(clique)])
+        canon = combined.canonical()
+        key = (canon.left, canon.right)
+        if key not in seen_canonical:
+            seen_canonical.add(key)
+            merged.append(canon)
+    merged.sort(key=lambda d: (sorted(d.left), sorted(d.right)))
+    return merged

@@ -1,0 +1,104 @@
+"""State encodings: the product of the assignment stage.
+
+A :class:`StateEncoding` binds every state of a flow table to a distinct
+bit vector over state variables ``y1..yn``.  Codes use the library-wide
+packing: bit ``i`` of a code integer is the value of variable
+``variables[i]``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from ..errors import StateAssignmentError
+
+
+@dataclass(frozen=True)
+class StateEncoding:
+    """An injective assignment of codes to states."""
+
+    variables: tuple[str, ...]
+    codes: Mapping[str, int]
+
+    def __post_init__(self) -> None:
+        codes = dict(self.codes)
+        object.__setattr__(self, "codes", codes)
+        space = 1 << len(self.variables)
+        for state, code in codes.items():
+            if not 0 <= code < space:
+                raise StateAssignmentError(
+                    f"code {code:#x} of state {state!r} outside "
+                    f"{len(self.variables)}-variable space"
+                )
+        values = list(codes.values())
+        if len(set(values)) != len(values):
+            duplicates = sorted(
+                {
+                    f"{a}/{b}"
+                    for a in codes
+                    for b in codes
+                    if a < b and codes[a] == codes[b]
+                }
+            )
+            raise StateAssignmentError(
+                f"states share codes: {', '.join(duplicates)}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def states(self) -> tuple[str, ...]:
+        return tuple(self.codes)
+
+    def code(self, state: str) -> int:
+        try:
+            return self.codes[state]
+        except KeyError:
+            raise StateAssignmentError(f"unknown state {state!r}") from None
+
+    def bit(self, state: str, var_index: int) -> int:
+        """Value of state variable ``var_index`` in ``state``'s code."""
+        return self.code(state) >> var_index & 1
+
+    def bits(self, state: str) -> tuple[int, ...]:
+        code = self.code(state)
+        return tuple(code >> i & 1 for i in range(self.num_variables))
+
+    def code_string(self, state: str) -> str:
+        """Code as a ``01`` string, position ``i`` = variable ``i``."""
+        return "".join(str(b) for b in self.bits(state))
+
+    def state_of(self, code: int) -> str | None:
+        """The state carrying ``code``, or ``None`` for an unused code."""
+        for state, assigned in self.codes.items():
+            if assigned == code:
+                return state
+        return None
+
+    def used_codes(self) -> frozenset[int]:
+        return frozenset(self.codes.values())
+
+    def unused_codes(self) -> frozenset[int]:
+        return frozenset(range(1 << self.num_variables)) - self.used_codes()
+
+    def transition_cube(self, a: str, b: str) -> tuple[int, int]:
+        """The subcube spanned by two codes as ``(mask_of_fixed, value)``.
+
+        Variables on which the codes agree are fixed; the rest are free.
+        Two transitions race-freely (USTT) iff their spanned subcubes are
+        disjoint, which :mod:`repro.assign.verify` checks.
+        """
+        code_a = self.code(a)
+        code_b = self.code(b)
+        fixed = ~(code_a ^ code_b) & ((1 << self.num_variables) - 1)
+        return fixed, code_a & fixed
+
+    def describe(self) -> str:
+        lines = [f"{len(self.codes)} states on {self.num_variables} variables"]
+        for state in self.codes:
+            lines.append(f"  {state}: {self.code_string(state)}")
+        return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Verification of USTT validity for a (table, encoding) pair.
+
+The USTT race-freedom condition (Tracey's theorem): in every input
+column, the subcubes spanned by the transitions' source and destination
+codes must be pairwise disjoint for transitions with different
+destinations.  When they are, a state vector mid-flight (any subset of
+its changing variables flipped) can never be mistaken for a point of a
+different transition — no critical race exists.
+
+These checks are independent of the assignment algorithm, so property
+tests can throw arbitrary encodings at them.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..flowtable.table import FlowTable
+from .encoding import StateEncoding
+
+
+def ustt_violations(
+    table: FlowTable, encoding: StateEncoding
+) -> list[str]:
+    """All violations of the USTT disjoint-transition-cube condition."""
+    problems: list[str] = []
+    for column in table.columns:
+        moves = []
+        for state in table.states:
+            dest = table.next_state(state, column)
+            if dest is not None:
+                moves.append((state, dest))
+        for (s, dest_s), (t, dest_t) in combinations(moves, 2):
+            if dest_s == dest_t:
+                continue
+            mask_a, value_a = encoding.transition_cube(s, dest_s)
+            mask_b, value_b = encoding.transition_cube(t, dest_t)
+            shared = mask_a & mask_b
+            if (value_a ^ value_b) & shared == 0:
+                problems.append(
+                    f"column {table.column_string(column)}: transition "
+                    f"cubes of {s}->{dest_s} and {t}->{dest_t} intersect"
+                )
+    return problems
+
+
+def unique_code_violations(
+    table: FlowTable, encoding: StateEncoding
+) -> list[str]:
+    """State pairs sharing a code (the encoding constructor also rejects
+    these; kept separate for diagnostic use on hand-built encodings)."""
+    problems = []
+    for s, t in combinations(table.states, 2):
+        if encoding.code(s) == encoding.code(t):
+            problems.append(f"states {s} and {t} share code")
+    return problems
+
+
+def is_valid_ustt(table: FlowTable, encoding: StateEncoding) -> bool:
+    """True when the encoding is a valid USTT assignment for the table."""
+    return not ustt_violations(table, encoding) and not unique_code_violations(
+        table, encoding
+    )

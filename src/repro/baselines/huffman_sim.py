@@ -1,0 +1,199 @@
+"""Gate-level realisation and simulation of the SIC Huffman baseline.
+
+The classic machine has no self-synchronisation at all: the inputs drive
+the combinational network directly (no ``FFX``), the state variables are
+plain feedback (as in FANTOM), and the outputs are unlatched functions
+of ``(x, y)``.  Its correctness contract is the *fundamental mode with
+single-input changes*: one input bit changes, the environment waits for
+the network to settle.
+
+Building and driving it completes the paper's comparison dynamically:
+
+* on single-input-change walks the baseline is exactly as correct as
+  FANTOM (its all-primes covers make it SIC-hazard-free);
+* on multiple-input-change walks its contract is void — and the
+  simulation shows the machine really does mis-settle, which is the
+  restriction FANTOM exists to remove.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import NetlistError
+from ..netlist.build import compile_expression
+from ..netlist.netlist import Netlist
+from ..sim.delays import DelayModel, RandomDelay
+from ..sim.reference import FlowTableInterpreter
+from ..sim.simulator import Simulator
+from .huffman import HuffmanResult
+
+
+@dataclass
+class HuffmanMachine:
+    """The unlatched SIC machine as a netlist plus its signal map."""
+
+    netlist: Netlist
+    result: HuffmanResult
+    input_nets: tuple[str, ...]
+    state_nets: tuple[str, ...]
+    output_nets: tuple[str, ...]
+
+    def reset_column(self) -> int:
+        table = self.result.table
+        reset = table.reset_state or table.states[0]
+        columns = table.stable_columns(reset)
+        if not columns:
+            raise NetlistError(f"reset state {reset!r} has no stable column")
+        return columns[0]
+
+    def initial_values(self) -> dict[str, int]:
+        table = self.result.table
+        encoding = self.result.spec.encoding
+        reset = table.reset_state or table.states[0]
+        column = self.reset_column()
+        code = encoding.code(reset)
+        values: dict[str, int] = {}
+        for i, net in enumerate(self.input_nets):
+            values[net] = column >> i & 1
+        for n, net in enumerate(self.state_nets):
+            values[net] = code >> n & 1
+        for _ in range(len(self.netlist.gates) + 2):
+            changed = False
+            for gate in self.netlist.gates:
+                out = gate.type.evaluate(
+                    [values.get(n, 0) for n in gate.inputs]
+                )
+                if values.get(gate.output) != out:
+                    values[gate.output] = out
+                    changed = True
+            if not changed:
+                break
+        else:
+            raise NetlistError("Huffman reset sweep did not converge")
+        for n, net in enumerate(self.state_nets):
+            if values[net] != code >> n & 1:
+                raise NetlistError("Huffman reset point is not a fixpoint")
+        return values
+
+
+def build_huffman(result: HuffmanResult) -> HuffmanMachine:
+    """Compile the baseline equations into a feedback netlist."""
+    spec = result.spec
+    netlist = Netlist(f"huffman_{result.source.name}")
+    input_nets = spec.names[: result.table.num_inputs]
+    for net in input_nets:
+        netlist.add_input(net)
+    for n, var in enumerate(spec.encoding.variables):
+        compile_expression(
+            netlist, result.equations[var], var, f"Y{n + 1}"
+        )
+    for k, z in enumerate(result.table.outputs):
+        compile_expression(netlist, result.equations[z], z, f"Z{k + 1}")
+        netlist.mark_output(z)
+    netlist.validate()
+    return HuffmanMachine(
+        netlist=netlist,
+        result=result,
+        input_nets=tuple(input_nets),
+        state_nets=tuple(spec.encoding.variables),
+        output_nets=tuple(result.table.outputs),
+    )
+
+
+@dataclass
+class HuffmanRun:
+    """Outcome of driving a column walk into the baseline machine."""
+
+    steps: int
+    state_errors: int
+    output_errors: int
+
+    @property
+    def clean(self) -> bool:
+        return self.state_errors == 0 and self.output_errors == 0
+
+
+def run_walk(
+    machine: HuffmanMachine,
+    columns: list[int],
+    delays: DelayModel,
+    input_skew: float = 0.0,
+    seed: int = 0,
+    settle: float = 400.0,
+) -> HuffmanRun:
+    """Drive a column sequence in fundamental mode and score it.
+
+    ``input_skew`` staggers the arrival of individual input bits (the
+    baseline has no input latch, so skew lands directly on the logic —
+    harmless for single-bit changes, fatal for multi-bit ones).
+    Output bits are compared at each settled point where the reference
+    specifies them.
+    """
+    simulator = Simulator(
+        machine.netlist,
+        delays=delays,
+        initial_values=machine.initial_values(),
+    )
+    table = machine.result.table
+    encoding = machine.result.spec.encoding
+    reference = FlowTableInterpreter(table)
+    rng = random.Random(seed)
+    current = machine.reset_column()
+    state_errors = 0
+    output_errors = 0
+    for column in columns:
+        expected = reference.apply(column)
+        base = simulator.now + 1.0
+        for i, net in enumerate(machine.input_nets):
+            bit = column >> i & 1
+            if (current >> i & 1) != bit:
+                offset = rng.uniform(0.0, input_skew) if input_skew else 0.0
+                simulator.schedule(net, bit, at=base + offset)
+        current = column
+        try:
+            simulator.run_until_quiet(settle)
+        except Exception:
+            state_errors += 1
+            break
+        code = 0
+        for n, net in enumerate(machine.state_nets):
+            code |= simulator.value(net) << n
+        if encoding.state_of(code) != expected.state:
+            state_errors += 1
+        for k, net in enumerate(machine.output_nets):
+            want = expected.outputs[k]
+            if want is not None and simulator.value(net) != want:
+                output_errors += 1
+    return HuffmanRun(
+        steps=len(columns),
+        state_errors=state_errors,
+        output_errors=output_errors,
+    )
+
+
+def sic_walk(table, steps: int, seed: int) -> list[int]:
+    """A random legal walk restricted to single-input changes."""
+    rng = random.Random(seed)
+    interpreter = FlowTableInterpreter(table)
+    current = interpreter.stable_column()
+    walk: list[int] = []
+    for _ in range(steps):
+        legal = [
+            c
+            for c in interpreter.legal_columns()
+            if (c ^ current).bit_count() == 1
+        ]
+        if not legal:
+            break
+        column = rng.choice(legal)
+        walk.append(column)
+        interpreter.apply(column)
+        current = column
+    return walk
+
+
+def default_baseline_delays(seed: int) -> RandomDelay:
+    """Gate delays for baseline runs (same family as loop_safe_random)."""
+    return RandomDelay(seed, gate_range=(1.5, 2.5), ff_range=(0.2, 1.0))

@@ -1,0 +1,21 @@
+"""Benchmark flow tables (the Table-1 suite plus extras)."""
+
+from .suite import (
+    GRAY,
+    PAPER_TABLE1,
+    TABLE1_BENCHMARKS,
+    benchmark,
+    benchmark_names,
+    kiss_source,
+    load_all,
+)
+
+__all__ = [
+    "GRAY",
+    "PAPER_TABLE1",
+    "TABLE1_BENCHMARKS",
+    "benchmark",
+    "benchmark_names",
+    "kiss_source",
+    "load_all",
+]

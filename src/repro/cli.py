@@ -1,0 +1,233 @@
+"""Command-line front end: ``seance`` (or ``python -m repro``).
+
+Subcommands mirror how the paper's tool was used:
+
+``seance synth SPEC.kiss2``
+    Run the full pipeline on a KISS2 flow table and print the synthesis
+    report (equations, hazard lists, Table-1 depths).
+
+``seance table1``
+    Regenerate paper Table 1 over the benchmark suite, side by side with
+    the paper's reported values.
+
+``seance validate SPEC.kiss2``
+    Build the gate-level FANTOM machine and dynamically validate it
+    against the flow-table semantics under randomised delays.
+
+``seance bench-list`` / ``seance show NAME``
+    Enumerate the built-in benchmarks / print one as KISS2 text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import __version__
+from .bench import PAPER_TABLE1, TABLE1_BENCHMARKS, benchmark, benchmark_names
+from .bench import kiss_source
+from .core.seance import SynthesisOptions, synthesize
+from .errors import ReproError
+from .flowtable.kiss import parse_kiss
+from .netlist.fantom import build_fantom
+from .sim.delays import loop_safe_random, skewed_random
+from .sim.harness import validate_against_reference
+
+
+def _load_table(spec: str):
+    if spec in benchmark_names():
+        return benchmark(spec)
+    path = Path(spec)
+    if not path.exists():
+        raise ReproError(
+            f"{spec!r} is neither a file nor a benchmark name "
+            f"(benchmarks: {', '.join(benchmark_names())})"
+        )
+    return parse_kiss(path.read_text(), name=path.stem)
+
+
+def cmd_synth(args: argparse.Namespace) -> int:
+    table = _load_table(args.spec)
+    options = SynthesisOptions(
+        minimize=not args.no_minimize,
+        reduce_mode=args.reduce_mode,
+        hazard_correction=not args.no_fsv,
+    )
+    result = synthesize(table, options)
+    if args.json:
+        import json
+
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    print(result.describe())
+    if args.hazards:
+        print()
+        print(result.analysis.describe(result.spec))
+    if args.encoding:
+        print()
+        print(result.assignment.encoding.describe())
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    print(
+        f"{'Benchmark':14s} {'fsv':>4s} {'Y':>4s} {'Total':>6s}   "
+        f"{'paper fsv/Y/total':>18s}"
+    )
+    for name in TABLE1_BENCHMARKS:
+        result = synthesize(benchmark(name))
+        _, fsv_d, y_d, total = result.table1_row()
+        paper = PAPER_TABLE1[name]
+        print(
+            f"{name:14s} {fsv_d:4d} {y_d:4d} {total:6d}   "
+            f"{paper[0]:8d}/{paper[1]}/{paper[2]}"
+        )
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    table = _load_table(args.spec)
+    result = synthesize(table)
+    machine = build_fantom(result, use_fsv=not args.no_fsv)
+    factory = skewed_random if args.skewed else loop_safe_random
+    summary = validate_against_reference(
+        machine,
+        steps=args.steps,
+        seeds=tuple(range(args.seeds)),
+        delays_factory=factory,
+    )
+    print(summary.describe())
+    if summary.all_clean:
+        print("machine is clean: states, outputs and SOC all verified")
+        return 0
+    print("machine FAILED validation")
+    return 1
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    from .netlist.verilog import machine_to_verilog
+
+    table = _load_table(args.spec)
+    result = synthesize(table)
+    machine = build_fantom(result, use_fsv=not args.no_fsv)
+    text = machine_to_verilog(machine)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_bench_list(args: argparse.Namespace) -> int:
+    for name in benchmark_names():
+        table = benchmark(name)
+        marker = "*" if name in TABLE1_BENCHMARKS else " "
+        print(
+            f"{marker} {name:14s} {table.num_states:2d} states, "
+            f"{table.num_inputs} inputs, {table.num_outputs} outputs"
+        )
+    print("(* = paper Table 1)")
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    print(kiss_source(args.name), end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="seance",
+        description=(
+            "SEANCE: synthesis of multiple-input-change asynchronous "
+            "finite state machines (Ladd & Birmingham, DAC 1991)"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    synth = sub.add_parser("synth", help="synthesise a FANTOM machine")
+    synth.add_argument("spec", help="KISS2 file or benchmark name")
+    synth.add_argument(
+        "--no-minimize", action="store_true", help="skip Step 2"
+    )
+    synth.add_argument(
+        "--no-fsv",
+        action="store_true",
+        help="skip the hazard correction (unprotected machine)",
+    )
+    synth.add_argument(
+        "--reduce-mode",
+        choices=["split", "joint"],
+        default="split",
+        help="Step-7 reduction style (paper: split)",
+    )
+    synth.add_argument(
+        "--hazards", action="store_true", help="print the hazard lists"
+    )
+    synth.add_argument(
+        "--encoding", action="store_true", help="print the state codes"
+    )
+    synth.add_argument(
+        "--json", action="store_true",
+        help="emit the synthesis report as JSON",
+    )
+    synth.set_defaults(func=cmd_synth)
+
+    table1 = sub.add_parser("table1", help="regenerate paper Table 1")
+    table1.set_defaults(func=cmd_table1)
+
+    val = sub.add_parser(
+        "validate", help="simulate the machine against its flow table"
+    )
+    val.add_argument("spec", help="KISS2 file or benchmark name")
+    val.add_argument("--steps", type=int, default=25)
+    val.add_argument("--seeds", type=int, default=3)
+    val.add_argument(
+        "--skewed",
+        action="store_true",
+        help="use hostile input-skew delays",
+    )
+    val.add_argument(
+        "--no-fsv",
+        action="store_true",
+        help="ablate fsv (demonstrates the hazards)",
+    )
+    val.set_defaults(func=cmd_validate)
+
+    export = sub.add_parser(
+        "export", help="emit the machine as structural Verilog"
+    )
+    export.add_argument("spec", help="KISS2 file or benchmark name")
+    export.add_argument("-o", "--output", help="write to a file")
+    export.add_argument(
+        "--no-fsv", action="store_true", help="export the unprotected machine"
+    )
+    export.set_defaults(func=cmd_export)
+
+    blist = sub.add_parser("bench-list", help="list built-in benchmarks")
+    blist.set_defaults(func=cmd_bench_list)
+
+    show = sub.add_parser("show", help="print a benchmark as KISS2")
+    show.add_argument("name")
+    show.set_defaults(func=cmd_show)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, KeyError) as error:
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

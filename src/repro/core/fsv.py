@@ -1,0 +1,124 @@
+"""The fantom state variable and the hazard-corrected next-state functions.
+
+Paper Step 6 ("Generate fsv and Y eqns"):
+
+* ``fsv``'s canonical sum-of-products has one minterm per hazard-list
+  entry — its on-set is ``FL``.  ``fsv`` "is not a function of itself,
+  and therefore cannot hold the value of the signal at one" (hence the
+  name *fantom*): it is purely combinational over ``(x, y)``.
+
+* Each next-state function is rebuilt over the doubled space
+  ``(x, y, fsv)``: "The effect of finding hazards in the machine doubles
+  the state space, because the case when fsv = 1 must be handled."
+
+  - In the ``f̄sv`` half, "any minterm that matches the hazard list is
+    complemented": at a hazard point the variable's excitation is flipped
+    to its present value, so the invariant variable is *held* and the
+    wrong pulse can never form during the input-skew window.
+  - In the ``fsv`` half, "all minterms are included without change": the
+    specified excitation applies, so when an input change legitimately
+    comes to rest on a hazard-marked point, the machine (after ``fsv``
+    rises) proceeds exactly where the flow table says.  This is why a
+    FANTOM machine "moves through at most two state changes regardless of
+    the number of bit changes in the input" (paper Section 7).
+
+Bit packing: the ``fsv`` variable is appended **above** the (x, y) bits,
+so the low ``width`` bits of a doubled-space minterm are the familiar
+(x, y) point.
+"""
+
+from __future__ import annotations
+
+from ..logic.function import BooleanFunction
+from .hazard_analysis import HazardAnalysis
+from .spec import SpecifiedMachine
+
+FSV_NAME = "fsv"
+
+
+def fsv_function(
+    spec: SpecifiedMachine, analysis: HazardAnalysis
+) -> BooleanFunction:
+    """``fsv(x, y)``: on exactly at the hazard points (FL), off elsewhere.
+
+    No don't-cares: a spurious 1 would reroute the next-state logic into
+    its ``fsv`` half at a point the analysis never sanctioned, so the
+    strict (fully specified) function is the safe reading of the paper.
+    """
+    return BooleanFunction(
+        spec.names, frozenset(analysis.fl), frozenset()
+    )
+
+
+def doubled_names(spec: SpecifiedMachine) -> tuple[str, ...]:
+    """Variable names of the doubled space: (x.., y.., fsv)."""
+    return spec.names + (FSV_NAME,)
+
+
+def next_state_function(
+    spec: SpecifiedMachine,
+    analysis: HazardAnalysis,
+    var_index: int,
+) -> BooleanFunction:
+    """``Y_{var_index+1}(x, y, fsv)`` per the Step-6 construction."""
+    base = spec.excitation(var_index)
+    hazard_points = analysis.hl.get(var_index, set())
+    width = spec.width
+    top = 1 << width
+
+    on: set[int] = set()
+    dc: set[int] = set()
+    for minterm in range(spec.space):
+        value = base.value(minterm)
+        _, code = spec.unpack(minterm)
+        present_bit = code >> var_index & 1
+
+        # f̄sv half -------------------------------------------------
+        if minterm in hazard_points:
+            low_value: int | None = present_bit  # complemented: hold
+        elif (minterm, var_index) in analysis.pins:
+            low_value = analysis.pins[(minterm, var_index)]
+        else:
+            low_value = value
+        if low_value is None:
+            dc.add(minterm)
+        elif low_value:
+            on.add(minterm)
+
+        # fsv half --------------------------------------------------
+        high = minterm | top
+        if value is None:
+            dc.add(high)
+        elif value:
+            on.add(high)
+
+    return BooleanFunction(
+        doubled_names(spec), frozenset(on), frozenset(dc)
+    )
+
+
+def next_state_functions(
+    spec: SpecifiedMachine, analysis: HazardAnalysis
+) -> list[BooleanFunction]:
+    """All hazard-corrected next-state functions."""
+    return [
+        next_state_function(spec, analysis, n)
+        for n in range(spec.num_state_vars)
+    ]
+
+
+def state_space_growth(
+    spec: SpecifiedMachine, analysis: HazardAnalysis
+) -> dict[str, int]:
+    """Quantify the Step-6 remark that hazards double the state space.
+
+    Returns the minterm-space sizes before and after the ``fsv``
+    doubling, plus the number of hazard points that forced it — the raw
+    material of the state-space benchmark.
+    """
+    return {
+        "base_space": spec.space,
+        "doubled_space": 2 * spec.space if analysis.has_hazards else spec.space,
+        "hazard_points": len(analysis.fl),
+        "hazard_records": analysis.hazard_count(),
+    }

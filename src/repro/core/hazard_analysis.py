@@ -1,0 +1,126 @@
+"""The hazard search of paper Figure 4 (SEANCE Step 5).
+
+The algorithm walks every *stable-state transition* whose input change
+flips more than one bit.  For the transition ``(x^a, y^a) -> (x^b, y^b)``
+physical skew between the input flip-flops can expose any strictly
+intermediate input vector ``x^k`` while the state vector still reads
+``y^a``.  At such a point the combinational excitation momentarily
+computes ``Y(x^k, y^a)`` — the flow table's entry for a *different*
+transition.  A state variable that is supposed to remain invariant across
+the whole change (``y^a_n == y^b_n``) but is excited to the opposite
+value at the intermediate point suffers a **function M-hazard** (paper
+Section 2.1): no cover choice can remove the wrong pulse, because the
+function itself is wrong there for this passage.
+
+The search records each such point per variable (the hazard list
+``HL_n``) and their union (``FL``, the on-set of ``fsv``).  Two readings
+of the OCR-damaged pseudo-code are resolved here:
+
+* ``notinvariant`` returns *all* offending variables, not just the first
+  — with a valid USTT assignment at most one variable can be affected
+  per point (the paper: "Each possible hazard affects only one state
+  variable because of the properties of the USTT assignment"), and
+  collecting all is the safe superset when callers hand us non-USTT
+  encodings;
+* an intermediate point whose excitation is *unspecified* is pinned to
+  the invariant value instead of being recorded as a hazard — a free
+  don't-care resolution the completely specified examples of the paper
+  never encounter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .spec import SpecifiedMachine
+
+
+@dataclass
+class HazardAnalysis:
+    """Hazard lists over the (x, y) minterm space of a specified machine.
+
+    Attributes
+    ----------
+    hl:
+        ``hl[n]`` is the hazard list of state variable ``y{n+1}``: the
+        minterms where its specified excitation must be complemented in
+        the ``f̄sv`` half (paper Step 6).
+    fl:
+        The union of all hazard lists — the on-set of ``fsv``.
+    pins:
+        Don't-care excitation bits pinned to the invariant value:
+        ``(minterm, var_index) -> bit``.  Applied to the ``f̄sv`` half
+        only; they are resolutions of don't-cares, not hazards.
+    transitions_examined / intermediates_examined:
+        Search-size counters for reports and benchmarks.
+    """
+
+    num_state_vars: int
+    hl: dict[int, set[int]] = field(default_factory=dict)
+    fl: set[int] = field(default_factory=set)
+    pins: dict[tuple[int, int], int] = field(default_factory=dict)
+    transitions_examined: int = 0
+    intermediates_examined: int = 0
+
+    def hazard_list(self, var_index: int) -> frozenset[int]:
+        return frozenset(self.hl.get(var_index, set()))
+
+    @property
+    def has_hazards(self) -> bool:
+        return bool(self.fl)
+
+    def hazard_count(self) -> int:
+        """Total number of (point, variable) hazard records."""
+        return sum(len(points) for points in self.hl.values())
+
+    def describe(self, spec: SpecifiedMachine) -> str:
+        lines = [
+            f"{len(self.fl)} hazard point(s) over "
+            f"{self.transitions_examined} multi-input transitions"
+        ]
+        for n in sorted(self.hl):
+            for minterm in sorted(self.hl[n]):
+                column, code = spec.unpack(minterm)
+                state = spec.encoding.state_of(code)
+                lines.append(
+                    f"  y{n + 1} at input "
+                    f"{spec.table.column_string(column)}, state "
+                    f"{state or f'code {code:b}'}"
+                )
+        return "\n".join(lines)
+
+
+def find_hazards(spec: SpecifiedMachine) -> HazardAnalysis:
+    """Run the Figure-4 search over a specified machine."""
+    table = spec.table
+    encoding = spec.encoding
+    analysis = HazardAnalysis(num_state_vars=spec.num_state_vars)
+
+    for transition in table.transitions(min_input_distance=2):
+        analysis.transitions_examined += 1
+        code_a = encoding.code(transition.state)
+        code_b = encoding.code(transition.dest)
+        for x_k in transition.intermediate_columns():
+            analysis.intermediates_examined += 1
+            minterm = spec.pack(x_k, code_a)
+            excited = spec.excitation_code(minterm)
+            for n in range(spec.num_state_vars):
+                bit_a = code_a >> n & 1
+                bit_b = code_b >> n & 1
+                if bit_a != bit_b:
+                    continue  # variable changes anyway: premature
+                    # excitation keeps it inside the transition cube.
+                if excited is None:
+                    # Unspecified entry: pin the don't-care to the
+                    # invariant value (free safety, not a hazard).
+                    analysis.pins.setdefault((minterm, n), bit_a)
+                    continue
+                if (excited >> n & 1) != bit_a:
+                    analysis.hl.setdefault(n, set()).add(minterm)
+                    analysis.fl.add(minterm)
+    # A pin recorded at a point later found hazardous for the same
+    # variable is redundant; hazards take precedence.
+    for (minterm, n) in list(analysis.pins):
+        if minterm in analysis.hl.get(n, set()):
+            del analysis.pins[(minterm, n)]
+    return analysis

@@ -1,0 +1,54 @@
+"""Stable-state detector synthesis (paper Step 4, part 2).
+
+"The equation for SSD begins with a canonical expression involving the
+minterms where y = Y.  The same reduction techniques as for Ẑ are used to
+reduce this to an essential SOP expression.  By not using all of the
+prime implicants, SSD may glitch if there is a multiple-input change.
+This causes no problems, though, because the loop delay assumption
+assures that SSD will settle before fsv is stable."  (Paper Section 5.2.)
+
+``SSD`` is the completion-detection half of the ``VOM`` gate: it must be
+
+* 1 at every stable point,
+* 0 at every specified unstable point *and* every in-flight code of
+  every transition subcube (so the detector cannot pulse while the state
+  vector is between codes),
+
+and is free elsewhere per the policy discussion on
+:meth:`repro.core.spec.SpecifiedMachine.ssd_function`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..logic.cover import minimal_cover
+from ..logic.cube import Cube
+from ..logic.expr import Expr, sop_to_expr
+from ..logic.factor import first_level
+from .spec import SpecifiedMachine
+
+
+@dataclass(frozen=True)
+class SsdEquation:
+    """The synthesised stable-state detector."""
+
+    cover: tuple[Cube, ...]
+    expr: Expr
+    exact: bool
+    dc_policy: str
+
+
+def synthesize_ssd(
+    spec: SpecifiedMachine, dc_policy: str = "unspecified"
+) -> SsdEquation:
+    """Essential-SOP equation for ``SSD`` under the given dc policy."""
+    function = spec.ssd_function(dc_policy)
+    result = minimal_cover(function)
+    expr = first_level(sop_to_expr(list(result.cubes), spec.names))
+    return SsdEquation(
+        cover=result.cubes,
+        expr=expr,
+        exact=result.exact,
+        dc_policy=dc_policy,
+    )

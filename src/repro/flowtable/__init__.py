@@ -1,0 +1,40 @@
+"""Huffman flow tables: data model, KISS2 I/O, builder, validation, STG.
+
+This package implements Step 1 of the SEANCE pipeline (paper Figure 3,
+"flow table preparation"): behaviour is captured as a normal-mode Huffman
+flow table, arriving either from KISS2 benchmark text, from the
+programmatic :class:`FlowTableBuilder`, or derived from a signal
+transition graph.
+"""
+
+from .builder import FlowTableBuilder
+from .burst import BurstSpec, BurstTransition
+from .kiss import parse_kiss, write_kiss
+from .stg import Arc, Stg
+from .table import Entry, FlowTable, TableStats, Transition
+from .validation import (
+    check_normal_mode,
+    check_output_consistency,
+    check_stability,
+    check_strongly_connected,
+    validate,
+)
+
+__all__ = [
+    "Arc",
+    "BurstSpec",
+    "BurstTransition",
+    "Entry",
+    "FlowTable",
+    "FlowTableBuilder",
+    "Stg",
+    "TableStats",
+    "Transition",
+    "check_normal_mode",
+    "check_output_consistency",
+    "check_stability",
+    "check_strongly_connected",
+    "parse_kiss",
+    "validate",
+    "write_kiss",
+]

@@ -1,0 +1,259 @@
+"""Burst-mode specifications: the front end this paper's lineage led to.
+
+FANTOM's contribution — tolerating multiple-input changes — is the
+enabling property behind the *burst-mode* style of asynchronous
+controller specification that followed it (Nowick et al.; the
+MINIMALIST tool): each transition fires when an entire **input burst**
+(a set of signal edges, in any order, with any skew) has arrived, and
+produces an **output burst**.
+
+A burst-mode specification converts to exactly the flow-table shape
+SEANCE wants:
+
+* a state is *stable* at its entry vector **and at every partial burst**
+  — the machine holds still while a burst is mid-flight (which is why
+  the columns between entry and exit vectors are hold entries, not
+  don't-cares);
+* the full burst's column carries the unstable entry to the successor,
+  whose outputs apply.
+
+Classic well-formedness rules are enforced:
+
+* **maximal set property** — no outgoing burst of a state may be a
+  subset of another's (otherwise the machine could fire early on the
+  way to the larger burst);
+* **distinguishability** — two bursts from one state must not share
+  their full-burst column;
+* each state is entered at a single consistent input vector (checked by
+  propagation, as for STGs).
+
+The resulting tables are the richest source of multiple-input-change
+transitions in the library — every burst of two or more edges exercises
+the Figure-4 machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SpecificationError
+from .builder import FlowTableBuilder
+from .table import FlowTable
+
+
+@dataclass(frozen=True)
+class BurstTransition:
+    """One burst-mode arc: input burst in, output burst out."""
+
+    source: str
+    target: str
+    input_burst: frozenset[str]
+    outputs: tuple[int | None, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.input_burst:
+            raise SpecificationError(
+                f"transition {self.source}->{self.target} has an empty "
+                f"input burst"
+            )
+        for edge in self.input_burst:
+            if len(edge) < 2 or edge[-1] not in "+-":
+                raise SpecificationError(
+                    f"bad signal edge {edge!r} (expected e.g. 'req+')"
+                )
+        signals = [edge[:-1] for edge in self.input_burst]
+        if len(set(signals)) != len(signals):
+            raise SpecificationError(
+                f"burst {sorted(self.input_burst)} changes a signal twice"
+            )
+
+    @property
+    def signals(self) -> frozenset[str]:
+        return frozenset(edge[:-1] for edge in self.input_burst)
+
+
+class BurstSpec:
+    """A burst-mode machine under construction."""
+
+    def __init__(
+        self,
+        inputs: list[str] | tuple[str, ...],
+        outputs: list[str] | tuple[str, ...],
+        initial_state: str,
+        initial_inputs: dict[str, int],
+    ):
+        self.inputs = tuple(inputs)
+        self.outputs = tuple(outputs)
+        self.initial_state = initial_state
+        self.initial_inputs = dict(initial_inputs)
+        for name in self.inputs:
+            if name not in self.initial_inputs:
+                raise SpecificationError(
+                    f"initial input vector missing {name!r}"
+                )
+        self._state_outputs: dict[str, tuple[int | None, ...]] = {}
+        self._transitions: list[BurstTransition] = []
+        self.state(initial_state)
+
+    # ------------------------------------------------------------------
+    def state(
+        self, name: str, outputs: str | tuple[int | None, ...] = ""
+    ) -> "BurstSpec":
+        """Declare a state and the output vector it rests with."""
+        self._state_outputs[name] = self._parse_outputs(outputs)
+        return self
+
+    def burst(
+        self,
+        source: str,
+        target: str,
+        edges: list[str] | tuple[str, ...] | set[str],
+    ) -> "BurstSpec":
+        """Add a transition firing on the complete input burst."""
+        for state_name in (source, target):
+            if state_name not in self._state_outputs:
+                raise SpecificationError(
+                    f"burst references undeclared state {state_name!r}"
+                )
+        transition = BurstTransition(source, target, frozenset(edges))
+        unknown = transition.signals - set(self.inputs)
+        if unknown:
+            raise SpecificationError(
+                f"burst changes unknown inputs {sorted(unknown)}"
+            )
+        self._transitions.append(transition)
+        return self
+
+    @property
+    def transitions(self) -> tuple[BurstTransition, ...]:
+        return tuple(self._transitions)
+
+    @property
+    def states(self) -> tuple[str, ...]:
+        return tuple(self._state_outputs)
+
+    # ------------------------------------------------------------------
+    def entry_vectors(self) -> dict[str, dict[str, int]]:
+        """Input vector at which each state is entered (propagated)."""
+        vectors: dict[str, dict[str, int]] = {
+            self.initial_state: dict(self.initial_inputs)
+        }
+        frontier = [self.initial_state]
+        outgoing: dict[str, list[BurstTransition]] = {}
+        for transition in self._transitions:
+            outgoing.setdefault(transition.source, []).append(transition)
+        while frontier:
+            state_name = frontier.pop()
+            vector = vectors[state_name]
+            for transition in outgoing.get(state_name, []):
+                new_vector = dict(vector)
+                for edge in transition.input_burst:
+                    signal, polarity = edge[:-1], edge[-1]
+                    expected = 0 if polarity == "+" else 1
+                    if new_vector[signal] != expected:
+                        raise SpecificationError(
+                            f"edge {edge!r} of burst {transition.source}->"
+                            f"{transition.target} fires from "
+                            f"{signal}={new_vector[signal]}"
+                        )
+                    new_vector[signal] = 1 - expected
+                known = vectors.get(transition.target)
+                if known is None:
+                    vectors[transition.target] = new_vector
+                    frontier.append(transition.target)
+                elif known != new_vector:
+                    raise SpecificationError(
+                        f"state {transition.target!r} entered with "
+                        f"conflicting vectors {known} and {new_vector}"
+                    )
+        unreachable = set(self._state_outputs) - set(vectors)
+        if unreachable:
+            raise SpecificationError(
+                f"states never reached: {sorted(unreachable)}"
+            )
+        return vectors
+
+    def check_maximal_set_property(self) -> None:
+        """No outgoing burst may be a subset of a sibling burst."""
+        by_source: dict[str, list[BurstTransition]] = {}
+        for transition in self._transitions:
+            by_source.setdefault(transition.source, []).append(transition)
+        for source, group in by_source.items():
+            for i, a in enumerate(group):
+                for b in group[i + 1 :]:
+                    if (
+                        a.input_burst <= b.input_burst
+                        or b.input_burst <= a.input_burst
+                    ):
+                        raise SpecificationError(
+                            f"state {source!r} violates the maximal set "
+                            f"property: burst {sorted(a.input_burst)} vs "
+                            f"{sorted(b.input_burst)}"
+                        )
+
+    # ------------------------------------------------------------------
+    def to_flow_table(
+        self, name: str = "burst", check: bool = True
+    ) -> FlowTable:
+        """Convert to a normal-mode flow table.
+
+        For every state: a stable entry at its entry vector and at every
+        *proper* partial burst (the machine waits), plus the unstable
+        entry at each complete burst's column.
+        """
+        self.check_maximal_set_property()
+        vectors = self.entry_vectors()
+        builder = FlowTableBuilder(self.inputs, self.outputs)
+        for state_name in self._state_outputs:
+            builder.state(state_name)
+
+        for state_name, vector in vectors.items():
+            held = self._state_outputs[state_name]
+            builder.stable(state_name, vector, held)
+            for transition in self._transitions:
+                if transition.source != state_name:
+                    continue
+                edges = sorted(transition.input_burst)
+                # every proper subset of the burst: hold
+                for mask in range(1, 1 << len(edges)):
+                    if mask == (1 << len(edges)) - 1:
+                        continue
+                    partial = dict(vector)
+                    for j, edge in enumerate(edges):
+                        if mask >> j & 1:
+                            partial[edge[:-1]] = 1 - partial[edge[:-1]]
+                    builder.stable(state_name, partial, held)
+                # the complete burst: move
+                complete = dict(vector)
+                for edge in edges:
+                    complete[edge[:-1]] = 1 - complete[edge[:-1]]
+                builder.add(
+                    state_name,
+                    complete,
+                    transition.target,
+                    self._state_outputs[transition.target],
+                )
+        return builder.build(
+            reset=self.initial_state, name=name, check=check
+        )
+
+    # ------------------------------------------------------------------
+    def _parse_outputs(
+        self, outputs: str | tuple[int | None, ...]
+    ) -> tuple[int | None, ...]:
+        if isinstance(outputs, str):
+            if outputs == "":
+                return (None,) * len(self.outputs)
+            if len(outputs) != len(self.outputs):
+                raise SpecificationError(
+                    f"output pattern {outputs!r} is not "
+                    f"{len(self.outputs)} bits"
+                )
+            return tuple(None if ch == "-" else int(ch) for ch in outputs)
+        bits = tuple(outputs)
+        if len(bits) != len(self.outputs):
+            raise SpecificationError(
+                f"{len(bits)} output bits supplied, expected "
+                f"{len(self.outputs)}"
+            )
+        return bits

@@ -1,0 +1,269 @@
+"""A small signal-transition-graph (STG) front end.
+
+Paper Section 5.1 notes that flow tables "can be easily derived from
+signal transition graphs", and Section 7 contrasts FANTOM with STG-based
+synthesis flows (Chu; Meng/Brodersen/Messerschmitt): those flows avoid
+multiple-input-change hazards by *expanding the input space* — splitting a
+multi-bit input change into a chain of single-bit arcs — whereas FANTOM
+expands the *state space* with one variable (`fsv`).
+
+The class here supports both sides of that comparison:
+
+* :meth:`Stg.to_flow_table` — derive a normal-mode flow table, keeping
+  multi-bit arcs intact (the FANTOM-friendly route);
+* :meth:`Stg.expand_single_bit` — rewrite every multi-bit arc into a chain
+  of single-bit arcs through fresh phases (the route the Section 7
+  comparison costs out in :mod:`repro.baselines.stg_expansion`).
+
+The model is deliberately the "state graph" reading of an STG: nodes are
+*phases* with a resting output vector, arcs are labelled with sets of
+input-signal edges such as ``{"x1+", "x2-"}``.  This covers the
+deterministic benchmark specifications the paper deals with; free-choice
+Petri-net semantics are out of scope.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+from ..errors import SpecificationError
+from .builder import FlowTableBuilder
+from .table import FlowTable
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A phase-to-phase arc labelled with input-signal edges.
+
+    ``changes`` holds edges like ``x1+`` (rise) / ``x2-`` (fall); all of
+    them fire together, so an arc with two changes is a multiple-input
+    change.
+    """
+
+    source: str
+    target: str
+    changes: frozenset[str]
+
+    def __post_init__(self) -> None:
+        if not self.changes:
+            raise SpecificationError(
+                f"arc {self.source}->{self.target} has no signal edges"
+            )
+        for change in self.changes:
+            if len(change) < 2 or change[-1] not in "+-":
+                raise SpecificationError(
+                    f"bad signal edge {change!r} (expected e.g. 'x1+')"
+                )
+        signals = [change[:-1] for change in self.changes]
+        if len(set(signals)) != len(signals):
+            raise SpecificationError(
+                f"arc {self.source}->{self.target} changes a signal twice"
+            )
+
+    @property
+    def signals(self) -> frozenset[str]:
+        return frozenset(change[:-1] for change in self.changes)
+
+    @property
+    def is_multi_bit(self) -> bool:
+        return len(self.changes) > 1
+
+
+class Stg:
+    """A deterministic signal transition graph over named phases."""
+
+    def __init__(
+        self,
+        inputs: Iterable[str],
+        outputs: Iterable[str],
+        initial_phase: str,
+        initial_inputs: Mapping[str, int],
+    ):
+        self.inputs = tuple(inputs)
+        self.outputs = tuple(outputs)
+        self.initial_phase = initial_phase
+        self.initial_inputs = dict(initial_inputs)
+        for name in self.inputs:
+            if name not in self.initial_inputs:
+                raise SpecificationError(
+                    f"initial input vector missing {name!r}"
+                )
+        self._arcs: list[Arc] = []
+        self._phase_outputs: dict[str, tuple[int | None, ...]] = {}
+        self.phase(initial_phase)
+
+    # ------------------------------------------------------------------
+    def phase(
+        self, name: str, outputs: str | Iterable[int | None] = ""
+    ) -> "Stg":
+        """Declare a phase and its resting output vector."""
+        self._phase_outputs[name] = self._parse_outputs(outputs)
+        return self
+
+    def arc(
+        self, source: str, target: str, changes: Iterable[str]
+    ) -> "Stg":
+        """Add an arc; ``changes`` are edges such as ``["x1+", "x2-"]``."""
+        for phase_name in (source, target):
+            if phase_name not in self._phase_outputs:
+                raise SpecificationError(
+                    f"arc references undeclared phase {phase_name!r}"
+                )
+        new_arc = Arc(source, target, frozenset(changes))
+        for signal in new_arc.signals:
+            if signal not in self.inputs:
+                raise SpecificationError(
+                    f"arc changes unknown input {signal!r}"
+                )
+        self._arcs.append(new_arc)
+        return self
+
+    @property
+    def arcs(self) -> tuple[Arc, ...]:
+        return tuple(self._arcs)
+
+    @property
+    def phases(self) -> tuple[str, ...]:
+        return tuple(self._phase_outputs)
+
+    # ------------------------------------------------------------------
+    def phase_vectors(self) -> dict[str, dict[str, int]]:
+        """Input vector at which each phase rests.
+
+        Computed by propagating the initial vector along arcs; raises when
+        two paths reach a phase with different vectors (the specification
+        is then not a function of phase, so no flow table exists).
+        """
+        vectors: dict[str, dict[str, int]] = {
+            self.initial_phase: dict(self.initial_inputs)
+        }
+        frontier = [self.initial_phase]
+        outgoing: dict[str, list[Arc]] = {}
+        for arc in self._arcs:
+            outgoing.setdefault(arc.source, []).append(arc)
+        while frontier:
+            phase_name = frontier.pop()
+            vector = vectors[phase_name]
+            for arc in outgoing.get(phase_name, []):
+                new_vector = dict(vector)
+                for change in arc.changes:
+                    signal, polarity = change[:-1], change[-1]
+                    expected = 0 if polarity == "+" else 1
+                    if new_vector[signal] != expected:
+                        raise SpecificationError(
+                            f"edge {change!r} on arc {arc.source}->"
+                            f"{arc.target} fires from {signal}="
+                            f"{new_vector[signal]}"
+                        )
+                    new_vector[signal] = 1 - expected
+                known = vectors.get(arc.target)
+                if known is None:
+                    vectors[arc.target] = new_vector
+                    frontier.append(arc.target)
+                elif known != new_vector:
+                    raise SpecificationError(
+                        f"phase {arc.target!r} reached with conflicting "
+                        f"input vectors {known} and {new_vector}"
+                    )
+        unreachable = set(self._phase_outputs) - set(vectors)
+        if unreachable:
+            raise SpecificationError(
+                f"phases never reached from the initial phase: "
+                f"{sorted(unreachable)}"
+            )
+        return vectors
+
+    def to_flow_table(self, name: str = "stg", check: bool = True) -> FlowTable:
+        """Derive the normal-mode flow table of the graph.
+
+        Each phase becomes a state, stable at its resting vector with its
+        declared outputs; each arc contributes the unstable entry
+        ``(source, vector-after-changes) -> target``.
+        """
+        vectors = self.phase_vectors()
+        builder = FlowTableBuilder(self.inputs, self.outputs)
+        for phase_name in self._phase_outputs:
+            builder.state(phase_name)
+        for phase_name, vector in vectors.items():
+            builder.stable(
+                phase_name, vector, self._phase_outputs[phase_name]
+            )
+        for arc in self._arcs:
+            target_vector = vectors[arc.target]
+            builder.add(
+                arc.source,
+                target_vector,
+                arc.target,
+                self._phase_outputs[arc.target],
+            )
+        return builder.build(reset=self.initial_phase, name=name, check=check)
+
+    def expand_single_bit(
+        self, orders: Mapping[tuple[str, str], list[str]] | None = None
+    ) -> "Stg":
+        """Rewrite multi-bit arcs into chains of single-bit arcs.
+
+        This is the input-space expansion the STG literature uses to stay
+        within single-input-change operation (paper Section 7: "the input
+        space has been expanded to move in single-bit steps").  Each
+        multi-bit arc gains ``len(changes) - 1`` fresh intermediate phases;
+        intermediate phases inherit the *source* phase's outputs (outputs
+        must not change until the full input change lands).
+
+        ``orders`` optionally fixes the firing order of the edges of a
+        given (source, target) arc; the default is sorted order.
+        """
+        expanded = Stg(
+            self.inputs, self.outputs, self.initial_phase, self.initial_inputs
+        )
+        for phase_name, outputs in self._phase_outputs.items():
+            expanded.phase(phase_name, outputs)
+        counter = 0
+        for arc in self._arcs:
+            if not arc.is_multi_bit:
+                expanded.arc(arc.source, arc.target, arc.changes)
+                continue
+            order_key = (arc.source, arc.target)
+            sequence = (
+                list(orders[order_key])
+                if orders is not None and order_key in orders
+                else sorted(arc.changes)
+            )
+            if frozenset(sequence) != arc.changes:
+                raise SpecificationError(
+                    f"order for arc {order_key} does not match its edges"
+                )
+            previous = arc.source
+            for i, change in enumerate(sequence):
+                last = i == len(sequence) - 1
+                if last:
+                    expanded.arc(previous, arc.target, [change])
+                else:
+                    fresh = f"_{arc.source}_{arc.target}_{counter}"
+                    counter += 1
+                    expanded.phase(fresh, self._phase_outputs[arc.source])
+                    expanded.arc(previous, fresh, [change])
+                    previous = fresh
+        return expanded
+
+    # ------------------------------------------------------------------
+    def _parse_outputs(
+        self, outputs: str | Iterable[int | None]
+    ) -> tuple[int | None, ...]:
+        if isinstance(outputs, str):
+            if outputs == "":
+                return (None,) * len(self.outputs)
+            if len(outputs) != len(self.outputs):
+                raise SpecificationError(
+                    f"output pattern {outputs!r} is not "
+                    f"{len(self.outputs)} bits"
+                )
+            return tuple(None if ch == "-" else int(ch) for ch in outputs)
+        bits = tuple(outputs)
+        if len(bits) != len(self.outputs):
+            raise SpecificationError(
+                f"{len(bits)} output bits supplied, expected "
+                f"{len(self.outputs)}"
+            )
+        return bits

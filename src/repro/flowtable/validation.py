@@ -1,0 +1,129 @@
+"""Structural validation of flow tables against the paper's requirements.
+
+SEANCE's front end (paper Section 5.1) assumes its input table is
+
+* **normal mode** — "only one unstable transition is entered in going from
+  one stable state to another": every specified unstable entry leads to a
+  state that is stable in the same column;
+* **strongly connected** — "every stable state can be reached from every
+  other stable state" (a semimodularity requirement from Section 3);
+* **deterministic** — at most one entry per (state, column), which the
+  data structure already guarantees;
+* each state should actually be restable — have at least one stable
+  column — or it can never be observed and its row is dead weight.
+
+`validate` raises :class:`~repro.errors.FlowTableError` listing *all*
+violations; `check_*` helpers return the violation lists for callers that
+prefer to inspect.
+"""
+
+from __future__ import annotations
+
+from ..errors import FlowTableError
+from .table import FlowTable
+
+
+def check_normal_mode(table: FlowTable) -> list[str]:
+    """Violations of the normal-mode requirement."""
+    problems = []
+    for state, column, entry in table.specified_entries():
+        dest = entry.next_state
+        if dest == state:
+            continue
+        assert dest is not None
+        dest_next = table.next_state(dest, column)
+        if dest_next != dest:
+            problems.append(
+                f"entry ({state}, {table.column_string(column)}) -> {dest}, "
+                f"but {dest} is not stable in that column "
+                f"(its entry is {dest_next!r})"
+            )
+    return problems
+
+
+def check_strongly_connected(table: FlowTable) -> list[str]:
+    """Violations of strong connectivity over the stable-state graph.
+
+    The relevant graph has an edge ``s -> t`` whenever some specified entry
+    of row ``s`` names ``t``.  Strong connectivity of the stable states
+    means every state is reachable from every other by a chain of input
+    changes.
+    """
+    adjacency: dict[str, set[str]] = {s: set() for s in table.states}
+    for state, _, entry in table.specified_entries():
+        assert entry.next_state is not None
+        if entry.next_state != state:
+            adjacency[state].add(entry.next_state)
+
+    def reachable(start: str) -> set[str]:
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for nxt in adjacency[node]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+    problems = []
+    all_states = set(table.states)
+    for state in table.states:
+        missing = all_states - reachable(state)
+        if missing:
+            problems.append(
+                f"states {sorted(missing)} unreachable from {state}"
+            )
+    return problems
+
+
+def check_stability(table: FlowTable) -> list[str]:
+    """States with no stable column (they can never be rested in)."""
+    return [
+        f"state {state} has no stable column"
+        for state in table.states
+        if not table.stable_columns(state)
+    ]
+
+
+def check_output_consistency(table: FlowTable) -> list[str]:
+    """Stable entries whose outputs are entirely unspecified.
+
+    This is a lint rather than a hard requirement — the synthesiser treats
+    the bits as don't-cares — but a machine whose resting outputs are
+    unspecified is usually a specification mistake, so the full validation
+    reports it.
+    """
+    problems = []
+    for state, column in table.stable_points():
+        outputs = table.output_vector(state, column)
+        if outputs and all(bit is None for bit in outputs):
+            problems.append(
+                f"stable point ({state}, {table.column_string(column)}) "
+                f"has fully unspecified outputs"
+            )
+    return problems
+
+
+def validate(
+    table: FlowTable,
+    require_normal_mode: bool = True,
+    require_strongly_connected: bool = True,
+    require_stability: bool = True,
+    require_outputs: bool = False,
+) -> None:
+    """Raise :class:`FlowTableError` listing every enabled violation."""
+    problems: list[str] = []
+    if require_normal_mode:
+        problems.extend(check_normal_mode(table))
+    if require_strongly_connected:
+        problems.extend(check_strongly_connected(table))
+    if require_stability:
+        problems.extend(check_stability(table))
+    if require_outputs:
+        problems.extend(check_output_consistency(table))
+    if problems:
+        detail = "\n  ".join(problems)
+        raise FlowTableError(
+            f"flow table {table.name!r} failed validation:\n  {detail}"
+        )

@@ -1,0 +1,47 @@
+"""Hazard theory: function, logic, essential hazards and races.
+
+Reference predicates for every hazard class the paper enumerates in
+Section 2; used by the synthesis pipeline, the test suite, and the
+ablation benchmarks.
+"""
+
+from .essential import EssentialHazard, essential_hazards, has_essential_hazards
+from .function_hazards import (
+    changing_bits,
+    function_hazard_transitions,
+    has_dynamic_function_hazard,
+    has_function_hazard,
+    has_static_function_hazard,
+    max_value_changes,
+    transition_vertices,
+)
+from .logic_hazards import (
+    StaticHazard,
+    cover_hazard_report,
+    is_sic_hazard_free,
+    mic_static_one_hazard,
+    static_one_hazards,
+)
+from .races import Race, critical_races, find_races, is_critical_race_free
+
+__all__ = [
+    "EssentialHazard",
+    "Race",
+    "StaticHazard",
+    "changing_bits",
+    "cover_hazard_report",
+    "critical_races",
+    "essential_hazards",
+    "find_races",
+    "function_hazard_transitions",
+    "has_dynamic_function_hazard",
+    "has_essential_hazards",
+    "has_function_hazard",
+    "has_static_function_hazard",
+    "is_critical_race_free",
+    "is_sic_hazard_free",
+    "max_value_changes",
+    "mic_static_one_hazard",
+    "static_one_hazards",
+    "transition_vertices",
+]

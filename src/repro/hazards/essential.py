@@ -1,0 +1,85 @@
+"""Essential hazards of flow tables (Unger's d-trio test).
+
+An *essential* hazard (paper Section 2.2) is inherent to the sequential
+behaviour: it exists at a stable state ``s`` for input variable ``x``
+when one change of ``x`` and three successive changes of ``x`` leave the
+machine in different states.  If a gate sees the input change after a
+state variable has already responded, the circuit can take the
+three-change path even though only one change occurred.
+
+FANTOM neutralises essential hazards with the loop-delay assumption (the
+inputs reach every gate before any state variable changes) plus
+hazard-factored first-level logic; detecting them is still useful for
+reporting and for validating that the benchmark machines genuinely
+contain the hazards the architecture claims to survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..flowtable.table import FlowTable
+
+
+@dataclass(frozen=True)
+class EssentialHazard:
+    """A d-trio: stable state, starting column, and the toggled input."""
+
+    state: str
+    column: int
+    input_index: int
+
+    def describe(self, table: FlowTable) -> str:
+        return (
+            f"essential hazard at ({self.state}, "
+            f"{table.column_string(self.column)}) on input "
+            f"{table.inputs[self.input_index]}"
+        )
+
+
+def _settle(table: FlowTable, state: str, column: int) -> str | None:
+    """Stable state reached from ``state`` under ``column`` (normal mode:
+    at most one hop; tolerate chains for robustness, bail on cycles)."""
+    seen = {state}
+    current = state
+    while True:
+        nxt = table.next_state(current, column)
+        if nxt is None:
+            return None
+        if nxt == current:
+            return current
+        if nxt in seen:
+            return None  # oscillation: not a settling column
+        seen.add(nxt)
+        current = nxt
+
+
+def essential_hazards(table: FlowTable) -> list[EssentialHazard]:
+    """All essential hazards of the table, one per (state, column, input).
+
+    For each stable point ``(s, c)`` and input bit ``i``: let ``s1`` be
+    the stable state after toggling ``i`` once, ``s2`` after toggling it
+    back, ``s3`` after toggling a third time.  The trio is an essential
+    hazard iff every step is specified and ``s3 != s1``.
+    """
+    hazards = []
+    for state, column in table.stable_points():
+        for i in range(table.num_inputs):
+            toggled = column ^ (1 << i)
+            s1 = _settle(table, state, toggled)
+            if s1 is None:
+                continue
+            s2 = _settle(table, s1, column)
+            if s2 is None:
+                continue
+            s3 = _settle(table, s2, toggled)
+            if s3 is None:
+                continue
+            if s3 != s1:
+                hazards.append(EssentialHazard(state, column, i))
+    return hazards
+
+
+def has_essential_hazards(table: FlowTable) -> bool:
+    """True when the table contains at least one essential hazard."""
+    return bool(essential_hazards(table))

@@ -1,0 +1,115 @@
+"""Function hazards of Boolean functions under input transitions.
+
+Paper Section 2.1 distinguishes *logic* hazards (an artifact of the chosen
+cover, removable by adding gates) from *function* hazards, which are
+"inherent in the flow-table representation, and cannot be eliminated using
+circuit additions".  A function hazard belongs to the function itself:
+
+* **static function hazard** for a transition ``a -> b`` with
+  ``f(a) == f(b)``: some vertex strictly inside the transition subcube
+  takes the opposite value, so some ordering of the input bit changes
+  makes any correct implementation glitch;
+* **dynamic function hazard** for ``f(a) != f(b)``: some ordering of the
+  bit changes makes the value change more than once.
+
+Both are decided here by enumerating monotone paths through the
+transition subcube (bit counts are tiny in flow-table work).  Don't-care
+vertices are treated as benign — the synthesiser may pin them to the
+hazard-free value, which is exactly what SEANCE does with intermediate
+don't-cares.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from ..logic.function import BooleanFunction
+
+
+def changing_bits(a: int, b: int) -> list[int]:
+    """Indices of the variables that differ between two minterms."""
+    diff = a ^ b
+    return [i for i in range(diff.bit_length()) if diff >> i & 1]
+
+
+def transition_vertices(a: int, b: int) -> list[int]:
+    """Every vertex of the transition subcube spanned by ``a`` and ``b``."""
+    bits = changing_bits(a, b)
+    vertices = []
+    for combo in range(1 << len(bits)):
+        vertex = a
+        for j, bit in enumerate(bits):
+            if combo >> j & 1:
+                vertex ^= 1 << bit
+        vertices.append(vertex)
+    return vertices
+
+
+def max_value_changes(f: BooleanFunction, a: int, b: int) -> int:
+    """Worst-case number of output changes over all bit-change orderings.
+
+    Each ordering of the changing bits is a monotone path ``a -> b``; the
+    path's change count treats don't-care vertices as holding the previous
+    value (the most favourable resolution — a don't-care can always be
+    pinned that way).
+    """
+    bits = changing_bits(a, b)
+    worst = 0
+    for order in permutations(bits):
+        changes = 0
+        previous = f.value(a)
+        vertex = a
+        for bit in order:
+            vertex ^= 1 << bit
+            value = f.value(vertex)
+            if value is None or previous is None:
+                # benign: resolve the dc to the running value
+                value = previous if value is None else value
+            elif value != previous:
+                changes += 1
+            previous = value if value is not None else previous
+        worst = max(worst, changes)
+    return worst
+
+
+def has_static_function_hazard(
+    f: BooleanFunction, a: int, b: int
+) -> bool:
+    """True when ``f(a) == f(b)`` but some ordering glitches the output."""
+    va, vb = f.value(a), f.value(b)
+    if va is None or vb is None or va != vb:
+        return False
+    return max_value_changes(f, a, b) > 0
+
+
+def has_dynamic_function_hazard(
+    f: BooleanFunction, a: int, b: int
+) -> bool:
+    """True when ``f(a) != f(b)`` and some ordering changes output twice+."""
+    va, vb = f.value(a), f.value(b)
+    if va is None or vb is None or va == vb:
+        return False
+    return max_value_changes(f, a, b) > 1
+
+
+def has_function_hazard(f: BooleanFunction, a: int, b: int) -> bool:
+    """Static or dynamic function hazard for the transition ``a -> b``."""
+    return has_static_function_hazard(f, a, b) or has_dynamic_function_hazard(
+        f, a, b
+    )
+
+
+def function_hazard_transitions(
+    f: BooleanFunction, min_distance: int = 2
+) -> list[tuple[int, int]]:
+    """All care-to-care transitions of Hamming distance >= ``min_distance``
+    exhibiting a function hazard.  Pairs are reported once, ``a < b``."""
+    hazards = []
+    care = sorted(f.on | f.off)
+    for i, a in enumerate(care):
+        for b in care[i + 1 :]:
+            if (a ^ b).bit_count() < min_distance:
+                continue
+            if has_function_hazard(f, a, b):
+                hazards.append((a, b))
+    return hazards

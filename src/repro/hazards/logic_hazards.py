@@ -1,0 +1,111 @@
+"""Logic (cover-induced) hazards of two-level AND-OR implementations.
+
+A *logic* hazard is a glitch an implementation may produce even though the
+function itself is hazard-free for the transition.  For a sum-of-products
+cover:
+
+* a **static-1 hazard** for a single-bit change between two covered
+  minterms exists iff no single product term covers both (the OR gate's
+  holding term is missing) — the hazard the paper removes from ``fsv``
+  by keeping *all* prime implicants;
+* **static-0 hazards** cannot occur in AND-OR covers that never cover an
+  off-set minterm and contain no term with complementary literals (both
+  enforced by construction here);
+* for a **multiple-input change** whose whole transition subcube lies in
+  the on-set, the implementation is glitch-free iff one term covers the
+  entire subcube (Eichelberger's condition).
+
+These predicates power both the unit tests and the ablation benchmarks
+that contrast essential-SOP covers (Z, SSD — allowed to glitch) with
+all-primes covers (fsv — required not to).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..logic.cube import Cube
+from ..logic.function import BooleanFunction
+from .function_hazards import transition_vertices
+
+
+@dataclass(frozen=True)
+class StaticHazard:
+    """A static-1 hazard: adjacent covered minterms with no shared term."""
+
+    minterm_a: int
+    minterm_b: int
+    variable: int
+
+
+def static_one_hazards(
+    cubes: Sequence[Cube], width: int
+) -> list[StaticHazard]:
+    """All single-bit static-1 hazards of a cover.
+
+    Reported once per unordered pair (``minterm_a < minterm_b``).
+    """
+    covered = sorted({m for cube in cubes for m in cube.minterms()})
+    covered_set = set(covered)
+    hazards = []
+    for m in covered:
+        for bit in range(width):
+            other = m ^ (1 << bit)
+            if other <= m or other not in covered_set:
+                continue
+            if not any(c.contains(m) and c.contains(other) for c in cubes):
+                hazards.append(StaticHazard(m, other, bit))
+    return hazards
+
+
+def is_sic_hazard_free(cubes: Sequence[Cube], width: int) -> bool:
+    """True when the cover has no single-input-change logic hazard.
+
+    For two-level AND-OR networks, freedom from static-1 hazards implies
+    freedom from all single-input-change hazards (static-0 hazards need a
+    term with complementary literals, which :class:`Cube` cannot express;
+    dynamic hazards in AND-OR need three changes of a gate output, which a
+    single input change cannot produce through two levels).
+    """
+    return not static_one_hazards(cubes, width)
+
+
+def mic_static_one_hazard(
+    cubes: Sequence[Cube], a: int, b: int
+) -> bool:
+    """Static-1 hazard check for a multiple-input change ``a -> b``.
+
+    Assumes every vertex of the transition subcube is covered (a "1-1"
+    transition); the implementation is glitch-free for every bit ordering
+    iff some single term covers the whole subcube.
+    """
+    if not cubes:
+        return True
+    width = cubes[0].width
+    span = Cube.from_minterm(a, width).supercube(Cube.from_minterm(b, width))
+    vertices = transition_vertices(a, b)
+    if not all(
+        any(c.contains(v) for c in cubes) for v in vertices
+    ):
+        raise ValueError(
+            "mic_static_one_hazard expects a fully covered transition cube"
+        )
+    return not any(cube.contains_cube(span) for cube in cubes)
+
+
+def cover_hazard_report(
+    function: BooleanFunction, cubes: Sequence[Cube]
+) -> dict[str, int]:
+    """Summary counts used by the cover-ablation benchmark.
+
+    Returns the number of terms, literals, and single-input-change
+    static-1 hazards of the cover.
+    """
+    return {
+        "terms": len(cubes),
+        "literals": sum(c.num_literals for c in cubes),
+        "static_one_hazards": len(
+            static_one_hazards(list(cubes), function.width)
+        ),
+    }

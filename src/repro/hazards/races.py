@@ -1,0 +1,94 @@
+"""Race analysis of encoded flow tables.
+
+When a state transition changes several state variables, their physical
+order of change is arbitrary — a *race*.  The race is **critical** when
+some intermediate code is the code of another state whose entry in the
+current column leads somewhere else: the machine's destination then
+depends on the order (paper Section 2.2, steady-state hazards).
+
+A valid USTT assignment has no critical races (its transition subcubes
+are pairwise disjoint per column); :func:`find_races` verifies that from
+first principles and also reports benign exposures for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..assign.encoding import StateEncoding
+from ..flowtable.table import FlowTable
+
+
+@dataclass(frozen=True)
+class Race:
+    """One intermediate-code exposure during an encoded transition."""
+
+    state: str
+    dest: str
+    column: int
+    intermediate_code: int
+    intermediate_state: str | None
+    critical: bool
+
+
+def find_races(
+    table: FlowTable, encoding: StateEncoding
+) -> list[Race]:
+    """All races of every specified transition, critical ones flagged.
+
+    For transition ``s -> t`` in column ``c`` with code distance >= 2,
+    every strict intermediate code is examined:
+
+    * it decodes to a state ``u`` whose entry at ``c`` settles somewhere
+      other than ``t`` -> **critical** race;
+    * it decodes to a state settling at ``t`` (or to ``t`` itself), or to
+      no state at all -> benign exposure (reported, not critical).
+    """
+    races: list[Race] = []
+    for state in table.states:
+        for column in table.columns:
+            dest = table.next_state(state, column)
+            if dest is None or dest == state:
+                continue
+            code_s = encoding.code(state)
+            code_t = encoding.code(dest)
+            diff = code_s ^ code_t
+            bits = [i for i in range(diff.bit_length()) if diff >> i & 1]
+            if len(bits) < 2:
+                continue
+            for combo in range(1, (1 << len(bits)) - 1):
+                code_m = code_s
+                for j, bit in enumerate(bits):
+                    if combo >> j & 1:
+                        code_m ^= 1 << bit
+                hit = encoding.state_of(code_m)
+                critical = False
+                if hit is not None and hit not in (state, dest):
+                    settled = table.next_state(hit, column)
+                    # normal mode: one hop settles; anything other than
+                    # continuing toward `dest` is order-dependent.
+                    critical = settled != dest
+                races.append(
+                    Race(
+                        state=state,
+                        dest=dest,
+                        column=column,
+                        intermediate_code=code_m,
+                        intermediate_state=hit,
+                        critical=critical,
+                    )
+                )
+    return races
+
+
+def critical_races(
+    table: FlowTable, encoding: StateEncoding
+) -> list[Race]:
+    """Just the critical races (empty for a valid USTT assignment)."""
+    return [race for race in find_races(table, encoding) if race.critical]
+
+
+def is_critical_race_free(
+    table: FlowTable, encoding: StateEncoding
+) -> bool:
+    return not critical_races(table, encoding)

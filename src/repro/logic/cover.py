@@ -1,0 +1,261 @@
+"""Minimum-cover selection over prime implicants.
+
+SEANCE reduces ``Z``, ``SSD`` and the next-state equations to an
+*essential* sum-of-products (paper Section 5.2): essential primes first,
+then a minimum completion of the cover.  This module implements that
+selection exactly for the paper-scale problems (branch-and-bound over the
+cyclic core) with a greedy fallback for large instances.
+
+Cost model: primary objective is the number of product terms, secondary is
+the total literal count — the classic two-level cost used by
+Quine-McCluskey treatments (Mano; Kohavi), which is also what the paper's
+"depth" metric ultimately depends on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from ..errors import CoveringError
+from .cube import Cube, remove_contained
+from .function import BooleanFunction
+from .quine_mccluskey import primes_of, useful_primes
+
+#: Above this many undecided primes the exact branch-and-bound hands over
+#: to the greedy heuristic.  The paper's machines stay far below it.
+EXACT_SEARCH_LIMIT = 26
+
+
+@dataclass(frozen=True)
+class CoverResult:
+    """Outcome of a covering run.
+
+    Attributes
+    ----------
+    cubes:
+        The selected cover, sorted for determinism.
+    essential:
+        The subset of ``cubes`` that was essential (sole cover of some
+        on-set minterm among the candidate primes).
+    exact:
+        True when the selection is provably minimum (essential extraction
+        plus exhaustive branch-and-bound); False when the greedy fallback
+        decided any part of the cyclic core.
+    """
+
+    cubes: tuple[Cube, ...]
+    essential: tuple[Cube, ...]
+    exact: bool
+
+    @property
+    def num_terms(self) -> int:
+        return len(self.cubes)
+
+    @property
+    def num_literals(self) -> int:
+        return sum(cube.num_literals for cube in self.cubes)
+
+
+def essential_primes(
+    primes: Sequence[Cube], on: Iterable[int]
+) -> list[Cube]:
+    """Primes that are the unique cover of at least one on-set minterm."""
+    on = set(on)
+    essential: list[Cube] = []
+    for minterm in sorted(on):
+        covering = [p for p in primes if p.contains(minterm)]
+        if len(covering) == 1 and covering[0] not in essential:
+            essential.append(covering[0])
+    return essential
+
+
+def minimal_cover(
+    function: BooleanFunction,
+    primes: Sequence[Cube] | None = None,
+    exact: bool | None = None,
+) -> CoverResult:
+    """Select a minimum (or near-minimum) prime cover of ``function``.
+
+    Parameters
+    ----------
+    function:
+        The incompletely specified target function.
+    primes:
+        Candidate implicants; defaults to all primes of ``function``.
+        Every candidate must be an implicant of the function.
+    exact:
+        Force (True) or forbid (False) the exact branch-and-bound.  The
+        default picks exact when the cyclic core is small enough.
+
+    Raises
+    ------
+    CoveringError
+        When the candidates cannot cover the on-set (only possible with an
+        explicit, insufficient ``primes`` argument).
+    """
+    if primes is None:
+        primes = useful_primes(primes_of(function), function.on)
+    primes = list(primes)
+    for prime in primes:
+        if not function.is_implicant(prime):
+            raise CoveringError(
+                f"candidate {prime} intersects the off-set of the function"
+            )
+
+    remaining = set(function.on)
+    if not remaining:
+        return CoverResult((), (), True)
+
+    chosen: list[Cube] = []
+    essential: list[Cube] = []
+    # Iterated essential extraction: picking an essential prime can make
+    # further primes essential for the still-uncovered minterms.
+    while True:
+        new_essentials = [
+            p
+            for p in essential_primes(primes, remaining)
+            if p not in chosen
+        ]
+        if not new_essentials:
+            break
+        for prime in new_essentials:
+            chosen.append(prime)
+            if prime not in essential:
+                essential.append(prime)
+            remaining -= set(prime.minterms())
+        if not remaining:
+            break
+
+    if remaining:
+        candidates = [
+            p
+            for p in primes
+            if p not in chosen and any(m in remaining for m in p.minterms())
+        ]
+        if not any_cover_possible(candidates, remaining):
+            raise CoveringError(
+                f"{len(remaining)} on-set minterms cannot be covered by the "
+                f"supplied candidate implicants"
+            )
+        use_exact = (
+            exact
+            if exact is not None
+            else len(candidates) <= EXACT_SEARCH_LIMIT
+        )
+        if use_exact:
+            extra = _branch_and_bound(candidates, frozenset(remaining))
+            exact_flag = True
+        else:
+            extra = _greedy(candidates, set(remaining))
+            exact_flag = False
+        chosen.extend(extra)
+    else:
+        exact_flag = True
+
+    chosen = remove_contained(chosen)
+    return CoverResult(
+        tuple(sorted(chosen)), tuple(sorted(essential)), exact_flag
+    )
+
+
+def any_cover_possible(candidates: Sequence[Cube], minterms: set[int]) -> bool:
+    """True when the union of the candidates contains every minterm."""
+    union: set[int] = set()
+    for cube in candidates:
+        union.update(m for m in cube.minterms() if m in minterms)
+    return minterms <= union
+
+
+def _greedy(candidates: Sequence[Cube], remaining: set[int]) -> list[Cube]:
+    """Greedy set cover: repeatedly take the cube covering the most."""
+    chosen: list[Cube] = []
+    coverage = {
+        cube: {m for m in cube.minterms() if m in remaining}
+        for cube in candidates
+    }
+    while remaining:
+        best = max(
+            candidates,
+            key=lambda c: (
+                len(coverage[c] & remaining),
+                -c.num_literals,
+            ),
+        )
+        gain = coverage[best] & remaining
+        if not gain:
+            raise CoveringError("greedy cover stalled (internal error)")
+        chosen.append(best)
+        remaining -= gain
+    return chosen
+
+
+def _branch_and_bound(
+    candidates: Sequence[Cube], remaining: frozenset[int]
+) -> list[Cube]:
+    """Exact minimum completion of the cover (terms, then literals).
+
+    Plain depth-first branch-and-bound on the uncovered minterm with the
+    fewest covering candidates (most-constrained-first), bounded by the
+    best solution found so far.  The candidate lists at this point are the
+    cyclic core of a QM table, which is tiny for the paper's machines.
+    """
+    candidate_list = list(candidates)
+    cover_map = {
+        cube: frozenset(m for m in cube.minterms() if m in remaining)
+        for cube in candidate_list
+    }
+    # Seed the bound with the greedy solution so pruning starts effective.
+    greedy_choice = _greedy(candidate_list, set(remaining))
+    best: list[Cube] = list(greedy_choice)
+    best_cost = _cost(best)
+
+    def search(uncovered: frozenset[int], chosen: list[Cube]) -> None:
+        nonlocal best, best_cost
+        if not uncovered:
+            cost = _cost(chosen)
+            if cost < best_cost:
+                best = list(chosen)
+                best_cost = cost
+            return
+        if len(chosen) + 1 > best_cost[0]:
+            # Even one more term cannot beat the incumbent.
+            if len(chosen) + 1 == best_cost[0] + 1:
+                return
+            return
+        # Most-constrained uncovered minterm.
+        target = min(
+            uncovered,
+            key=lambda m: sum(1 for c in candidate_list if m in cover_map[c]),
+        )
+        options = [c for c in candidate_list if target in cover_map[c]]
+        # Try larger cubes first: covers more, fewer literals.
+        options.sort(key=lambda c: (len(cover_map[c] & uncovered), ), reverse=True)
+        for option in options:
+            if option in chosen:
+                continue
+            chosen.append(option)
+            if _cost_lower_bound(chosen) <= best_cost:
+                search(uncovered - cover_map[option], chosen)
+            chosen.pop()
+
+    search(remaining, [])
+    return best
+
+
+def _cost(cubes: Sequence[Cube]) -> tuple[int, int]:
+    return (len(cubes), sum(c.num_literals for c in cubes))
+
+
+def _cost_lower_bound(cubes: Sequence[Cube]) -> tuple[int, int]:
+    return _cost(cubes)
+
+
+def essential_sop(function: BooleanFunction) -> CoverResult:
+    """The paper's "essential SOP expression": minimum prime cover.
+
+    Convenience wrapper used for the ``Z`` and ``SSD`` equations, where
+    self-synchronisation makes a hazard-free (all-primes) cover
+    unnecessary (paper Section 5.2).
+    """
+    return minimal_cover(function)

@@ -1,0 +1,87 @@
+"""Depth and cost metrics for synthesised equations.
+
+Paper Table 1 reports, per benchmark machine:
+
+* **fsv depth** — logic levels of the fantom-state-variable equation,
+* **Y depth** — logic levels of the longest next-state equation
+  (the table's "X Depth" column; the running text calls the signals
+  ``Y``),
+* **total depth** — "the levels of logic that must be traversed in a
+  worst-case, hazard-detected situation for the network to reach
+  stability (assertion of VOM)".
+
+The depth of an expression follows the convention documented on
+:meth:`repro.logic.expr.Expr.depth` (true literal 0, complemented literal
+1 for its folded inverter-NOR, one level per gate).  The total is::
+
+    total = fsv_depth + y_depth + 1
+
+because in the worst case a settled input lands on a hazard-marked point:
+``fsv`` must first rise (``fsv_depth`` levels), the next-state logic then
+re-evaluates through its ``fsv`` half (``y_depth`` levels), and the VOM
+AND gate of Figure 2 finally asserts (1 level).  This formula reproduces
+every row of Table 1 exactly (3+5+1=9, 4+5+1=10, 2+5+1=8).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from .expr import Expr
+
+
+def expression_depth(expr: Expr) -> int:
+    """Depth of one equation under the paper's counting convention."""
+    return expr.depth()
+
+
+def longest_depth(exprs: Sequence[Expr]) -> int:
+    """Depth of the deepest equation in a group (0 for an empty group)."""
+    if not exprs:
+        return 0
+    return max(expr.depth() for expr in exprs)
+
+
+@dataclass(frozen=True)
+class DepthReport:
+    """Table 1's three metrics for a synthesised machine."""
+
+    fsv_depth: int
+    y_depth: int
+
+    @property
+    def total_depth(self) -> int:
+        """Worst-case levels to VOM assertion after a hazard detection."""
+        return self.fsv_depth + self.y_depth + 1
+
+    def row(self, name: str) -> tuple[str, int, int, int]:
+        """A Table 1 row: (benchmark, fsv depth, Y depth, total depth)."""
+        return (name, self.fsv_depth, self.y_depth, self.total_depth)
+
+
+def depth_report(fsv_expr: Expr, y_exprs: Sequence[Expr]) -> DepthReport:
+    """Build a :class:`DepthReport` from the synthesised equations."""
+    return DepthReport(
+        fsv_depth=expression_depth(fsv_expr),
+        y_depth=longest_depth(y_exprs),
+    )
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Gate-count / literal-count costs of a set of equations.
+
+    Used by the ablation benchmarks to quantify the overhead the paper
+    acknowledges ("The resultant state machine has some overhead",
+    Section 8).
+    """
+
+    gate_count: int
+    literal_count: int
+
+    @classmethod
+    def of(cls, exprs: Mapping[str, Expr]) -> "CostReport":
+        gates = sum(expr.gate_count() for expr in exprs.values())
+        literals = sum(len(expr.literals()) for expr in exprs.values())
+        return cls(gate_count=gates, literal_count=literals)

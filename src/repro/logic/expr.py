@@ -1,0 +1,269 @@
+"""Gate-level Boolean expression trees.
+
+SEANCE's final step emits *factored* equations — nested gate structures
+rather than flat covers — because the hazard-factoring procedure of paper
+Figure 5 and the "first-level gate" expansion of Armstrong, Friedman &
+Menon both operate on gate structure, and because the paper's Table 1
+metric ("depth": the number of logic levels) is a property of that
+structure.
+
+The AST is deliberately tiny: literals, AND, OR, NOR and constants.  NOT
+never appears as a standalone gate; a complemented variable is either a
+negated literal (before first-level expansion) or a one-input NOR folded
+into a compound AND-NOR gate (after it), exactly the gate repertoire the
+paper's architecture assumes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from .cube import Cube
+
+
+class Expr:
+    """Base class for expression nodes.  Nodes are immutable."""
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        """Value of the expression under a ``{name: 0/1}`` assignment."""
+        raise NotImplementedError
+
+    def depth(self) -> int:
+        """Logic depth under the paper's convention.
+
+        * a true literal costs 0 levels (it is a wire),
+        * a complemented literal costs 1 level (it is realised by a NOR
+          used as an inverter inside the first-level compound gate),
+        * every gate (AND, OR, NOR) costs one level above its deepest
+          child.
+
+        Measured this way, the factored next-state equations of the
+        benchmark machines reproduce Table 1's "depth" column; see
+        DESIGN.md section 2.
+        """
+        raise NotImplementedError
+
+    def literals(self) -> list[tuple[str, bool]]:
+        """All literal occurrences as ``(name, negated)`` pairs."""
+        raise NotImplementedError
+
+    def variables(self) -> set[str]:
+        """The set of variable names appearing in the expression."""
+        return {name for name, _ in self.literals()}
+
+    def gate_count(self) -> int:
+        """Number of gate nodes (literals and constants are free)."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - delegated
+        return self.to_string()
+
+    def to_string(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """The constant 0 or 1."""
+
+    bit: int
+
+    def __post_init__(self) -> None:
+        if self.bit not in (0, 1):
+            raise ValueError(f"constant must be 0 or 1, got {self.bit}")
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.bit
+
+    def depth(self) -> int:
+        return 0
+
+    def literals(self) -> list[tuple[str, bool]]:
+        return []
+
+    def gate_count(self) -> int:
+        return 0
+
+    def to_string(self) -> str:
+        return str(self.bit)
+
+
+@dataclass(frozen=True)
+class Lit(Expr):
+    """A variable occurrence, possibly complemented."""
+
+    name: str
+    negated: bool = False
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        try:
+            bit = env[self.name]
+        except KeyError:
+            raise ValueError(f"environment missing variable {self.name!r}") from None
+        return (1 - bit) if self.negated else (1 if bit else 0)
+
+    def depth(self) -> int:
+        # A complemented input costs the inverter NOR inside the
+        # first-level compound gate.
+        return 1 if self.negated else 0
+
+    def literals(self) -> list[tuple[str, bool]]:
+        return [(self.name, self.negated)]
+
+    def gate_count(self) -> int:
+        return 1 if self.negated else 0
+
+    def to_string(self) -> str:
+        return self.name + ("'" if self.negated else "")
+
+
+class _Gate(Expr):
+    """Shared behaviour of n-ary gates."""
+
+    symbol = "?"
+
+    def __init__(self, children: Iterable[Expr]):
+        kids = tuple(children)
+        if not kids:
+            raise ValueError(f"{type(self).__name__} needs at least one input")
+        self._children = kids
+
+    @property
+    def children(self) -> tuple[Expr, ...]:
+        return self._children
+
+    def depth(self) -> int:
+        return 1 + max(child.depth() for child in self._children)
+
+    def literals(self) -> list[tuple[str, bool]]:
+        out: list[tuple[str, bool]] = []
+        for child in self._children:
+            out.extend(child.literals())
+        return out
+
+    def gate_count(self) -> int:
+        return 1 + sum(child.gate_count() for child in self._children)
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._children == other._children  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._children))
+
+    def _child_str(self, child: Expr) -> str:
+        text = child.to_string()
+        if isinstance(child, _Gate):
+            return f"({text})"
+        return text
+
+
+class And(_Gate):
+    """An AND gate."""
+
+    symbol = "·"
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return int(all(child.evaluate(env) for child in self.children))
+
+    def to_string(self) -> str:
+        return "·".join(self._child_str(c) for c in self.children)
+
+
+class Or(_Gate):
+    """An OR gate."""
+
+    symbol = "+"
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return int(any(child.evaluate(env) for child in self.children))
+
+    def to_string(self) -> str:
+        return " + ".join(self._child_str(c) for c in self.children)
+
+
+class Nor(_Gate):
+    """A NOR gate (also serves as the inverter of the gate library)."""
+
+    symbol = "NOR"
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return int(not any(child.evaluate(env) for child in self.children))
+
+    def to_string(self) -> str:
+        inner = ", ".join(c.to_string() for c in self.children)
+        return f"NOR({inner})"
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+def make_and(children: Sequence[Expr]) -> Expr:
+    """AND of ``children`` with the obvious simplifications.
+
+    Constant 0 annihilates, constant 1 disappears, and a single remaining
+    child is returned bare.  An empty product is the constant 1.
+    """
+    kept: list[Expr] = []
+    for child in children:
+        if isinstance(child, Const):
+            if child.bit == 0:
+                return Const(0)
+            continue
+        kept.append(child)
+    if not kept:
+        return Const(1)
+    if len(kept) == 1:
+        return kept[0]
+    return And(kept)
+
+
+def make_or(children: Sequence[Expr]) -> Expr:
+    """OR of ``children`` with the obvious simplifications."""
+    kept: list[Expr] = []
+    for child in children:
+        if isinstance(child, Const):
+            if child.bit == 1:
+                return Const(1)
+            continue
+        kept.append(child)
+    if not kept:
+        return Const(0)
+    if len(kept) == 1:
+        return kept[0]
+    return Or(kept)
+
+
+def cube_to_expr(cube: Cube, names: Sequence[str]) -> Expr:
+    """Render a cube as an AND of literals over ``names``."""
+    if len(names) != cube.width:
+        raise ValueError(
+            f"{len(names)} names supplied for width-{cube.width} cube"
+        )
+    lits: list[Expr] = []
+    for i in range(cube.width):
+        bound = cube.literal(i)
+        if bound is None:
+            continue
+        lits.append(Lit(names[i], negated=not bound))
+    return make_and(lits)
+
+
+def sop_to_expr(cubes: Sequence[Cube], names: Sequence[str]) -> Expr:
+    """Render a cover as a two-level OR-of-ANDs expression."""
+    if not cubes:
+        return Const(0)
+    return make_or([cube_to_expr(cube, names) for cube in cubes])
+
+
+def expr_truth(expr: Expr, names: Sequence[str]) -> list[int]:
+    """Exhaustive truth table of ``expr`` over ordered ``names``.
+
+    Bit ``i`` of the row index is variable ``names[i]``, matching the
+    cube/function convention.
+    """
+    table = []
+    for row in range(1 << len(names)):
+        env = {name: row >> i & 1 for i, name in enumerate(names)}
+        table.append(expr.evaluate(env))
+    return table

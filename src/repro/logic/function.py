@@ -1,0 +1,260 @@
+"""Incompletely specified Boolean functions as explicit minterm sets.
+
+SEANCE works on small spaces (a handful of inputs plus a handful of state
+variables), so functions are stored extensionally: an *on-set* and a
+*don't-care set* of minterm integers over named variables.  The off-set is
+implied.  This keeps every downstream algorithm (Quine-McCluskey, covering,
+hazard checks) simple and obviously correct, which matters more here than
+scaling to wide functions.
+
+Variable ``i`` of :attr:`BooleanFunction.names` corresponds to bit ``i`` of
+a minterm integer (least-significant bit is variable 0), matching
+:class:`repro.logic.cube.Cube`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from .cube import Cube
+
+#: Functions wider than this raise, because the extensional representation
+#: would materialise 2**width minterms.  All paper benchmarks are <= 10
+#: variables; the limit leaves generous headroom.
+MAX_WIDTH = 22
+
+
+@dataclass(frozen=True)
+class BooleanFunction:
+    """An incompletely specified Boolean function ``f(names) -> {0, 1, -}``.
+
+    Parameters
+    ----------
+    names:
+        Ordered variable names; ``names[i]`` is bit ``i`` of a minterm.
+    on:
+        Minterms where the function is 1.
+    dc:
+        Minterms where the function is unspecified (don't-care).
+
+    The two sets must be disjoint and within range; everything else is the
+    off-set.
+    """
+
+    names: tuple[str, ...]
+    on: frozenset[int] = field(default_factory=frozenset)
+    dc: frozenset[int] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        names = tuple(self.names)
+        object.__setattr__(self, "names", names)
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate variable names in {names}")
+        if len(names) > MAX_WIDTH:
+            raise ValueError(
+                f"{len(names)}-variable function exceeds MAX_WIDTH={MAX_WIDTH}"
+            )
+        on = frozenset(self.on)
+        dc = frozenset(self.dc)
+        object.__setattr__(self, "on", on)
+        object.__setattr__(self, "dc", dc)
+        space = 1 << len(names)
+        for m in on | dc:
+            if not 0 <= m < space:
+                raise ValueError(
+                    f"minterm {m} outside the {len(names)}-variable space"
+                )
+        if on & dc:
+            raise ValueError(
+                f"on-set and dc-set overlap on minterms {sorted(on & dc)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(cls, names: Iterable[str], bit: int) -> "BooleanFunction":
+        """The constant-0 or constant-1 function over ``names``."""
+        names = tuple(names)
+        if bit:
+            return cls(names, frozenset(range(1 << len(names))), frozenset())
+        return cls(names, frozenset(), frozenset())
+
+    @classmethod
+    def from_cubes(
+        cls,
+        names: Iterable[str],
+        on_cubes: Iterable[Cube],
+        dc_cubes: Iterable[Cube] = (),
+    ) -> "BooleanFunction":
+        """Build a function whose on-set is the union of ``on_cubes``.
+
+        Don't-care cubes are applied after the on-set, so a minterm in both
+        stays *on* (the cubes assert it).
+        """
+        names = tuple(names)
+        on: set[int] = set()
+        for cube in on_cubes:
+            cls._check_cube_width(cube, names)
+            on.update(cube.minterms())
+        dc: set[int] = set()
+        for cube in dc_cubes:
+            cls._check_cube_width(cube, names)
+            dc.update(m for m in cube.minterms() if m not in on)
+        return cls(names, frozenset(on), frozenset(dc))
+
+    @staticmethod
+    def _check_cube_width(cube: Cube, names: tuple[str, ...]) -> None:
+        if cube.width != len(names):
+            raise ValueError(
+                f"cube width {cube.width} does not match {len(names)} names"
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """Number of variables."""
+        return len(self.names)
+
+    @property
+    def space(self) -> int:
+        """Size of the Boolean space, ``2 ** width``."""
+        return 1 << self.width
+
+    @property
+    def off(self) -> frozenset[int]:
+        """The implied off-set (minterms that are neither on nor dc)."""
+        return frozenset(range(self.space)) - self.on - self.dc
+
+    def value(self, minterm: int) -> int | None:
+        """Function value at ``minterm``: 1, 0, or ``None`` for don't-care."""
+        if not 0 <= minterm < self.space:
+            raise ValueError(f"minterm {minterm} outside function space")
+        if minterm in self.on:
+            return 1
+        if minterm in self.dc:
+            return None
+        return 0
+
+    def value_at(self, assignment: dict[str, int]) -> int | None:
+        """Function value at a named assignment covering every variable."""
+        return self.value(self.encode(assignment))
+
+    def encode(self, assignment: dict[str, int]) -> int:
+        """Pack a ``{name: bit}`` assignment into a minterm integer."""
+        minterm = 0
+        for i, name in enumerate(self.names):
+            try:
+                bit = assignment[name]
+            except KeyError:
+                raise ValueError(f"assignment missing variable {name!r}") from None
+            if bit:
+                minterm |= 1 << i
+        return minterm
+
+    def decode(self, minterm: int) -> dict[str, int]:
+        """Unpack a minterm integer into a ``{name: bit}`` assignment."""
+        return {name: minterm >> i & 1 for i, name in enumerate(self.names)}
+
+    def var_index(self, name: str) -> int:
+        """Bit position of variable ``name``."""
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise ValueError(f"unknown variable {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Cover relations
+    # ------------------------------------------------------------------
+    def is_implicant(self, cube: Cube) -> bool:
+        """True when ``cube`` never covers an off-set minterm."""
+        self._check_cube_width(cube, self.names)
+        care_off = self.off
+        return not any(m in care_off for m in cube.minterms())
+
+    def is_cover(self, cubes: Iterable[Cube]) -> bool:
+        """True when ``cubes`` covers the on-set and avoids the off-set."""
+        cubes = list(cubes)
+        for cube in cubes:
+            if not self.is_implicant(cube):
+                return False
+        covered: set[int] = set()
+        for cube in cubes:
+            covered.update(cube.minterms())
+        return self.on <= covered
+
+    def cover_equals_on_care_set(self, cubes: Iterable[Cube]) -> bool:
+        """True when the cover agrees with the function on every care point."""
+        covered: set[int] = set()
+        for cube in cubes:
+            self._check_cube_width(cube, self.names)
+            covered.update(cube.minterms())
+        if not self.on <= covered:
+            return False
+        return not covered & self.off
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def complement(self) -> "BooleanFunction":
+        """Function with on-set and off-set exchanged (dc preserved)."""
+        return BooleanFunction(self.names, self.off, self.dc)
+
+    def specify(self, minterm: int, bit: int) -> "BooleanFunction":
+        """Pin one minterm to ``bit``, overriding its current value."""
+        on = set(self.on)
+        dc = set(self.dc)
+        on.discard(minterm)
+        dc.discard(minterm)
+        if bit:
+            on.add(minterm)
+        return BooleanFunction(self.names, frozenset(on), frozenset(dc))
+
+    def fill_dc(self, bit: int) -> "BooleanFunction":
+        """Resolve every don't-care to ``bit`` (completely specify)."""
+        if bit:
+            return BooleanFunction(self.names, self.on | self.dc, frozenset())
+        return BooleanFunction(self.names, self.on, frozenset())
+
+    def cofactor(self, name: str, bit: int) -> "BooleanFunction":
+        """Shannon cofactor with respect to ``name = bit``.
+
+        The resulting function drops ``name`` from its variable list; the
+        remaining variables keep their relative order.
+        """
+        var = self.var_index(name)
+        new_names = self.names[:var] + self.names[var + 1 :]
+
+        def squeeze(minterm: int) -> int:
+            low = minterm & ((1 << var) - 1)
+            high = minterm >> (var + 1)
+            return low | (high << var)
+
+        want = 1 if bit else 0
+        on = frozenset(
+            squeeze(m) for m in self.on if (m >> var & 1) == want
+        )
+        dc = frozenset(
+            squeeze(m) for m in self.dc if (m >> var & 1) == want
+        )
+        return BooleanFunction(new_names, on, dc)
+
+    def rename(self, mapping: dict[str, str]) -> "BooleanFunction":
+        """Function with variables renamed through ``mapping`` (order kept)."""
+        names = tuple(mapping.get(n, n) for n in self.names)
+        return BooleanFunction(names, self.on, self.dc)
+
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        return (
+            f"BooleanFunction({', '.join(self.names)}; "
+            f"|on|={len(self.on)}, |dc|={len(self.dc)})"
+        )
+
+
+def truth_table(function: BooleanFunction) -> list[int | None]:
+    """The full truth table of ``function`` as a list indexed by minterm."""
+    return [function.value(m) for m in range(function.space)]

@@ -1,0 +1,109 @@
+"""Quine-McCluskey prime-implicant generation.
+
+SEANCE's Output Determination stage (paper Section 5.2) and the hazard
+factoring stage (Section 5.3 / Figure 5) both rely on classic
+Quine-McCluskey reduction: the ``Z`` and ``SSD`` equations are reduced to
+an *essential* sum-of-products, while ``fsv`` is "reduced to all its prime
+implicants" to make it free of logic hazards under single-bit changes.
+
+This module provides the prime-generation half; cover selection lives in
+:mod:`repro.logic.cover`.
+
+The implementation is the standard tabulation: implicants are grouped by
+the popcount of their value bits, adjacent groups are merged pairwise, and
+implicants that never merged are prime.  Don't-care minterms participate in
+merging but do not need to be covered.  Complexity is exponential in the
+variable count, which is fine for the paper's problem sizes (and is capped
+by :data:`repro.logic.function.MAX_WIDTH`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from .cube import Cube, popcount
+from .function import BooleanFunction
+
+
+def prime_implicants(
+    on: Iterable[int], dc: Iterable[int], width: int
+) -> list[Cube]:
+    """All prime implicants of the function with the given on/dc sets.
+
+    Parameters
+    ----------
+    on, dc:
+        Disjoint sets of minterm integers over ``width`` variables.
+    width:
+        Number of variables.
+
+    Returns
+    -------
+    list[Cube]
+        Every prime implicant of ``on | dc``, sorted for determinism.
+        Primes that cover only don't-care minterms are included (callers
+        that do not want them filter with the on-set; see
+        :func:`useful_primes`).
+    """
+    on = set(on)
+    dc = set(dc)
+    if on & dc:
+        raise ValueError("on-set and dc-set overlap")
+    care = on | dc
+    if not care:
+        return []
+    full_space = 1 << width
+    if care == set(range(full_space)):
+        return [Cube.universe(width)]
+
+    current: set[Cube] = {Cube.from_minterm(m, width) for m in care}
+    primes: set[Cube] = set()
+    while current:
+        groups: dict[tuple[int, int], list[Cube]] = {}
+        for cube in current:
+            groups.setdefault((cube.mask, popcount(cube.value)), []).append(cube)
+        merged_from: set[Cube] = set()
+        next_level: set[Cube] = set()
+        for (mask, ones), cubes in groups.items():
+            partner_group = groups.get((mask, ones + 1), [])
+            for a in cubes:
+                for b in partner_group:
+                    merged = a.merge(b)
+                    if merged is not None:
+                        next_level.add(merged)
+                        merged_from.add(a)
+                        merged_from.add(b)
+        primes.update(current - merged_from)
+        current = next_level
+    return sorted(primes)
+
+
+def useful_primes(primes: Iterable[Cube], on: Iterable[int]) -> list[Cube]:
+    """Primes that cover at least one required (on-set) minterm.
+
+    A hazard-free "all prime implicants" cover in the sense of Unger/
+    Eichelberger needs every prime that intersects the on-set; primes lying
+    wholly in the don't-care set add gates without covering anything and
+    are dropped.
+    """
+    on = set(on)
+    kept = []
+    for prime in primes:
+        if any(m in on for m in prime.minterms()):
+            kept.append(prime)
+    return kept
+
+
+def primes_of(function: BooleanFunction) -> list[Cube]:
+    """Prime implicants of a :class:`BooleanFunction` (on | dc)."""
+    return prime_implicants(function.on, function.dc, function.width)
+
+
+def all_primes_cover(function: BooleanFunction) -> list[Cube]:
+    """The classic hazard-free SOP: every prime that touches the on-set.
+
+    Including all such primes guarantees the two-level network has no
+    static or dynamic hazard for any *single-bit* input change (the
+    technique the paper calls "adding consensus gates", Section 2.1).
+    """
+    return useful_primes(primes_of(function), function.on)

@@ -1,0 +1,40 @@
+"""State minimisation for (incompletely specified) flow tables.
+
+Implements Step 2 of the SEANCE pipeline: Paull-Unger compatibility
+analysis, maximal-compatible enumeration, minimum closed-cover search and
+reduced-table construction, preserving the normal-mode property the rest
+of the pipeline depends on.
+"""
+
+from .compatibility import (
+    CompatibilityResult,
+    compute_compatibility,
+    implied_pairs,
+    output_compatible,
+)
+from .compatibles import all_compatibles, maximal_compatibles
+from .cover_search import (
+    ClosedCover,
+    class_successors,
+    covers_all_states,
+    find_minimum_closed_cover,
+    is_closed,
+)
+from .reducer import ReductionResult, class_name, reduce_flow_table
+
+__all__ = [
+    "ClosedCover",
+    "CompatibilityResult",
+    "ReductionResult",
+    "all_compatibles",
+    "class_name",
+    "class_successors",
+    "compute_compatibility",
+    "covers_all_states",
+    "find_minimum_closed_cover",
+    "implied_pairs",
+    "is_closed",
+    "maximal_compatibles",
+    "output_compatible",
+    "reduce_flow_table",
+]

@@ -1,0 +1,154 @@
+"""Pairwise state compatibility for incompletely specified machines.
+
+Step 2 of SEANCE (paper Figure 3) removes redundant states "using state
+machine minimization methods [Kohavi]".  For incompletely specified flow
+tables the right notion is Paull-Unger *compatibility* rather than
+equivalence:
+
+* two states are **output-compatible** when no column exists in which both
+  specify the same output bit with opposite values;
+* two states are **compatible** when they are output-compatible and, for
+  every column in which both successors are specified, those successors
+  are in turn compatible.
+
+Compatibility is computed by the classic implication-chart fixpoint: start
+from output-incompatible pairs and propagate incompatibility backwards
+through the implication edges until nothing changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from ..flowtable.table import FlowTable
+
+
+def _pair(a: str, b: str) -> tuple[str, str]:
+    """Canonical (sorted) form of an unordered state pair."""
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass(frozen=True)
+class CompatibilityResult:
+    """Compatibility relation plus the implication structure behind it.
+
+    Attributes
+    ----------
+    compatible_pairs:
+        All unordered pairs of distinct compatible states.
+    implications:
+        For each compatible pair, the set of *other* pairs whose
+        compatibility it requires (the implication-chart cell contents).
+        Used later by the closed-cover search.
+    """
+
+    states: tuple[str, ...]
+    compatible_pairs: frozenset[tuple[str, str]]
+    implications: dict[tuple[str, str], frozenset[tuple[str, str]]]
+
+    def compatible(self, a: str, b: str) -> bool:
+        """True when states ``a`` and ``b`` are compatible (or identical)."""
+        if a == b:
+            return True
+        return _pair(a, b) in self.compatible_pairs
+
+    def all_pairwise_compatible(self, group: tuple[str, ...] | list[str]) -> bool:
+        """True when every pair in ``group`` is compatible."""
+        return all(
+            self.compatible(a, b) for a, b in combinations(group, 2)
+        )
+
+    def incompatibility_number(self) -> int:
+        """Size of the largest set of mutually incompatible states.
+
+        This is a lower bound on the number of states of any reduced
+        machine, used to prune the closed-cover search.  Computed by a
+        simple branch-and-bound clique search on the incompatibility
+        graph (state counts here are small).
+        """
+        adj: dict[str, set[str]] = {s: set() for s in self.states}
+        for a, b in combinations(self.states, 2):
+            if not self.compatible(a, b):
+                adj[a].add(b)
+                adj[b].add(a)
+        best = 0
+        order = sorted(self.states, key=lambda s: -len(adj[s]))
+
+        def grow(clique: list[str], candidates: list[str]) -> None:
+            nonlocal best
+            if len(clique) > best:
+                best = len(clique)
+            if len(clique) + len(candidates) <= best:
+                return
+            for i, state in enumerate(candidates):
+                grow(
+                    clique + [state],
+                    [c for c in candidates[i + 1 :] if c in adj[state]],
+                )
+
+        grow([], order)
+        return best
+
+
+def output_compatible(table: FlowTable, a: str, b: str) -> bool:
+    """True when no column makes ``a`` and ``b`` disagree on an output bit."""
+    for column in table.columns:
+        out_a = table.output_vector(a, column)
+        out_b = table.output_vector(b, column)
+        for bit_a, bit_b in zip(out_a, out_b):
+            if bit_a is not None and bit_b is not None and bit_a != bit_b:
+                return False
+    return True
+
+
+def implied_pairs(
+    table: FlowTable, a: str, b: str
+) -> frozenset[tuple[str, str]]:
+    """The state pairs whose compatibility the pair ``(a, b)`` implies.
+
+    For each column where both successors are specified and distinct, the
+    successor pair must itself be compatible.  The pair ``(a, b)`` itself
+    is excluded (self-implication is vacuous).
+    """
+    implied: set[tuple[str, str]] = set()
+    for column in table.columns:
+        next_a = table.next_state(a, column)
+        next_b = table.next_state(b, column)
+        if next_a is None or next_b is None or next_a == next_b:
+            continue
+        pair = _pair(next_a, next_b)
+        if pair != _pair(a, b):
+            implied.add(pair)
+    return frozenset(implied)
+
+
+def compute_compatibility(table: FlowTable) -> CompatibilityResult:
+    """Run the implication-chart fixpoint over all state pairs."""
+    states = table.states
+    pairs = [_pair(a, b) for a, b in combinations(states, 2)]
+    implications: dict[tuple[str, str], frozenset[tuple[str, str]]] = {}
+    incompatible: set[tuple[str, str]] = set()
+    for a, b in pairs:
+        if not output_compatible(table, a, b):
+            incompatible.add((a, b))
+        else:
+            implications[(a, b)] = implied_pairs(table, a, b)
+
+    # Propagate: a pair becomes incompatible when any implied pair is.
+    changed = True
+    while changed:
+        changed = False
+        for pair, implied in implications.items():
+            if pair in incompatible:
+                continue
+            if any(other in incompatible for other in implied):
+                incompatible.add(pair)
+                changed = True
+
+    compatible = frozenset(p for p in pairs if p not in incompatible)
+    return CompatibilityResult(
+        states=states,
+        compatible_pairs=compatible,
+        implications={p: implications[p] for p in compatible},
+    )

@@ -1,0 +1,88 @@
+"""Enumeration of (maximal) compatibles.
+
+A *compatible* is a set of pairwise-compatible states — a candidate merged
+state of the reduced machine.  The maximal compatibles are the maximal
+cliques of the compatibility graph, found here with a standard
+Bron-Kerbosch search with pivoting (state counts in flow tables are small,
+so no further sophistication is warranted).
+
+The closed-cover search also wants non-maximal compatibles: a minimum
+closed cover sometimes must use a *subset* of a maximal compatible to keep
+the closure obligations satisfiable.  :func:`all_compatibles` enumerates
+every non-empty compatible up to an explicit cap.
+"""
+
+from __future__ import annotations
+
+from ..errors import SynthesisError
+from .compatibility import CompatibilityResult
+
+#: Safety cap for the all-compatibles enumeration; a machine with more
+#: compatibles than this falls back to heuristics in the cover search.
+MAX_COMPATIBLES = 50_000
+
+
+def maximal_compatibles(result: CompatibilityResult) -> list[frozenset[str]]:
+    """All maximal cliques of the compatibility graph, deterministically.
+
+    Singleton cliques are included for states compatible with nothing.
+    """
+    adjacency: dict[str, set[str]] = {s: set() for s in result.states}
+    for a, b in result.compatible_pairs:
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+
+    cliques: list[frozenset[str]] = []
+
+    def bron_kerbosch(r: set[str], p: set[str], x: set[str]) -> None:
+        if not p and not x:
+            cliques.append(frozenset(r))
+            return
+        pivot = max(p | x, key=lambda v: len(adjacency[v] & p))
+        for v in sorted(p - adjacency[pivot]):
+            bron_kerbosch(
+                r | {v}, p & adjacency[v], x & adjacency[v]
+            )
+            p = p - {v}
+            x = x | {v}
+
+    bron_kerbosch(set(), set(result.states), set())
+    return sorted(cliques, key=lambda c: (-len(c), sorted(c)))
+
+
+def all_compatibles(
+    result: CompatibilityResult, limit: int = MAX_COMPATIBLES
+) -> list[frozenset[str]]:
+    """Every non-empty compatible (clique, maximal or not).
+
+    Enumerated by extending cliques over a fixed state order so each
+    compatible is produced exactly once.  Raises
+    :class:`~repro.errors.SynthesisError` when the count exceeds
+    ``limit`` — callers then switch to a heuristic cover.
+    """
+    adjacency: dict[str, set[str]] = {s: set() for s in result.states}
+    for a, b in result.compatible_pairs:
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+
+    order = list(result.states)
+    position = {s: i for i, s in enumerate(order)}
+    found: list[frozenset[str]] = []
+
+    def extend(clique: list[str], start: int) -> None:
+        if len(found) > limit:
+            raise SynthesisError(
+                f"more than {limit} compatibles; machine too large for "
+                f"exact closed-cover search"
+            )
+        for i in range(start, len(order)):
+            candidate = order[i]
+            if all(candidate in adjacency[member] for member in clique):
+                clique.append(candidate)
+                found.append(frozenset(clique))
+                extend(clique, i + 1)
+                clique.pop()
+
+    extend([], 0)
+    _ = position  # kept for readability of the enumeration order
+    return found

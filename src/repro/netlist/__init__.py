@@ -1,0 +1,25 @@
+"""Gate-level netlists and the FANTOM architecture builder (Figures 1-2)."""
+
+from .build import compile_expression
+from .compose import ComposedPipeline, chain
+from .fantom import FantomMachine, build_fantom
+from .gates import Dff, Gate, GateType
+from .netlist import Netlist
+from .timing import TimingReport, timing_report
+from .verilog import machine_to_verilog, netlist_to_verilog
+
+__all__ = [
+    "ComposedPipeline",
+    "Dff",
+    "FantomMachine",
+    "Gate",
+    "GateType",
+    "Netlist",
+    "TimingReport",
+    "build_fantom",
+    "chain",
+    "compile_expression",
+    "machine_to_verilog",
+    "netlist_to_verilog",
+    "timing_report",
+]

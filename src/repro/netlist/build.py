@@ -1,0 +1,73 @@
+"""Compile expression trees into netlist gates.
+
+Expressions arriving here are first-level form (no complemented
+literals — SEANCE's Step 7 guarantees it), but the compiler also accepts
+negated literals for the baselines, realising them with a NOR inverter.
+Each expression node becomes one gate; shared literals share nets
+automatically (nets are names), but no cross-expression subexpression
+sharing is attempted — gate count equals
+:meth:`repro.logic.expr.Expr.gate_count` by construction, keeping the
+depth accounting of the synthesis report exactly the physical depth.
+"""
+
+from __future__ import annotations
+
+from ..errors import NetlistError
+from ..logic.expr import And, Const, Expr, Lit, Nor, Or
+from .gates import GateType
+from .netlist import Netlist
+
+
+def compile_expression(
+    netlist: Netlist,
+    expr: Expr,
+    output_net: str,
+    prefix: str,
+) -> str:
+    """Emit gates computing ``expr`` onto ``output_net``.
+
+    ``prefix`` namespaces the generated gate names (``{prefix}_g{n}``).
+    Returns the output net for chaining.  Literal expressions get a BUF
+    (or a NOR inverter when negated) so the output net always has its
+    own driver.
+    """
+    counter = [0]
+
+    def fresh(kind: str) -> str:
+        counter[0] += 1
+        return f"{prefix}_{kind}{counter[0]}"
+
+    def emit(node: Expr, target: str | None) -> str:
+        if isinstance(node, Const):
+            net = target or fresh("const")
+            netlist.add_gate(
+                fresh("k"),
+                GateType.CONST1 if node.bit else GateType.CONST0,
+                (),
+                net,
+            )
+            return net
+        if isinstance(node, Lit):
+            if node.negated:
+                net = target or fresh("n")
+                netlist.add_gate(fresh("inv"), GateType.NOR, (node.name,), net)
+                return net
+            if target is None:
+                return node.name
+            netlist.add_gate(fresh("buf"), GateType.BUF, (node.name,), target)
+            return target
+        if isinstance(node, (And, Or, Nor)):
+            input_nets = [emit(child, None) for child in node.children]
+            net = target or fresh("w")
+            gate_type = {
+                And: GateType.AND,
+                Or: GateType.OR,
+                Nor: GateType.NOR,
+            }[type(node)]
+            netlist.add_gate(fresh("g"), gate_type, input_nets, net)
+            return net
+        raise NetlistError(
+            f"cannot compile expression node {type(node).__name__}"
+        )
+
+    return emit(expr, output_net)

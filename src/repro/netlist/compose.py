@@ -1,0 +1,167 @@
+"""Composition of FANTOM stages into self-timed pipelines.
+
+Paper Section 4.1: "VI is associated with X̂, and is the VOM signal of
+the previous stage of a FANTOM state machine ... Because separate state
+machines are allowed to proceed at their own pace, X̂ of the previous
+stage may be ready before the present stage needs them, or vice versa."
+
+`chain` wires exactly that: the second stage's ``VI`` is the first
+stage's ``VOM`` and its external input pins are the first stage's
+latched outputs.  The composite is a single netlist (each stage's nets
+prefixed) whose environment-facing pins are the first stage's ``X*`` and
+``VI`` and whose observable signals are the second stage's outputs and
+``VOM``.
+
+Pipeline semantics to be aware of: stage 2 latches stage 1's *previous*
+result on each hand-shake, so the composite exhibits one transaction of
+latency — the price of letting the stages run at their own pace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import NetlistError
+from .fantom import FantomMachine
+from .netlist import Netlist
+
+
+@dataclass
+class ComposedPipeline:
+    """A two-stage FANTOM pipeline as one simulatable netlist."""
+
+    netlist: Netlist
+    first: FantomMachine
+    second: FantomMachine
+    external_inputs: tuple[str, ...]
+    vi: str
+    stage1_vom: str
+    stage2_vom: str
+    stage2_outputs: tuple[str, ...]
+
+    def initial_values(self) -> dict[str, int]:
+        """A consistent resting assignment for the whole pipeline.
+
+        Seeds each stage from its own standalone reset, renames, then
+        sweeps the composite to a fixpoint.  At rest the first stage's
+        ``VOM`` is high, so the second stage sits with ``G`` high and its
+        own ``VOM`` low — the paper's "remembers if either VI or VOM
+        asserted" latch doing its job.
+        """
+        values: dict[str, int] = {}
+        for prefix, machine in (("s1_", self.first), ("s2_", self.second)):
+            for net, value in machine.initial_values().items():
+                values[_rename(net, prefix, machine)] = value
+        # External pins keep the first stage's names.
+        for i, pin in enumerate(self.first.external_inputs):
+            values[pin] = self.first.reset_column() >> i & 1
+        values[self.vi] = 0
+
+        for _ in range(len(self.netlist.gates) + 2):
+            changed = False
+            for gate in self.netlist.gates:
+                out = gate.type.evaluate(
+                    [values.get(n, 0) for n in gate.inputs]
+                )
+                if values.get(gate.output) != out:
+                    values[gate.output] = out
+                    changed = True
+            if not changed:
+                return values
+        raise NetlistError("composed pipeline reset did not converge")
+
+
+def _rename(net: str, prefix: str, machine: FantomMachine) -> str:
+    """Stage-local net name in the composite namespace."""
+    return f"{prefix}{net}"
+
+
+def chain(
+    first: FantomMachine,
+    second: FantomMachine,
+    name: str = "pipeline",
+) -> ComposedPipeline:
+    """Wire ``second`` behind ``first``: VI2 = VOM1, X2 = Z1.
+
+    The first stage's output count must match the second stage's input
+    count, and the second stage's reset column must equal the first
+    stage's resting outputs (otherwise the composite has no consistent
+    resting point and the constructor refuses).
+    """
+    if len(first.output_nets) != len(second.external_inputs):
+        raise NetlistError(
+            f"cannot chain: stage 1 has {len(first.output_nets)} outputs, "
+            f"stage 2 expects {len(second.external_inputs)} inputs"
+        )
+    table1 = first.result.table
+    reset_outputs = table1.output_vector(
+        first.reset_state(), first.reset_column()
+    )
+    resting = sum(
+        (bit or 0) << i for i, bit in enumerate(reset_outputs)
+    )
+    if resting != second.reset_column():
+        raise NetlistError(
+            f"cannot chain: stage 1 rests with outputs "
+            f"{resting:0{len(reset_outputs)}b} but stage 2 resets in "
+            f"column {second.reset_column():0{second.result.table.num_inputs}b}"
+        )
+
+    composite = Netlist(name)
+    for pin in first.external_inputs:
+        composite.add_input(pin)
+    composite.add_input(first.vi)
+
+    # Stage-2 pin substitutions: its external inputs come from stage 1's
+    # latched outputs, its VI from stage 1's VOM.
+    substitutions = {
+        pin: f"s1_{z}"
+        for pin, z in zip(second.external_inputs, first.output_nets)
+    }
+    substitutions[second.vi] = f"s1_{first.vom}"
+
+    def copy_stage(machine: FantomMachine, prefix: str, subs: dict) -> None:
+        def net_name(net: str) -> str:
+            if net in subs:
+                return subs[net]
+            return f"{prefix}{net}"
+
+        for gate in machine.netlist.gates:
+            composite.add_gate(
+                f"{prefix}{gate.name}",
+                gate.type,
+                [net_name(n) for n in gate.inputs],
+                net_name(gate.output),
+                gate.delay,
+            )
+        for dff in machine.netlist.dffs:
+            composite.add_dff(
+                f"{prefix}{dff.name}",
+                d=net_name(dff.d),
+                q=net_name(dff.q),
+                clock=net_name(dff.clock),
+                clk_to_q=dff.clk_to_q,
+            )
+
+    # Stage 1 keeps its external pins unprefixed.
+    stage1_subs = {pin: pin for pin in first.external_inputs}
+    stage1_subs[first.vi] = first.vi
+    copy_stage(first, "s1_", stage1_subs)
+    copy_stage(second, "s2_", substitutions)
+
+    stage2_outputs = tuple(f"s2_{z}" for z in second.output_nets)
+    for net in stage2_outputs:
+        composite.mark_output(net)
+    composite.mark_output(f"s2_{second.vom}")
+    composite.validate()
+
+    return ComposedPipeline(
+        netlist=composite,
+        first=first,
+        second=second,
+        external_inputs=first.external_inputs,
+        vi=first.vi,
+        stage1_vom=f"s1_{first.vom}",
+        stage2_vom=f"s2_{second.vom}",
+        stage2_outputs=stage2_outputs,
+    )

@@ -1,0 +1,207 @@
+"""Gate-level construction of a complete FANTOM machine (paper Figures 1-2).
+
+The builder turns a :class:`~repro.core.result.SynthesisResult` into a
+simulatable netlist with the paper's exact block structure:
+
+* ``FFX`` — one positive edge-triggered D flip-flop per external input,
+  clocked by the internally generated ``G``; external pins ``X*`` in,
+  internal input vector ``x*`` out.  Per-bit clock-to-Q variation of this
+  bank is what physically exposes intermediate input vectors.
+* **combinational logic** — the synthesised ``Y`` equations drive the
+  state nets ``y*`` *directly* (no storage in the feedback path, per the
+  paper's Section 3 delay assumptions), plus ``fsv``, ``SSD`` and the
+  output candidates ``ẑ*``.
+* ``VOM`` block (Figure 2) — ``VOM = Ḡ · f̄sv · SSD``, realised as two
+  NOR inverters feeding the AND the paper calls *Gate A*.
+* ``G`` block — ``G = VI · (VOM + G)``: a latching AND that "remembers
+  if either VI or VOM asserted" and implements the 4-phase hand-shake
+  with the previous stage (or the environment).
+* ``FFZ`` — one flip-flop per output, clocked by ``VOM``; external pins
+  ``z*``.
+
+`build_fantom(..., use_fsv=False)` wires ``fsv`` to constant 0, giving
+the unprotected machine the hazard-ablation benchmark exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.result import SynthesisResult
+from ..errors import NetlistError
+from ..logic.expr import Const
+from .build import compile_expression
+from .gates import GateType
+from .netlist import Netlist
+
+
+@dataclass
+class FantomMachine:
+    """A built FANTOM netlist plus its signal map and provenance."""
+
+    netlist: Netlist
+    result: SynthesisResult
+    external_inputs: tuple[str, ...]
+    latched_inputs: tuple[str, ...]
+    state_nets: tuple[str, ...]
+    output_nets: tuple[str, ...]
+    output_candidates: tuple[str, ...]
+    vi: str = "VI"
+    g: str = "G"
+    vom: str = "VOM"
+    ssd: str = "SSD"
+    fsv: str = "fsv"
+    uses_fsv: bool = True
+    extra: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def reset_column(self) -> int:
+        """The input column the machine initialises in (a stable column
+        of the reset state)."""
+        table = self.result.table
+        reset = table.reset_state or table.states[0]
+        stable = table.stable_columns(reset)
+        if not stable:
+            raise NetlistError(f"reset state {reset!r} has no stable column")
+        return stable[0]
+
+    def reset_state(self) -> str:
+        table = self.result.table
+        return table.reset_state or table.states[0]
+
+    def initial_values(self) -> dict[str, int]:
+        """A consistent resting assignment for every net.
+
+        Seeds the external pins, the flip-flop outputs and the state
+        feedback nets from the reset point, then sweeps the combinational
+        gates to a fixpoint.  The fixpoint must confirm the seeds (the
+        reset point is stable, so the feedback equations reproduce it);
+        anything else indicates a synthesis bug and raises.
+        """
+        table = self.result.table
+        spec = self.result.spec
+        column = self.reset_column()
+        reset = self.reset_state()
+        code = spec.encoding.code(reset)
+
+        values: dict[str, int] = {}
+        for i, net in enumerate(self.external_inputs):
+            values[net] = column >> i & 1
+        for i, net in enumerate(self.latched_inputs):
+            values[net] = column >> i & 1
+        for n, net in enumerate(self.state_nets):
+            values[net] = code >> n & 1
+        outputs = table.output_vector(reset, column)
+        for k, net in enumerate(self.output_nets):
+            bit = outputs[k]
+            values[net] = 0 if bit is None else bit
+        values[self.vi] = 0
+
+        # Sweep combinational gates to a fixpoint.
+        for _ in range(len(self.netlist.gates) + 2):
+            changed = False
+            for gate in self.netlist.gates:
+                ins = [values.get(n, 0) for n in gate.inputs]
+                out = gate.type.evaluate(ins)
+                if values.get(gate.output) != out:
+                    values[gate.output] = out
+                    changed = True
+            if not changed:
+                break
+        else:
+            raise NetlistError(
+                "initial combinational sweep did not converge "
+                "(oscillating reset state)"
+            )
+
+        for n, net in enumerate(self.state_nets):
+            if values[net] != code >> n & 1:
+                raise NetlistError(
+                    f"reset point is not a fixpoint of the Y logic "
+                    f"(net {net} settled to {values[net]})"
+                )
+        if values[self.vom] != 1:
+            raise NetlistError(
+                "VOM does not assert at the reset point "
+                f"(SSD={values[self.ssd]}, fsv={values.get(self.fsv)})"
+            )
+        return values
+
+
+def build_fantom(
+    result: SynthesisResult,
+    use_fsv: bool = True,
+    name: str | None = None,
+    vom_gate_delay: float | None = None,
+) -> FantomMachine:
+    """Assemble the Figure-1 architecture around synthesised equations.
+
+    ``vom_gate_delay`` overrides the delay of the VOM AND gate ("Gate A",
+    the paper's ``t_f``); the harness sets it above the ``Ẑ`` settling
+    time so critical path 3 (outputs stable before VOM) holds by
+    construction.
+    """
+    table = result.table
+    spec = result.spec
+    netlist = Netlist(name or f"fantom_{result.source.name}")
+
+    external = tuple(f"X{i + 1}" for i in range(table.num_inputs))
+    latched = spec.names[: table.num_inputs]
+    state_nets = spec.encoding.variables
+    zhat = tuple(f"{z}_hat" for z in table.outputs)
+
+    for net in external:
+        netlist.add_input(net)
+    netlist.add_input("VI")
+
+    # FFX bank: external pins -> latched input vector, clocked by G.
+    for i, (pin, net) in enumerate(zip(external, latched)):
+        netlist.add_dff(f"FFX{i + 1}", d=pin, q=net, clock="G")
+
+    # State logic: Y equations drive the y nets directly (pure feedback).
+    for n, eq in enumerate(result.next_state):
+        compile_expression(netlist, eq.expr, state_nets[n], f"Y{n + 1}")
+
+    # fsv (or its constant-0 stand-in for the ablation machine).
+    if use_fsv:
+        compile_expression(netlist, result.fsv.expr, "fsv", "FSV")
+    else:
+        compile_expression(netlist, Const(0), "fsv", "FSV")
+
+    # SSD and the output candidates.
+    compile_expression(netlist, result.ssd.expr, "SSD", "SSDL")
+    for k, eq in enumerate(result.outputs):
+        compile_expression(netlist, eq.expr, zhat[k], f"Z{k + 1}")
+
+    # VOM block (Figure 2): VOM = NOR(G) AND NOR(fsv) AND SSD.
+    netlist.add_gate("VOM_ng", GateType.NOR, ("G",), "G_n")
+    netlist.add_gate("VOM_nf", GateType.NOR, ("fsv",), "fsv_n")
+    netlist.add_gate(
+        "gateA",
+        GateType.AND,
+        ("G_n", "fsv_n", "SSD"),
+        "VOM",
+        delay=vom_gate_delay,
+    )
+
+    # G block: G = VI AND (VOM OR G) — remembers VI/VOM assertion.
+    netlist.add_gate("G_or", GateType.OR, ("VOM", "G"), "G_hold")
+    netlist.add_gate("G_and", GateType.AND, ("VI", "G_hold"), "G")
+
+    # FFZ bank: output candidates latched on VOM's rising edge.
+    for k, z in enumerate(table.outputs):
+        netlist.add_dff(f"FFZ{k + 1}", d=zhat[k], q=z, clock="VOM")
+        netlist.mark_output(z)
+    netlist.mark_output("VOM")
+
+    netlist.validate()
+    return FantomMachine(
+        netlist=netlist,
+        result=result,
+        external_inputs=external,
+        latched_inputs=tuple(latched),
+        state_nets=tuple(state_nets),
+        output_nets=tuple(table.outputs),
+        output_candidates=zhat,
+        uses_fsv=use_fsv,
+    )

@@ -1,0 +1,81 @@
+"""Gate and flip-flop primitives for FANTOM netlists.
+
+The gate repertoire is deliberately the paper's: AND, OR, NOR (which also
+serves as the inverter), plus BUF for wiring convenience and constants
+for degenerate equations (a machine with no hazards has ``fsv = 0``).
+Positive edge-triggered D flip-flops model the ``FFX`` and ``FFZ`` banks
+of Figure 1; the state variables themselves have **no** storage element —
+"delay elements are not allowed in the feedback path" (Section 3) — so
+``y`` is simply the output net of the ``Y`` logic fed back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class GateType(Enum):
+    AND = "and"
+    OR = "or"
+    NOR = "nor"
+    BUF = "buf"
+    CONST0 = "const0"
+    CONST1 = "const1"
+
+    def evaluate(self, inputs: list[int]) -> int:
+        if self is GateType.AND:
+            return int(all(inputs))
+        if self is GateType.OR:
+            return int(any(inputs))
+        if self is GateType.NOR:
+            return int(not any(inputs))
+        if self is GateType.BUF:
+            return inputs[0]
+        if self is GateType.CONST0:
+            return 0
+        return 1
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A combinational gate driving one output net.
+
+    ``delay`` is an optional per-gate override; when ``None`` the
+    simulator's delay model decides.
+    """
+
+    name: str
+    type: GateType
+    inputs: tuple[str, ...]
+    output: str
+    delay: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.type in (GateType.CONST0, GateType.CONST1):
+            if self.inputs:
+                raise ValueError(f"constant gate {self.name} takes no inputs")
+        elif self.type is GateType.BUF:
+            if len(self.inputs) != 1:
+                raise ValueError(f"buffer {self.name} needs exactly one input")
+        elif not self.inputs:
+            raise ValueError(f"gate {self.name} needs at least one input")
+
+    def evaluate(self, values: dict[str, int]) -> int:
+        return self.type.evaluate([values[i] for i in self.inputs])
+
+
+@dataclass(frozen=True)
+class Dff:
+    """A positive edge-triggered D flip-flop.
+
+    ``clk_to_q`` is an optional per-instance override of the
+    clock-to-output delay; per-bit variation of this value across the
+    ``FFX`` bank is what physically exposes intermediate input vectors.
+    """
+
+    name: str
+    d: str
+    q: str
+    clock: str
+    clk_to_q: float | None = None

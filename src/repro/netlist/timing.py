@@ -1,0 +1,140 @@
+"""Critical-path analysis per paper Section 4.3.
+
+The paper names four critical paths in the FANTOM architecture and
+derives the relations between their delays:
+
+1. ``t_setup^FFX < t_G`` — the external inputs settle before ``G``
+   clocks them in (``G`` needs two gate levels after ``VI``);
+2. ``t_G + t_setup^FFZ < t_VOM`` with
+   ``t_VOM = t_f + min(t_G, min(a + t_SSD, a + t_fsv))`` — ``VOM``
+   cannot rise before its inputs are meaningful;
+3. the outputs settle ``t_setup^FFZ`` before ``VOM`` asserts
+   (``t_Ẑ + t_setup < t_VOM``) — subsumed by 2 when Gate A is padded;
+4. ``(a + t_fsv)`` and ``(a + t_SSD) < t_f + t_G + t_env`` — ``fsv`` or
+   ``SSD`` must take over the disabling of ``VOM`` before ``G``
+   deasserts, which in the 4-phase hand-shake happens only after the
+   environment (round-trip delay ``t_env``) sees ``VOM`` fall and drops
+   ``VI``.
+
+All quantities here are measured in *gate levels* from the synthesised
+expressions (one level = one unit delay), so the report doubles as the
+machine-specific instantiation of the paper's symbolic relations and as
+the constraint generator for simulator delay models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.result import SynthesisResult
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Section 4.3's named delays (in unit gate levels) and checks."""
+
+    t_g: int
+    t_z: int
+    t_ssd: int
+    t_fsv: int
+    t_y: int
+    t_f: int
+    a: int
+    t_env: int
+    setup: int
+
+    @property
+    def t_vom(self) -> int:
+        """``t_f + min(t_G, min(a + t_SSD, a + t_fsv))``."""
+        return self.t_f + min(
+            self.t_g, min(self.a + self.t_ssd, self.a + self.t_fsv)
+        )
+
+    # ------------------------------------------------------------------
+    def check_path1(self) -> bool:
+        """FFX setup met: inputs settle before G clocks them."""
+        return self.setup < self.t_g
+
+    def check_path2(self) -> bool:
+        """FFZ setup met relative to VOM generation."""
+        return self.t_g + self.setup < self.t_vom
+
+    def check_path3(self) -> bool:
+        """Outputs stable before VOM asserts (Gate A padding)."""
+        return self.t_z + self.setup < self.t_f + min(
+            self.a + self.t_ssd, self.a + self.t_fsv
+        )
+
+    def check_path4(self) -> bool:
+        """fsv/SSD take over VOM disabling before G deasserts."""
+        budget = self.t_f + self.t_g + self.t_env
+        return (
+            self.a + self.t_fsv < budget and self.a + self.t_ssd < budget
+        )
+
+    def all_satisfied(self) -> bool:
+        return (
+            self.check_path1()
+            and self.check_path2()
+            and self.check_path3()
+            and self.check_path4()
+        )
+
+    def rows(self) -> list[tuple[str, str, bool]]:
+        """Human-readable relation rows for the timing benchmark."""
+        return [
+            (
+                "CP1",
+                f"setup({self.setup}) < t_G({self.t_g})",
+                self.check_path1(),
+            ),
+            (
+                "CP2",
+                f"t_G({self.t_g}) + setup({self.setup}) < t_VOM({self.t_vom})",
+                self.check_path2(),
+            ),
+            (
+                "CP3",
+                f"t_Z({self.t_z}) + setup({self.setup}) < "
+                f"t_f({self.t_f}) + a({self.a}) + "
+                f"min(t_SSD({self.t_ssd}), t_fsv({self.t_fsv}))",
+                self.check_path3(),
+            ),
+            (
+                "CP4",
+                f"a({self.a}) + max(t_fsv({self.t_fsv}), t_SSD({self.t_ssd}))"
+                f" < t_f({self.t_f}) + t_G({self.t_g}) + t_env({self.t_env})",
+                self.check_path4(),
+            ),
+        ]
+
+
+def timing_report(
+    result: SynthesisResult,
+    t_env: int = 4,
+    setup: int = 0,
+    gate_a_padding: int | None = None,
+) -> TimingReport:
+    """Build the Section-4.3 report for a synthesised machine.
+
+    ``gate_a_padding`` sets ``t_f`` (the VOM AND gate delay); the default
+    pads it to ``t_Z + 1`` so critical path 3 holds by construction —
+    exactly the budget the netlist builder's ``vom_gate_delay`` knob
+    realises in simulation.
+    """
+    t_z = max((eq.expr.depth() for eq in result.outputs), default=0)
+    t_ssd = result.ssd.expr.depth()
+    t_fsv = max(result.fsv.expr.depth(), 1)
+    t_y = max((eq.expr.depth() for eq in result.next_state), default=0)
+    t_f = gate_a_padding if gate_a_padding is not None else t_z + 1
+    return TimingReport(
+        t_g=2,  # OR + AND of the G latch
+        t_z=t_z,
+        t_ssd=max(t_ssd, 1),
+        t_fsv=t_fsv,
+        t_y=t_y,
+        t_f=t_f,
+        a=1,  # flip-flop clock-to-Q (unit)
+        t_env=t_env,
+        setup=setup,
+    )

@@ -1,0 +1,40 @@
+"""Event-driven simulation: delays, simulator, oracle, 4-phase harness."""
+
+from .delays import (
+    DelayModel,
+    RandomDelay,
+    UnitDelay,
+    hostile_random,
+    loop_safe_random,
+    skewed_random,
+)
+from .harness import (
+    FantomHarness,
+    random_legal_walk,
+    validate_against_reference,
+)
+from .monitors import CycleReport, ValidationSummary, count_changes
+from .reference import FlowTableInterpreter, ReferenceStep
+from .simulator import NetChange, Simulator
+from .vcd import trace_to_vcd, write_vcd
+
+__all__ = [
+    "CycleReport",
+    "DelayModel",
+    "FantomHarness",
+    "FlowTableInterpreter",
+    "NetChange",
+    "RandomDelay",
+    "ReferenceStep",
+    "Simulator",
+    "UnitDelay",
+    "ValidationSummary",
+    "count_changes",
+    "hostile_random",
+    "loop_safe_random",
+    "random_legal_walk",
+    "skewed_random",
+    "trace_to_vcd",
+    "validate_against_reference",
+    "write_vcd",
+]

@@ -1,0 +1,128 @@
+"""Delay models for the event-driven simulator.
+
+The SI model behind FANTOM treats gate delays as unbounded but finite
+(paper Section 3); hazards are consequences of *relative* delays, so the
+simulator's delay model is where physical skew is injected:
+
+* :class:`UnitDelay` — every gate one unit; deterministic baseline.
+* :class:`RandomDelay` — per-gate delays drawn once from a seeded uniform
+  range (a delay is a property of a piece of silicon, not of an event).
+  Flip-flop clock-to-Q values get their own range, because the FFX bank's
+  per-bit clock-to-Q spread is what exposes intermediate input vectors.
+
+`loop_safe_random` draws random delays that respect the paper's
+loop-delay assumption — the maximum input-path skew stays below the
+minimum feedback-loop delay — which is the regime FANTOM guarantees
+hazard-freedom in.  The ablation benchmark uses the same model, so any
+failure of the fsv-less machine is attributable to the missing
+protection, not to breaking the architecture's stated assumptions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..netlist.gates import Dff, Gate
+
+
+class DelayModel:
+    """Assigns a fixed delay to every gate and flip-flop instance."""
+
+    def gate_delay(self, gate: Gate) -> float:
+        raise NotImplementedError
+
+    def clk_to_q(self, dff: Dff) -> float:
+        raise NotImplementedError
+
+
+@dataclass
+class UnitDelay(DelayModel):
+    """Every gate ``unit``, every flip-flop ``unit`` clock-to-Q."""
+
+    unit: float = 1.0
+
+    def gate_delay(self, gate: Gate) -> float:
+        return gate.delay if gate.delay is not None else self.unit
+
+    def clk_to_q(self, dff: Dff) -> float:
+        return dff.clk_to_q if dff.clk_to_q is not None else self.unit
+
+
+class RandomDelay(DelayModel):
+    """Seeded per-instance uniform delays.
+
+    ``gate_range`` bounds combinational gates, ``ff_range`` bounds
+    flip-flop clock-to-Q.  Each instance's delay is drawn once on first
+    use and cached, so repeated evaluations of the same gate are
+    consistent within a run, and two simulators built with the same seed
+    see identical silicon.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        gate_range: tuple[float, float] = (0.8, 1.2),
+        ff_range: tuple[float, float] = (0.2, 1.0),
+    ):
+        if gate_range[0] <= 0 or ff_range[0] <= 0:
+            raise ValueError("delays must be strictly positive")
+        self.seed = seed
+        self.gate_range = gate_range
+        self.ff_range = ff_range
+        self._cache: dict[str, float] = {}
+
+    def _draw(self, key: str, lo: float, hi: float) -> float:
+        if key not in self._cache:
+            rng = random.Random(f"{self.seed}:{key}")
+            self._cache[key] = rng.uniform(lo, hi)
+        return self._cache[key]
+
+    def gate_delay(self, gate: Gate) -> float:
+        if gate.delay is not None:
+            return gate.delay
+        return self._draw(f"g:{gate.name}", *self.gate_range)
+
+    def clk_to_q(self, dff: Dff) -> float:
+        if dff.clk_to_q is not None:
+            return dff.clk_to_q
+        return self._draw(f"f:{dff.name}", *self.ff_range)
+
+
+def loop_safe_random(seed: int) -> RandomDelay:
+    """A random model honouring the loop-delay assumption.
+
+    Flip-flop clock-to-Q spreads over [0.2, 1.0] (input skew window up to
+    0.8), while every combinational gate takes at least 1.5 — so the
+    state feedback loop (>= one full gate) is always slower than the
+    largest input skew, which is the paper's "maximum line delay less
+    than minimum loop delay" requirement.
+    """
+    return RandomDelay(
+        seed, gate_range=(1.5, 2.5), ff_range=(0.2, 1.0)
+    )
+
+
+def skewed_random(seed: int) -> RandomDelay:
+    """A deliberately hostile model: input skew comparable to gate delay.
+
+    Violates nothing the environment promises (inputs still settle before
+    the next hand-shake), but widens the intermediate-vector window, used
+    to stress the hazard ablation.
+    """
+    return RandomDelay(
+        seed, gate_range=(0.9, 1.6), ff_range=(0.2, 2.0)
+    )
+
+
+def hostile_random(seed: int) -> RandomDelay:
+    """Maximum-stress model: input skew up to several gate delays.
+
+    The intermediate-vector window now dwarfs the logic's reaction time,
+    so every function M-hazard of an unprotected machine has ample room
+    to fire; a FANTOM machine must still come back clean (its hold-or-
+    proceed construction is delay-independent).
+    """
+    return RandomDelay(
+        seed, gate_range=(0.5, 1.2), ff_range=(0.2, 3.0)
+    )

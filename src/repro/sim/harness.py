@@ -1,0 +1,215 @@
+"""The 4-phase environment harness driving a FANTOM machine.
+
+One hand-shake cycle, exactly as Section 4.2 prescribes:
+
+1. wait for ``VOM`` high (the machine advertises completion);
+2. drive the external pins ``X*`` to the new vector, then raise ``VI``;
+3. the machine raises ``G`` internally, latches the inputs, and drops
+   ``VOM``; on seeing that, the environment drops ``VI``;
+4. the machine settles (possibly through an ``fsv``-mediated second state
+   change) and re-asserts ``VOM``, latching the outputs into ``FFZ``.
+
+"Like-successive" inputs are legal — re-applying the resting vector still
+completes a full hand-shake (paper Section 3's extension of the SI
+model) — and the harness exercises them in its random walks.
+
+`validate_against_reference` runs random legal input walks and scores
+each cycle against the flow-table interpreter, producing the
+:class:`~repro.sim.monitors.ValidationSummary` the hazard benchmarks
+aggregate.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import SimulationError
+from ..netlist.fantom import FantomMachine
+from .delays import DelayModel, loop_safe_random
+from .monitors import CycleReport, ValidationSummary, count_changes
+from .reference import FlowTableInterpreter
+from .simulator import Simulator
+
+
+class FantomHarness:
+    """Owns one machine instance, one simulator, and the hand-shake."""
+
+    #: Environment think-time between observing an edge and reacting.
+    ENV_DELAY = 2.0
+    #: Budget for each wait; generous relative to any benchmark's depth.
+    WAIT_BUDGET = 600.0
+
+    def __init__(
+        self,
+        machine: FantomMachine,
+        delays: DelayModel | None = None,
+    ):
+        self.machine = machine
+        self.simulator = Simulator(
+            machine.netlist,
+            delays=delays,
+            initial_values=machine.initial_values(),
+        )
+        self.simulator.watch(
+            machine.vom, machine.g, *machine.output_nets
+        )
+        self.cycle_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.simulator.now
+
+    def state_code(self) -> int:
+        code = 0
+        for n, net in enumerate(self.machine.state_nets):
+            code |= self.simulator.value(net) << n
+        return code
+
+    def observed_state(self) -> str | None:
+        return self.machine.result.spec.encoding.state_of(self.state_code())
+
+    def outputs(self) -> tuple[int, ...]:
+        return tuple(
+            self.simulator.value(net) for net in self.machine.output_nets
+        )
+
+    # ------------------------------------------------------------------
+    def _wait_for(self, net: str, value: int) -> None:
+        if self.simulator.value(net) == value:
+            return
+        deadline = self.now + self.WAIT_BUDGET
+        self.simulator.run(
+            until=deadline,
+            stop_when=lambda sim: sim.value(net) == value,
+        )
+        if self.simulator.value(net) != value:
+            raise SimulationError(
+                f"timeout waiting for {net}={value} "
+                f"(machine {self.machine.netlist.name!r})"
+            )
+
+    def apply(self, column: int) -> tuple[str | None, tuple[int, ...]]:
+        """Run one full hand-shake delivering ``column`` to the machine.
+
+        Returns the decoded state and the latched outputs after VOM
+        re-asserts.
+        """
+        machine = self.machine
+        sim = self.simulator
+        self._wait_for(machine.vom, 1)
+        sim.run_until_quiet(self.WAIT_BUDGET)
+
+        start = self.now
+        for i, net in enumerate(machine.external_inputs):
+            sim.schedule(net, column >> i & 1, at=start + self.ENV_DELAY)
+        sim.schedule(machine.vi, 1, at=start + 2 * self.ENV_DELAY)
+        self._wait_for(machine.vom, 0)
+        sim.schedule(machine.vi, 0, at=self.now + self.ENV_DELAY)
+        self._wait_for(machine.vom, 1)
+        sim.run_until_quiet(self.WAIT_BUDGET)
+        self.cycle_count += 1
+        return self.observed_state(), self.outputs()
+
+    # ------------------------------------------------------------------
+    def scored_apply(
+        self, column: int, reference: FlowTableInterpreter, index: int
+    ) -> CycleReport:
+        """Apply one column and judge the cycle against the reference."""
+        window_start = self.now
+        expected = reference.apply(column)
+        observed_state, observed_outputs = self.apply(column)
+        window_end = self.now
+        changes = count_changes(
+            self.simulator.trace,
+            list(self.machine.output_nets),
+            window_start,
+            window_end,
+        )
+        vom_rises = sum(
+            1
+            for change in self.simulator.trace
+            if change.net == self.machine.vom
+            and change.value == 1
+            and window_start < change.time <= window_end
+        )
+        return CycleReport(
+            index=index,
+            column=column,
+            expected_state=expected.state,
+            observed_state=observed_state,
+            expected_outputs=expected.outputs,
+            observed_outputs=observed_outputs,
+            output_changes=changes,
+            vom_rises=vom_rises,
+        )
+
+
+def random_legal_walk(
+    table, steps: int, seed: int, favour_mic: bool = True
+) -> list[int]:
+    """A random sequence of legal input columns for ``table``.
+
+    Starts at the reset state's stable column; each step picks a
+    specified column of the current (settled) state, preferring
+    multiple-input changes when available so the hazard machinery gets
+    exercised.  Like-successive inputs (re-applying the resting column)
+    are included.
+    """
+    rng = random.Random(seed)
+    interpreter = FlowTableInterpreter(table)
+    current_column = interpreter.stable_column()
+    walk: list[int] = []
+    for _ in range(steps):
+        legal = interpreter.legal_columns()
+        mic = [
+            c
+            for c in legal
+            if (c ^ current_column).bit_count() >= 2
+        ]
+        pool = mic if (favour_mic and mic and rng.random() < 0.6) else legal
+        column = rng.choice(pool)
+        walk.append(column)
+        interpreter.apply(column)
+        current_column = column
+    return walk
+
+
+def validate_against_reference(
+    machine: FantomMachine,
+    steps: int = 30,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    delays_factory=loop_safe_random,
+) -> ValidationSummary:
+    """Random-walk validation of a machine against its flow table.
+
+    For each seed a fresh harness (fresh silicon: new random delays) runs
+    a random legal walk; every cycle is scored.  The returned summary is
+    the material of the hazard-ablation benchmark: a FANTOM machine must
+    come back all-clean, the fsv-less machine must not (on hazardous
+    workloads).
+    """
+    table = machine.result.table
+    summary = ValidationSummary()
+    for seed in seeds:
+        harness = FantomHarness(machine, delays=delays_factory(seed))
+        reference = FlowTableInterpreter(table)
+        walk = random_legal_walk(table, steps, seed)
+        for index, column in enumerate(walk):
+            try:
+                report = harness.scored_apply(column, reference, index)
+            except SimulationError:
+                report = CycleReport(
+                    index=index,
+                    column=column,
+                    expected_state=reference.state,
+                    observed_state=None,
+                    expected_outputs=(),
+                    observed_outputs=(),
+                    output_changes={},
+                    vom_rises=0,
+                )
+                summary.add(report)
+                break
+            summary.add(report)
+    return summary

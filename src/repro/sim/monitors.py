@@ -1,0 +1,111 @@
+"""Trace analysis: glitch detection and the single-output-change check.
+
+FANTOM "allows multiple-output bit changes, as long as the output vector
+obeys the single-output-change (SOC) principle, i.e. bits can change only
+once per input transition" (paper Section 2.2).  The monitors here
+post-process simulator traces into exactly those judgements:
+
+* per hand-shake cycle, each latched output bit must change at most once;
+* the latched outputs must match the reference interpreter's values;
+* ``VOM`` must pulse exactly once per cycle (one fall, one rise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .simulator import NetChange
+
+
+@dataclass(frozen=True)
+class CycleReport:
+    """Judgement of one hand-shake cycle (one input application)."""
+
+    index: int
+    column: int
+    expected_state: str
+    observed_state: str | None
+    expected_outputs: tuple[int | None, ...]
+    observed_outputs: tuple[int, ...]
+    output_changes: dict[str, int]
+    vom_rises: int
+
+    @property
+    def state_correct(self) -> bool:
+        return self.observed_state == self.expected_state
+
+    @property
+    def outputs_correct(self) -> bool:
+        return all(
+            expected is None or expected == observed
+            for expected, observed in zip(
+                self.expected_outputs, self.observed_outputs
+            )
+        )
+
+    @property
+    def soc_respected(self) -> bool:
+        """Each output bit changed at most once during the cycle."""
+        return all(count <= 1 for count in self.output_changes.values())
+
+    @property
+    def clean(self) -> bool:
+        return (
+            self.state_correct
+            and self.outputs_correct
+            and self.soc_respected
+            and self.vom_rises == 1
+        )
+
+
+@dataclass
+class ValidationSummary:
+    """Aggregate of a whole validation run (many cycles, many seeds)."""
+
+    cycles: list[CycleReport] = field(default_factory=list)
+
+    def add(self, report: CycleReport) -> None:
+        self.cycles.append(report)
+
+    @property
+    def total(self) -> int:
+        return len(self.cycles)
+
+    @property
+    def failures(self) -> list[CycleReport]:
+        return [c for c in self.cycles if not c.clean]
+
+    @property
+    def state_errors(self) -> int:
+        return sum(1 for c in self.cycles if not c.state_correct)
+
+    @property
+    def output_errors(self) -> int:
+        return sum(1 for c in self.cycles if not c.outputs_correct)
+
+    @property
+    def soc_violations(self) -> int:
+        return sum(1 for c in self.cycles if not c.soc_respected)
+
+    @property
+    def all_clean(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        return (
+            f"{self.total} cycles: "
+            f"{self.state_errors} state errors, "
+            f"{self.output_errors} output errors, "
+            f"{self.soc_violations} SOC violations"
+        )
+
+
+def count_changes(
+    trace: list[NetChange], nets: list[str], start: float, end: float
+) -> dict[str, int]:
+    """Transitions per net within the half-open window [start, end)."""
+    counts = {net: 0 for net in nets}
+    for change in trace:
+        if change.net in counts and start <= change.time < end:
+            counts[change.net] += 1
+    return counts

@@ -1,0 +1,83 @@
+"""Flow-table reference interpreter: the simulation oracle.
+
+Executes a flow table at the *semantic* level — no gates, no delays —
+producing the stable state and latched outputs after each input change.
+The dynamic validation harness compares the gate-level FANTOM machine
+against this interpreter step by step; any divergence is a hazard the
+architecture failed to contain (or, with ``fsv`` ablated, the hazard the
+paper's mechanism exists to prevent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from ..flowtable.table import FlowTable
+
+
+@dataclass(frozen=True)
+class ReferenceStep:
+    """Outcome of one input application."""
+
+    column: int
+    state: str
+    outputs: tuple[int | None, ...]
+
+
+class FlowTableInterpreter:
+    """Stateful executor of a normal-mode flow table."""
+
+    def __init__(self, table: FlowTable, state: str | None = None):
+        self.table = table
+        self.state = state or table.reset_state or table.states[0]
+        if self.state not in table.states:
+            raise SimulationError(f"unknown start state {self.state!r}")
+
+    def stable_column(self) -> int:
+        columns = self.table.stable_columns(self.state)
+        if not columns:
+            raise SimulationError(
+                f"state {self.state!r} has no stable column"
+            )
+        return columns[0]
+
+    def legal_columns(self) -> list[int]:
+        """Columns with a specified entry from the current state."""
+        return [
+            column
+            for column in self.table.columns
+            if self.table.is_specified(self.state, column)
+        ]
+
+    def apply(self, column: int) -> ReferenceStep:
+        """Apply one (total) input vector and settle.
+
+        Normal mode settles in at most one hop; chains are followed
+        defensively, with oscillation detected.
+        """
+        seen = {self.state}
+        current = self.state
+        while True:
+            nxt = self.table.next_state(current, column)
+            if nxt is None:
+                raise SimulationError(
+                    f"unspecified entry ({current!r}, "
+                    f"{self.table.column_string(column)}): the environment "
+                    f"applied an illegal input"
+                )
+            if nxt == current:
+                break
+            if nxt in seen:
+                raise SimulationError(
+                    f"oscillation under column "
+                    f"{self.table.column_string(column)}"
+                )
+            seen.add(nxt)
+            current = nxt
+        self.state = current
+        outputs = self.table.output_vector(current, column)
+        return ReferenceStep(column=column, state=current, outputs=outputs)
+
+    def run(self, columns: list[int]) -> list[ReferenceStep]:
+        return [self.apply(column) for column in columns]

@@ -1,0 +1,86 @@
+"""VCD (value-change-dump) export of simulation traces.
+
+Watched-net traces from :class:`~repro.sim.simulator.Simulator` become a
+standard VCD stream readable by GTKWave and friends — convenient for
+inspecting the fsv hand-over and the VOM hand-shake visually, and the
+format every EDA debug flow speaks.
+
+Times are emitted in integer timestamp units: simulator time is scaled
+by ``resolution`` (default 100 steps per unit delay) so fractional
+random delays survive the integer quantisation of the format.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from .simulator import NetChange
+
+#: Printable VCD identifier alphabet.
+_ID_ALPHABET = [chr(c) for c in range(33, 127)]
+
+
+def _identifier(index: int) -> str:
+    """Short printable identifier for variable ``index``."""
+    if index < len(_ID_ALPHABET):
+        return _ID_ALPHABET[index]
+    head, tail = divmod(index, len(_ID_ALPHABET))
+    return _identifier(head - 1) + _ID_ALPHABET[tail]
+
+
+def trace_to_vcd(
+    trace: Iterable[NetChange],
+    nets: Iterable[str],
+    initial_values: Mapping[str, int] | None = None,
+    module: str = "fantom",
+    timescale: str = "1ns",
+    resolution: int = 100,
+) -> str:
+    """Render a trace as VCD text.
+
+    Only changes on ``nets`` are emitted, in time order; simultaneous
+    changes share a timestamp.  ``initial_values`` populates the
+    ``$dumpvars`` section (nets without one start at 0).
+    """
+    nets = list(dict.fromkeys(nets))
+    identifiers = {net: _identifier(i) for i, net in enumerate(nets)}
+    initial = dict(initial_values or {})
+
+    lines = [
+        "$date repro simulation $end",
+        "$version repro FANTOM simulator $end",
+        f"$timescale {timescale} $end",
+        f"$scope module {module} $end",
+    ]
+    for net in nets:
+        lines.append(f"$var wire 1 {identifiers[net]} {net} $end")
+    lines.append("$upscope $end")
+    lines.append("$enddefinitions $end")
+    lines.append("$dumpvars")
+    for net in nets:
+        lines.append(f"{initial.get(net, 0)}{identifiers[net]}")
+    lines.append("$end")
+
+    current_time: int | None = None
+    for change in sorted(trace, key=lambda c: c.time):
+        if change.net not in identifiers:
+            continue
+        stamp = round(change.time * resolution)
+        if stamp != current_time:
+            lines.append(f"#{stamp}")
+            current_time = stamp
+        lines.append(f"{change.value}{identifiers[change.net]}")
+    return "\n".join(lines) + "\n"
+
+
+def write_vcd(
+    path,
+    trace: Iterable[NetChange],
+    nets: Iterable[str],
+    initial_values: Mapping[str, int] | None = None,
+    **kwargs,
+) -> None:
+    """Write a trace to ``path`` as VCD."""
+    text = trace_to_vcd(trace, nets, initial_values, **kwargs)
+    with open(path, "w") as handle:
+        handle.write(text)

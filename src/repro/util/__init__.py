@@ -1,0 +1,5 @@
+"""Small shared utilities (generic set covering, deterministic naming)."""
+
+from .setcover import SetCoverResult, minimum_set_cover
+
+__all__ = ["SetCoverResult", "minimum_set_cover"]

@@ -1,0 +1,149 @@
+"""Generic minimum set cover with exact branch-and-bound.
+
+Several SEANCE stages reduce to set covering — choosing prime implicants,
+choosing merged dichotomies for the Tracey state assignment — over
+universes of at most a few dozen elements.  This module provides one
+careful implementation: iterated essential extraction, dominated-candidate
+elimination, exact branch-and-bound on the cyclic core, and a greedy
+fallback above a size threshold.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass
+
+from ..errors import CoveringError
+
+#: Above this many candidates in the cyclic core the solver goes greedy.
+EXACT_LIMIT = 30
+
+
+@dataclass(frozen=True)
+class SetCoverResult:
+    """Chosen candidate indices (into the input sequence) and provenance."""
+
+    chosen: tuple[int, ...]
+    exact: bool
+
+
+def minimum_set_cover(
+    universe: set[Hashable],
+    candidates: Sequence[frozenset],
+    exact: bool | None = None,
+) -> SetCoverResult:
+    """Select a minimum family of candidates whose union covers ``universe``.
+
+    Returns indices into ``candidates`` (deterministic for equal inputs).
+    Raises :class:`CoveringError` when the union of all candidates misses
+    part of the universe.
+    """
+    universe = set(universe)
+    if not universe:
+        return SetCoverResult((), True)
+    total: set = set()
+    for candidate in candidates:
+        total |= candidate
+    if not universe <= total:
+        missing = sorted(universe - total, key=repr)
+        raise CoveringError(f"elements cannot be covered: {missing}")
+
+    remaining = set(universe)
+    chosen: list[int] = []
+
+    # Iterated essential extraction: an element covered by exactly one
+    # candidate forces that candidate.
+    while remaining:
+        forced = None
+        for element in sorted(remaining, key=repr):
+            covering = [
+                i
+                for i, cand in enumerate(candidates)
+                if element in cand
+            ]
+            if len(covering) == 1:
+                forced = covering[0]
+                break
+        if forced is None:
+            break
+        if forced not in chosen:
+            chosen.append(forced)
+        remaining -= candidates[forced]
+
+    if not remaining:
+        return SetCoverResult(tuple(sorted(chosen)), True)
+
+    live = [
+        i
+        for i, cand in enumerate(candidates)
+        if i not in chosen and cand & remaining
+    ]
+    # Dominance: drop candidates whose useful contribution is a subset of
+    # another's (ties keep the lower index).
+    useful = {i: frozenset(candidates[i] & remaining) for i in live}
+    undominated = []
+    for i in live:
+        dominated = any(
+            (useful[i] < useful[j])
+            or (useful[i] == useful[j] and j < i)
+            for j in live
+            if j != i
+        )
+        if not dominated:
+            undominated.append(i)
+    live = undominated
+
+    use_exact = exact if exact is not None else len(live) <= EXACT_LIMIT
+    if use_exact:
+        extra = _branch_and_bound(remaining, live, useful)
+        return SetCoverResult(tuple(sorted(chosen + extra)), True)
+    extra = _greedy(remaining, live, useful)
+    return SetCoverResult(tuple(sorted(chosen + extra)), False)
+
+
+def _greedy(
+    remaining: set, live: list[int], useful: dict[int, frozenset]
+) -> list[int]:
+    chosen = []
+    remaining = set(remaining)
+    while remaining:
+        best = max(live, key=lambda i: (len(useful[i] & remaining), -i))
+        gain = useful[best] & remaining
+        if not gain:
+            raise CoveringError("greedy set cover stalled (internal error)")
+        chosen.append(best)
+        remaining -= gain
+    return chosen
+
+
+def _branch_and_bound(
+    remaining: set, live: list[int], useful: dict[int, frozenset]
+) -> list[int]:
+    best = _greedy(remaining, live, useful)
+
+    def search(uncovered: frozenset, chosen: list[int]) -> None:
+        nonlocal best
+        if not uncovered:
+            if len(chosen) < len(best):
+                best = list(chosen)
+            return
+        if len(chosen) + 1 >= len(best):
+            return
+        target = min(
+            uncovered,
+            key=lambda e: (
+                sum(1 for i in live if e in useful[i]),
+                repr(e),
+            ),
+        )
+        options = [i for i in live if target in useful[i]]
+        options.sort(key=lambda i: (-len(useful[i] & uncovered), i))
+        for option in options:
+            if option in chosen:
+                continue
+            chosen.append(option)
+            search(uncovered - useful[option], chosen)
+            chosen.pop()
+
+    search(frozenset(remaining), [])
+    return sorted(best)

@@ -1,0 +1,35 @@
+"""Hypothesis property tests: Tracey assignment on random normal-mode tables."""
+
+from hypothesis import given, settings
+
+from repro.assign.tracey import assign_states
+from repro.assign.verify import is_valid_ustt
+
+from ..strategies import normal_mode_tables
+
+
+@given(normal_mode_tables(max_states=5, max_inputs=2))
+@settings(max_examples=80, deadline=None)
+def test_assignment_is_always_valid_ustt(table):
+    result = assign_states(table)
+    assert is_valid_ustt(table, result.encoding)
+
+
+@given(normal_mode_tables(max_states=5, max_inputs=2))
+@settings(max_examples=80, deadline=None)
+def test_assignment_codes_unique_and_in_range(table):
+    result = assign_states(table)
+    encoding = result.encoding
+    codes = [encoding.code(s) for s in table.states]
+    assert len(set(codes)) == len(codes)
+    assert all(0 <= c < (1 << encoding.num_variables) for c in codes)
+
+
+@given(normal_mode_tables(max_states=4, max_inputs=2))
+@settings(max_examples=60, deadline=None)
+def test_every_seed_covered_by_some_chosen_dichotomy(table):
+    result = assign_states(table)
+    for seed in result.seeds:
+        assert any(chosen.covers(seed) for chosen in result.chosen), (
+            f"seed {seed} uncovered"
+        )

@@ -1,0 +1,85 @@
+"""Dynamic tests of the SIC Huffman baseline machine."""
+
+import pytest
+
+from repro.baselines.huffman import synthesize_huffman
+from repro.baselines.huffman_sim import (
+    build_huffman,
+    default_baseline_delays,
+    run_walk,
+    sic_walk,
+)
+from repro.bench import benchmark
+from repro.sim.harness import random_legal_walk
+from repro.sim.reference import FlowTableInterpreter
+
+
+def lion_machine():
+    return build_huffman(synthesize_huffman(benchmark("lion")))
+
+
+class TestBuild:
+    def test_structure(self):
+        machine = lion_machine()
+        machine.netlist.validate()
+        # no flip-flops anywhere: the baseline is pure feedback logic.
+        assert machine.netlist.dffs == []
+        assert set(machine.input_nets) == {"x1", "x2"}
+
+    def test_initial_values_fixpoint(self):
+        machine = lion_machine()
+        values = machine.initial_values()
+        encoding = machine.result.spec.encoding
+        reset = machine.result.table.reset_state
+        code = encoding.code(reset)
+        for n, net in enumerate(machine.state_nets):
+            assert values[net] == code >> n & 1
+
+
+class TestSicWalks:
+    def test_walk_is_single_input_change(self):
+        table = benchmark("lion")
+        walk = sic_walk(table, steps=30, seed=4)
+        assert walk, "no SIC walk available"
+        interpreter = FlowTableInterpreter(table)
+        current = interpreter.stable_column()
+        for column in walk:
+            assert (column ^ current).bit_count() == 1
+            interpreter.apply(column)
+            current = column
+
+    @pytest.mark.parametrize("name", ["lion", "traffic", "hazard_demo"])
+    def test_baseline_correct_under_sic(self, name):
+        """The contract the baseline honours: single-input changes."""
+        machine = build_huffman(synthesize_huffman(benchmark(name)))
+        table = machine.result.table
+        for seed in (0, 1):
+            walk = sic_walk(table, steps=25, seed=seed)
+            run = run_walk(
+                machine, walk, default_baseline_delays(seed), seed=seed
+            )
+            assert run.clean, (name, seed, run)
+
+
+class TestMicWalks:
+    def test_baseline_breaks_under_mic_with_skew(self):
+        """The restriction FANTOM removes: multi-bit changes with input
+        skew mis-settle the unprotected classic machine somewhere."""
+        failures = 0
+        for name in ("lion", "traffic", "hazard_demo"):
+            machine = build_huffman(synthesize_huffman(benchmark(name)))
+            table = machine.result.table
+            for seed in range(4):
+                walk = random_legal_walk(table, steps=25, seed=seed)
+                run = run_walk(
+                    machine,
+                    walk,
+                    default_baseline_delays(seed),
+                    input_skew=3.0,
+                    seed=seed,
+                )
+                failures += run.state_errors + run.output_errors
+        assert failures > 0, (
+            "the SIC baseline survived every MIC walk — the comparison "
+            "lost its subject"
+        )

@@ -1,0 +1,122 @@
+"""Tests for the benchmark suite: structure, fidelity and irreducibility."""
+
+import pytest
+
+from repro.bench import (
+    PAPER_TABLE1,
+    TABLE1_BENCHMARKS,
+    benchmark,
+    benchmark_names,
+    kiss_source,
+    load_all,
+)
+from repro.flowtable.kiss import parse_kiss
+from repro.flowtable.validation import validate
+from repro.minimize.compatibility import compute_compatibility
+
+
+class TestCatalogue:
+    def test_table1_names_present(self):
+        names = benchmark_names()
+        for name in TABLE1_BENCHMARKS:
+            assert name in names
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            benchmark("nonexistent")
+
+    def test_load_all(self):
+        tables = load_all()
+        assert set(tables) == set(benchmark_names())
+
+    def test_paper_values_cover_table1(self):
+        assert set(PAPER_TABLE1) == set(TABLE1_BENCHMARKS)
+
+
+class TestShapes:
+    """State/input/output counts must match the MCNC originals."""
+
+    @pytest.mark.parametrize(
+        "name,states,inputs,outputs",
+        [
+            ("lion", 4, 2, 1),
+            ("lion9", 9, 2, 1),
+            ("train11", 11, 2, 1),
+            ("train4", 4, 2, 1),
+            ("test_example", 4, 2, 1),
+            ("traffic", 4, 2, 2),
+            ("hazard_demo", 2, 2, 1),
+            ("dme", 3, 2, 1),
+            ("parity", 6, 2, 1),
+        ],
+    )
+    def test_counts(self, name, states, inputs, outputs):
+        table = benchmark(name)
+        assert table.num_states == states
+        assert table.num_inputs == inputs
+        assert table.num_outputs == outputs
+
+    def test_all_validate(self):
+        for name, table in load_all().items():
+            validate(table)  # normal mode, connectivity, restability
+
+    def test_all_have_reset_states(self):
+        for name, table in load_all().items():
+            assert table.reset_state is not None, name
+
+
+class TestMultipleInputChanges:
+    """Every machine must exercise the paper's subject matter."""
+
+    def test_all_have_mic_transitions(self):
+        for name, table in load_all().items():
+            mic = list(table.transitions(min_input_distance=2))
+            assert mic, f"{name} has no multiple-input changes"
+
+    def test_incompletely_specified_members_exist(self):
+        # the paper stresses SEANCE handles incomplete specification;
+        # lion and test_example must exercise it.
+        lion = benchmark("lion")
+        unspecified = [
+            (s, c)
+            for s in lion.states
+            for c in lion.columns
+            if not lion.is_specified(s, c)
+        ]
+        assert unspecified
+
+
+class TestIrreducibility:
+    """Table-1 machines are observationally minimal, like the originals
+    (test_example is the deliberate exception — it exercises Step 2)."""
+
+    @pytest.mark.parametrize(
+        "name", ["lion", "lion9", "train11", "traffic", "train4"]
+    )
+    def test_no_compatible_pairs(self, name):
+        table = benchmark(name)
+        result = compute_compatibility(table)
+        assert result.compatible_pairs == frozenset(), (
+            f"{name} has mergeable states: "
+            f"{sorted(result.compatible_pairs)}"
+        )
+
+    def test_test_example_reduces(self):
+        table = benchmark("test_example")
+        result = compute_compatibility(table)
+        assert ("done", "req") in result.compatible_pairs
+
+
+class TestKissSources:
+    def test_kiss_roundtrip(self):
+        for name in benchmark_names():
+            text = kiss_source(name)
+            table = parse_kiss(text, name=name)
+            original = benchmark(name)
+            assert table.num_states == original.num_states
+            assert table.num_inputs == original.num_inputs
+
+    def test_generated_sources_declare_counts(self):
+        text = kiss_source("lion9")
+        assert ".i 2" in text
+        assert ".s 9" in text

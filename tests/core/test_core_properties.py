@@ -1,0 +1,99 @@
+"""Property tests for the SEANCE core on random normal-mode tables."""
+
+from hypothesis import given, settings, HealthCheck
+
+from repro.assign.tracey import assign_states
+from repro.core.fsv import fsv_function, next_state_functions
+from repro.core.hazard_analysis import find_hazards
+from repro.core.spec import SpecifiedMachine
+from repro.core.factoring import factor_fsv, factor_next_state
+from repro.logic.expr import expr_truth
+
+from ..strategies import normal_mode_tables
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def build_spec(table):
+    assignment = assign_states(table)
+    return SpecifiedMachine(table, assignment.encoding)
+
+
+@given(normal_mode_tables(max_states=4, max_inputs=2))
+@SETTINGS
+def test_fsv_off_at_stable_points(table):
+    spec = build_spec(table)
+    analysis = find_hazards(spec)
+    fsv = fsv_function(spec, analysis)
+    for m in spec.stable_minterms():
+        assert fsv.value(m) == 0
+
+
+@given(normal_mode_tables(max_states=4, max_inputs=2))
+@SETTINGS
+def test_hazard_points_hold_invariant_variables(table):
+    """At every hazard-list point the f̄sv half holds the present value."""
+    spec = build_spec(table)
+    analysis = find_hazards(spec)
+    for n in range(spec.num_state_vars):
+        fn = None
+        for point in analysis.hazard_list(n):
+            if fn is None:
+                from repro.core.fsv import next_state_function
+
+                fn = next_state_function(spec, analysis, n)
+            _, code = spec.unpack(point)
+            assert fn.value(point) == (code >> n & 1)
+
+
+@given(normal_mode_tables(max_states=4, max_inputs=2))
+@SETTINGS
+def test_factored_equations_match_functions(table):
+    spec = build_spec(table)
+    analysis = find_hazards(spec)
+    fsv_fn = fsv_function(spec, analysis)
+    fsv_eq = factor_fsv(fsv_fn)
+    fsv_table = expr_truth(fsv_eq.expr, fsv_fn.names)
+    for m in range(fsv_fn.space):
+        assert fsv_table[m] == fsv_fn.value(m)
+    for n, fn in enumerate(next_state_functions(spec, analysis)):
+        eq = factor_next_state(fn, spec.width, name=f"y{n + 1}")
+        table_vals = expr_truth(eq.expr, fn.names)
+        for m in range(fn.space):
+            v = fn.value(m)
+            if v is not None:
+                assert table_vals[m] == v
+
+
+@given(normal_mode_tables(max_states=4, max_inputs=2))
+@SETTINGS
+def test_factored_covers_bridge_fsv_transitions(table):
+    """No static-1 hazard on any fsv transition of any Y cover."""
+    spec = build_spec(table)
+    analysis = find_hazards(spec)
+    for n, fn in enumerate(next_state_functions(spec, analysis)):
+        eq = factor_next_state(fn, spec.width, name=f"y{n + 1}")
+        covered = {m for c in eq.cover for m in c.minterms()}
+        pivot = 1 << spec.width
+        for m in covered:
+            other = m ^ pivot
+            if other in covered:
+                assert any(
+                    c.contains(m) and c.contains(other) for c in eq.cover
+                )
+
+
+@given(normal_mode_tables(max_states=4, max_inputs=2))
+@SETTINGS
+def test_excitation_agrees_with_flow_table(table):
+    """At every specified (state, column) cell the filled excitation is
+    exactly the destination's code."""
+    spec = build_spec(table)
+    for state, column, entry in table.specified_entries():
+        minterm = spec.point(state, column)
+        expected = spec.encoding.code(entry.next_state)
+        assert spec.excitation_code(minterm) == expected

@@ -1,0 +1,110 @@
+"""Unit tests for the Figure-5 hazard factoring."""
+
+import pytest
+
+from repro.core.factoring import factor_fsv, factor_next_state
+from repro.logic.cube import Cube
+from repro.logic.expr import expr_truth
+from repro.logic.function import BooleanFunction
+
+
+def paper_example_function():
+    """The worked example of paper Section 5.3.
+
+    ``Y1 = f̄sv·(y1·x1) + fsv·(y1·x1·x̄2) + fsv·(y2·x̄1·x2)`` over the
+    variable order (x1, x2, y1, y2, fsv).
+    """
+    names = ("x1", "x2", "y1", "y2", "fsv")
+    cubes = [
+        Cube.from_string("1-1-0"),  # f̄sv · y1 · x1
+        Cube.from_string("101-1"),  # fsv · y1 · x1 · x̄2
+        Cube.from_string("01-11"),  # fsv · y2 · x̄1 · x2
+    ]
+    return BooleanFunction.from_cubes(names, cubes), cubes
+
+
+class TestPaperExample:
+    def test_function_preserved(self):
+        function, _ = paper_example_function()
+        eq = factor_next_state(function, fsv_index=4, name="y1")
+        table = expr_truth(eq.expr, function.names)
+        for m in range(function.space):
+            spec = function.value(m)
+            if spec is not None:
+                assert table[m] == spec
+
+    def test_depth_is_five(self):
+        # The factored L·(f̄sv·u + fsv·v + bridge) shape measures exactly
+        # the five levels Table 1 reports for the benchmark machines.
+        function, _ = paper_example_function()
+        eq = factor_next_state(function, fsv_index=4, name="y1")
+        assert eq.expr.depth() == 5
+
+    def test_bridge_term_present(self):
+        function, _ = paper_example_function()
+        eq = factor_next_state(function, fsv_index=4, name="y1")
+        # the consensus of f̄sv·y1x1 and fsv·y1x1x̄2 is y1·x1·x̄2.
+        assert Cube.from_string("101--") in eq.cover
+
+    def test_no_complemented_inputs_after_first_level(self):
+        function, _ = paper_example_function()
+        eq = factor_next_state(function, fsv_index=4, name="y1")
+        assert not any(neg for _, neg in eq.expr.literals())
+
+
+class TestFsvTransitionHazardFreedom:
+    def test_cover_has_no_fsv_static_hazard(self):
+        function, _ = paper_example_function()
+        eq = factor_next_state(function, fsv_index=4, name="y1")
+        covered = {m for c in eq.cover for m in c.minterms()}
+        for m in covered:
+            other = m ^ (1 << 4)  # toggle fsv
+            if other in covered:
+                assert any(
+                    c.contains(m) and c.contains(other) for c in eq.cover
+                ), f"fsv transition {m:05b}->{other:05b} unbridged"
+
+    def test_joint_mode_also_preserves_function(self):
+        function, _ = paper_example_function()
+        eq = factor_next_state(
+            function, fsv_index=4, name="y1", reduce_mode="joint"
+        )
+        table = expr_truth(eq.expr, function.names)
+        for m in range(function.space):
+            spec = function.value(m)
+            if spec is not None:
+                assert table[m] == spec
+
+    def test_unknown_mode_rejected(self):
+        function, _ = paper_example_function()
+        with pytest.raises(ValueError):
+            factor_next_state(function, fsv_index=4, name="y1", reduce_mode="x")
+
+
+class TestFactorFsv:
+    def test_all_primes_and_first_level(self):
+        # fsv with two hazard minterms sharing a face.
+        names = ("x1", "x2", "y1")
+        f = BooleanFunction(names, on=frozenset({0b011, 0b111}))
+        eq = factor_fsv(f)
+        # single prime x1·x2 (y1 free)
+        assert eq.cover == (Cube.from_string("11-"),)
+        table = expr_truth(eq.expr, names)
+        for m in range(8):
+            assert table[m] == (1 if m in f.on else 0)
+        assert not any(neg for _, neg in eq.expr.literals())
+
+    def test_depth_three_with_complemented_literal(self):
+        names = ("x1", "x2", "y1")
+        f = BooleanFunction(
+            names, on=frozenset({0b011, 0b100})
+        )  # x1x2y1' + x1'x2'y1
+        eq = factor_fsv(f)
+        assert eq.expr.depth() == 3
+
+    def test_empty_fsv_is_constant_zero(self):
+        names = ("x1", "y1")
+        f = BooleanFunction(names)
+        eq = factor_fsv(f)
+        assert eq.expr.depth() == 0
+        assert expr_truth(eq.expr, names) == [0, 0, 0, 0]

@@ -1,0 +1,114 @@
+"""Unit tests for the fsv / next-state construction (paper Step 6)."""
+
+from repro.assign.encoding import StateEncoding
+from repro.bench import benchmark
+from repro.core.fsv import (
+    doubled_names,
+    fsv_function,
+    next_state_function,
+    state_space_growth,
+)
+from repro.core.hazard_analysis import find_hazards
+from repro.core.spec import SpecifiedMachine
+
+
+def demo_spec():
+    table = benchmark("hazard_demo")
+    encoding = StateEncoding(("y1",), {"off": 0, "on": 1})
+    return SpecifiedMachine(table, encoding)
+
+
+class TestFsvFunction:
+    def test_on_set_is_fl(self):
+        spec = demo_spec()
+        analysis = find_hazards(spec)
+        fsv = fsv_function(spec, analysis)
+        assert fsv.on == frozenset(analysis.fl)
+        assert fsv.dc == frozenset()  # strict: no don't-cares
+
+    def test_fsv_zero_on_stable_points(self):
+        spec = demo_spec()
+        analysis = find_hazards(spec)
+        fsv = fsv_function(spec, analysis)
+        for m in spec.stable_minterms():
+            assert fsv.value(m) == 0
+
+
+class TestNextStateFunction:
+    def test_doubled_names_append_fsv(self):
+        spec = demo_spec()
+        assert doubled_names(spec) == ("x1", "x2", "y1", "fsv")
+
+    def test_low_half_complements_hazard_points(self):
+        spec = demo_spec()
+        analysis = find_hazards(spec)
+        y1 = next_state_function(spec, analysis, 0)
+        hazard_point = next(iter(analysis.fl))
+        # specified excitation at the hazard point is 1 (toward 'on');
+        # the f̄sv half must hold the present value 0 instead.
+        assert spec.excitation(0).value(hazard_point) == 1
+        assert y1.value(hazard_point) == 0
+
+    def test_high_half_keeps_specified_excitation(self):
+        spec = demo_spec()
+        analysis = find_hazards(spec)
+        y1 = next_state_function(spec, analysis, 0)
+        hazard_point = next(iter(analysis.fl))
+        high = hazard_point | (1 << spec.width)
+        assert y1.value(high) == 1
+
+    def test_non_hazard_points_identical_in_both_halves(self):
+        spec = demo_spec()
+        analysis = find_hazards(spec)
+        y1 = next_state_function(spec, analysis, 0)
+        base = spec.excitation(0)
+        top = 1 << spec.width
+        for m in range(spec.space):
+            if m in analysis.fl:
+                continue
+            spec_value = base.value(m)
+            if spec_value is None:
+                continue
+            assert y1.value(m) == spec_value
+            assert y1.value(m | top) == spec_value
+
+    def test_pins_applied_to_low_half_only(self):
+        from repro.flowtable.builder import FlowTableBuilder
+
+        b = FlowTableBuilder(inputs=["x1", "x2"], outputs=["z"])
+        b.stable("a", "00", "0").stable("a", "01", "0")
+        b.add("a", "11", "a2")
+        b.stable("a2", "11", "0")
+        b.add("a2", "01", "a").add("a2", "00", "a")
+        table = b.build(name="pins", check=False)
+        enc = StateEncoding(("y1", "y2"), {"a": 0b00, "a2": 0b01})
+        spec = SpecifiedMachine(table, enc)
+        analysis = find_hazards(spec)
+        y2 = next_state_function(spec, analysis, 1)
+        point = spec.pack(table.column_of("10"), 0b00)
+        assert y2.value(point) == 0  # pinned in the low half
+        assert y2.value(point | (1 << spec.width)) is None  # dc on top
+
+
+class TestStateSpaceGrowth:
+    def test_doubling_reported(self):
+        spec = demo_spec()
+        analysis = find_hazards(spec)
+        growth = state_space_growth(spec, analysis)
+        assert growth["base_space"] == 8
+        assert growth["doubled_space"] == 16
+        assert growth["hazard_points"] == 1
+
+    def test_no_growth_without_hazards(self):
+        from repro.flowtable.builder import FlowTableBuilder
+
+        b = FlowTableBuilder(inputs=["x1"], outputs=["z"])
+        b.stable("a", "0", "0").add("a", "1", "b")
+        b.stable("b", "1", "1").add("b", "0", "a")
+        table = b.build(name="toggle")
+        spec = SpecifiedMachine(
+            table, StateEncoding(("y1",), {"a": 0, "b": 1})
+        )
+        analysis = find_hazards(spec)
+        growth = state_space_growth(spec, analysis)
+        assert growth["doubled_space"] == growth["base_space"]

@@ -1,0 +1,165 @@
+"""Unit tests for repro.core.spec (the encoded-machine excitation model)."""
+
+import pytest
+
+from repro.assign.encoding import StateEncoding
+from repro.core.spec import SpecifiedMachine
+from repro.errors import SynthesisError
+from repro.flowtable.builder import FlowTableBuilder
+
+
+def toggle_machine():
+    b = FlowTableBuilder(inputs=["x1"], outputs=["z"])
+    b.stable("a", "0", "0").add("a", "1", "b")
+    b.stable("b", "1", "1").add("b", "0", "a")
+    table = b.build(name="toggle")
+    encoding = StateEncoding(("y1",), {"a": 0, "b": 1})
+    return SpecifiedMachine(table, encoding)
+
+
+def two_var_machine():
+    """Four states on two variables with a multi-bit coded transition."""
+    b = FlowTableBuilder(inputs=["x1"], outputs=["z"])
+    b.stable("a", "0", "0").add("a", "1", "d")
+    b.stable("d", "1", "1").add("d", "0", "a")
+    table = b.build(name="twovar", check=False)
+    # a=00, d=11: the a->d transition spans the whole code square.
+    encoding = StateEncoding(("y1", "y2"), {"a": 0b00, "d": 0b11})
+    return SpecifiedMachine(table, encoding)
+
+
+class TestGeometry:
+    def test_names_and_packing(self):
+        spec = toggle_machine()
+        assert spec.names == ("x1", "y1")
+        assert spec.pack(1, 1) == 0b11
+        assert spec.unpack(0b10) == (0, 1)
+        assert spec.width == 2
+        assert spec.space == 4
+
+    def test_point_and_state_at(self):
+        spec = toggle_machine()
+        m = spec.point("b", 0)
+        assert spec.unpack(m) == (0, 1)
+        assert spec.state_at(m) == "b"
+
+    def test_missing_state_rejected(self):
+        b = FlowTableBuilder(inputs=["x1"], outputs=["z"])
+        b.stable("a", "0", "0").stable("a", "1", "1")
+        table = b.build(name="single")
+        with pytest.raises(SynthesisError):
+            SpecifiedMachine(table, StateEncoding(("y1",), {"other": 0}))
+
+
+class TestExcitation:
+    def test_stable_points_excite_themselves(self):
+        spec = toggle_machine()
+        y = spec.excitation(0)
+        # (x=0, a): stay a -> Y=0; (x=1, b): stay b -> Y=1
+        assert y.value(spec.point("a", 0)) == 0
+        assert y.value(spec.point("b", 1)) == 1
+
+    def test_unstable_points_excite_destination(self):
+        spec = toggle_machine()
+        y = spec.excitation(0)
+        assert y.value(spec.point("a", 1)) == 1  # a -> b
+        assert y.value(spec.point("b", 0)) == 0  # b -> a
+
+    def test_transition_cube_filled_with_destination(self):
+        spec = two_var_machine()
+        # In column x=1 the a(00)->d(11) cube covers codes 01 and 10:
+        # both must excite toward 11.
+        for code in (0b01, 0b10):
+            m = spec.pack(1, code)
+            assert spec.excitation_code(m) == 0b11
+
+    def test_unvisited_codes_are_dont_care(self):
+        spec = two_var_machine()
+        # In column x=0 the d(11)->a(00) cube covers everything, so no dc
+        # there; but consider a fresh machine with no transition: column 0
+        # of two_var has d->a spanning all codes, so check a 3-var case.
+        b = FlowTableBuilder(inputs=["x1"], outputs=["z"])
+        b.stable("a", "0", "0").add("a", "1", "b")
+        b.stable("b", "1", "1").add("b", "0", "a")
+        table = b.build(name="toggle3", check=False)
+        enc = StateEncoding(("y1", "y2"), {"a": 0b00, "b": 0b01})
+        spec3 = SpecifiedMachine(table, enc)
+        y1 = spec3.excitation(0)
+        # code 10 (unused, outside the a<->b cube on variable y2=1... the
+        # a<->b cube spans y1 only with y2=0; codes 10/11 are unvisited).
+        assert y1.value(spec3.pack(0, 0b10)) is None
+        assert y1.value(spec3.pack(1, 0b11)) is None
+
+    def test_conflicting_encoding_detected(self):
+        # two transitions in one column with intersecting cubes.
+        b = FlowTableBuilder(inputs=["x1"], outputs=["z"])
+        b.stable("a", "0", "0").add("a", "1", "b")
+        b.stable("b", "1", "0").add("b", "0", "a")
+        b.stable("c", "0", "1").add("c", "1", "d")
+        b.stable("d", "1", "1").add("d", "0", "c")
+        table = b.build(name="racy", check=False)
+        bad = StateEncoding(
+            ("y1", "y2"), {"a": 0b00, "b": 0b11, "c": 0b01, "d": 0b10}
+        )
+        spec = SpecifiedMachine(table, bad)
+        with pytest.raises(SynthesisError) as err:
+            spec.excitation(0)
+        assert "not USTT" in str(err.value)
+
+    def test_excitations_list(self):
+        spec = two_var_machine()
+        assert len(spec.excitations()) == 2
+
+
+class TestOutputs:
+    def test_stable_only_policy(self):
+        spec = toggle_machine()
+        z = spec.output_function(0, "stable_only")
+        assert z.value(spec.point("a", 0)) == 0
+        assert z.value(spec.point("b", 1)) == 1
+        # unstable points are dc under the latched policy
+        assert z.value(spec.point("a", 1)) is None
+
+    def test_as_specified_policy(self):
+        b = FlowTableBuilder(inputs=["x1"], outputs=["z"])
+        b.stable("a", "0", "0").add("a", "1", "b", "1")
+        b.stable("b", "1", "1").add("b", "0", "a", "0")
+        table = b.build(name="mealy")
+        enc = StateEncoding(("y1",), {"a": 0, "b": 1})
+        spec = SpecifiedMachine(table, enc)
+        z = spec.output_function(0, "as_specified")
+        assert z.value(spec.point("a", 1)) == 1
+
+    def test_unknown_policy(self):
+        with pytest.raises(SynthesisError):
+            toggle_machine().output_function(0, "bogus")
+
+
+class TestSsd:
+    def test_on_at_stable_points(self):
+        spec = toggle_machine()
+        ssd = spec.ssd_function()
+        for m in spec.stable_minterms():
+            assert ssd.value(m) == 1
+
+    def test_off_at_unstable_points(self):
+        spec = toggle_machine()
+        ssd = spec.ssd_function()
+        assert ssd.value(spec.point("a", 1)) == 0
+        assert ssd.value(spec.point("b", 0)) == 0
+
+    def test_off_inside_transition_cubes(self):
+        spec = two_var_machine()
+        ssd = spec.ssd_function()
+        # in-flight codes of the a->d cube must read unstable.
+        for code in (0b01, 0b10):
+            assert ssd.value(spec.pack(1, code)) == 0
+
+    def test_strict_policy_fills_off(self):
+        spec = toggle_machine()
+        strict = spec.ssd_function("strict")
+        assert strict.dc == frozenset()
+
+    def test_unknown_policy(self):
+        with pytest.raises(SynthesisError):
+            toggle_machine().ssd_function("bogus")

@@ -1,0 +1,85 @@
+"""Hypothesis property tests for the flow-table layer."""
+
+from hypothesis import given, settings
+
+from repro.flowtable.kiss import parse_kiss, write_kiss
+from repro.flowtable.table import TableStats, Transition
+
+from ..strategies import normal_mode_tables
+
+SETTINGS = settings(max_examples=80, deadline=None)
+
+
+@given(normal_mode_tables())
+@SETTINGS
+def test_kiss_roundtrip_preserves_entries(table):
+    """write_kiss -> parse_kiss is the identity on entries.
+
+    State names survive; input/output names are canonicalised by the
+    KISS reader (x1.., z1..), which the strategy already uses.
+    """
+    text = write_kiss(table)
+    again = parse_kiss(text, name=table.name)
+    assert set(again.states) == set(table.states)
+    assert again.num_inputs == table.num_inputs
+    assert again.entry_map() == table.entry_map()
+
+
+@given(normal_mode_tables())
+@SETTINGS
+def test_generated_tables_are_normal_mode(table):
+    from repro.flowtable.validation import check_normal_mode
+
+    assert check_normal_mode(table) == []
+
+
+@given(normal_mode_tables())
+@SETTINGS
+def test_every_state_restable(table):
+    from repro.flowtable.validation import check_stability
+
+    assert check_stability(table) == []
+
+
+@given(normal_mode_tables())
+@SETTINGS
+def test_transitions_land_on_stable_points(table):
+    for transition in table.transitions():
+        assert table.is_stable(transition.dest, transition.to_column)
+
+
+@given(normal_mode_tables())
+@SETTINGS
+def test_intermediate_columns_lie_inside_the_change_cube(table):
+    for transition in table.transitions(min_input_distance=2):
+        diff = transition.from_column ^ transition.to_column
+        for column in transition.intermediate_columns():
+            # only changing bits may differ from the start column
+            assert (column ^ transition.from_column) & ~diff == 0
+            assert column not in (
+                transition.from_column,
+                transition.to_column,
+            )
+
+
+@given(normal_mode_tables())
+@SETTINGS
+def test_stats_are_consistent(table):
+    stats = TableStats.of(table)
+    assert stats.num_stable <= stats.num_specified
+    assert stats.num_mic_transitions <= stats.num_transitions
+    assert stats.num_states == table.num_states
+
+
+@given(normal_mode_tables(max_inputs=3))
+@SETTINGS
+def test_intermediate_count_matches_distance(table):
+    for transition in table.transitions(min_input_distance=2):
+        d = transition.input_distance()
+        count = sum(1 for _ in transition.intermediate_columns())
+        assert count == (1 << d) - 2
+
+
+def test_transition_distance_zero_has_no_intermediates():
+    t = Transition("s", 5, 5, "s")
+    assert list(t.intermediate_columns()) == []

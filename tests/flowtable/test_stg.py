@@ -1,0 +1,158 @@
+"""Unit tests for repro.flowtable.stg."""
+
+import pytest
+
+from repro.errors import SpecificationError
+from repro.flowtable.stg import Arc, Stg
+
+
+def handshake_stg() -> Stg:
+    """A 4-phase handshake observer: req/ack in, busy out."""
+    stg = Stg(
+        inputs=["req", "ack"],
+        outputs=["busy"],
+        initial_phase="idle",
+        initial_inputs={"req": 0, "ack": 0},
+    )
+    stg.phase("idle", "0")
+    stg.phase("working", "1")
+    stg.phase("done", "0")
+    stg.arc("idle", "working", ["req+"])
+    stg.arc("working", "done", ["ack+", "req-"])  # multi-bit change
+    stg.arc("done", "idle", ["ack-"])
+    return stg
+
+
+class TestArc:
+    def test_rejects_empty_changes(self):
+        with pytest.raises(SpecificationError):
+            Arc("a", "b", frozenset())
+
+    def test_rejects_bad_edge_syntax(self):
+        with pytest.raises(SpecificationError):
+            Arc("a", "b", frozenset({"x1"}))
+
+    def test_rejects_double_change_of_signal(self):
+        with pytest.raises(SpecificationError):
+            Arc("a", "b", frozenset({"x1+", "x1-"}))
+
+    def test_signals_and_multibit(self):
+        arc = Arc("a", "b", frozenset({"x1+", "x2-"}))
+        assert arc.signals == frozenset({"x1", "x2"})
+        assert arc.is_multi_bit
+        assert not Arc("a", "b", frozenset({"x1+"})).is_multi_bit
+
+
+class TestStgConstruction:
+    def test_arc_to_undeclared_phase(self):
+        stg = Stg(["x"], ["z"], "p", {"x": 0})
+        with pytest.raises(SpecificationError):
+            stg.arc("p", "q", ["x+"])
+
+    def test_arc_with_unknown_signal(self):
+        stg = Stg(["x"], ["z"], "p", {"x": 0})
+        stg.phase("q")
+        with pytest.raises(SpecificationError):
+            stg.arc("p", "q", ["y+"])
+
+    def test_missing_initial_input(self):
+        with pytest.raises(SpecificationError):
+            Stg(["x", "y"], ["z"], "p", {"x": 0})
+
+
+class TestPhaseVectors:
+    def test_vectors_propagate(self):
+        vectors = handshake_stg().phase_vectors()
+        assert vectors["idle"] == {"req": 0, "ack": 0}
+        assert vectors["working"] == {"req": 1, "ack": 0}
+        assert vectors["done"] == {"req": 0, "ack": 1}
+
+    def test_wrong_polarity_detected(self):
+        stg = Stg(["x"], ["z"], "p", {"x": 0})
+        stg.phase("q")
+        stg.arc("p", "q", ["x-"])  # x is 0, cannot fall
+        with pytest.raises(SpecificationError):
+            stg.phase_vectors()
+
+    def test_conflicting_vectors_detected(self):
+        stg = Stg(["x", "y"], ["z"], "p", {"x": 0, "y": 0})
+        stg.phase("q")
+        stg.arc("p", "q", ["x+"])
+        stg.arc("p", "q", ["y+"])  # q reached with two different vectors
+        with pytest.raises(SpecificationError):
+            stg.phase_vectors()
+
+    def test_unreachable_phase_detected(self):
+        stg = Stg(["x"], ["z"], "p", {"x": 0})
+        stg.phase("island")
+        stg.phase("q")
+        stg.arc("p", "q", ["x+"])
+        stg.arc("q", "p", ["x-"])
+        with pytest.raises(SpecificationError):
+            stg.phase_vectors()
+
+
+class TestToFlowTable:
+    def test_basic_conversion(self):
+        table = handshake_stg().to_flow_table(name="hs")
+        assert table.num_states == 3
+        assert table.is_stable("idle", table.column_of({"req": 0, "ack": 0}))
+        col = table.column_of({"req": 0, "ack": 1})
+        assert table.next_state("working", col) == "done"
+        assert table.output_vector("idle", table.column_of("00")) == (0,)
+
+    def test_conversion_is_normal_mode(self):
+        # build(check=True) validates normal mode; no exception = pass.
+        handshake_stg().to_flow_table()
+
+    def test_multibit_arc_preserved(self):
+        table = handshake_stg().to_flow_table()
+        transitions = [
+            t for t in table.transitions(min_input_distance=2)
+            if t.state == "working"
+        ]
+        assert any(t.dest == "done" for t in transitions)
+
+
+class TestExpandSingleBit:
+    def test_expansion_adds_phases_and_arcs(self):
+        stg = handshake_stg()
+        expanded = stg.expand_single_bit()
+        # one multi-bit arc of 2 edges -> 1 fresh phase, arcs 3 -> 4
+        assert len(expanded.phases) == len(stg.phases) + 1
+        assert len(expanded.arcs) == len(stg.arcs) + 1
+        assert all(not arc.is_multi_bit for arc in expanded.arcs)
+
+    def test_expansion_respects_order(self):
+        stg = handshake_stg()
+        expanded = stg.expand_single_bit(
+            orders={("working", "done"): ["req-", "ack+"]}
+        )
+        first = next(
+            arc for arc in expanded.arcs if arc.source == "working"
+        )
+        assert first.changes == frozenset({"req-"})
+
+    def test_expansion_rejects_wrong_order(self):
+        stg = handshake_stg()
+        with pytest.raises(SpecificationError):
+            stg.expand_single_bit(
+                orders={("working", "done"): ["req-", "req-"]}
+            )
+
+    def test_expanded_graph_has_consistent_vectors(self):
+        expanded = handshake_stg().expand_single_bit()
+        vectors = expanded.phase_vectors()
+        assert vectors["idle"] == {"req": 0, "ack": 0}
+
+    def test_intermediate_phase_inherits_source_outputs(self):
+        expanded = handshake_stg().expand_single_bit()
+        fresh = [p for p in expanded.phases if p.startswith("_")]
+        assert len(fresh) == 1
+        table = expanded.to_flow_table(check=False)
+        col = [
+            c for c in table.columns if table.is_stable(fresh[0], c)
+        ]
+        assert len(col) == 1
+        # "working" rests at output busy=1; the intermediate keeps it.
+        assert table.output_vector(fresh[0], col[0]) == (1,)

@@ -1,0 +1,111 @@
+"""Unit tests for repro.flowtable.validation."""
+
+import pytest
+
+from repro.errors import FlowTableError
+from repro.flowtable.builder import FlowTableBuilder
+from repro.flowtable.validation import (
+    check_normal_mode,
+    check_output_consistency,
+    check_stability,
+    check_strongly_connected,
+    validate,
+)
+
+
+def valid_two_state():
+    b = FlowTableBuilder(inputs=["x1"], outputs=["z"])
+    b.stable("a", "0", "0").add("a", "1", "b")
+    b.stable("b", "1", "1").add("b", "0", "a")
+    return b
+
+
+class TestNormalMode:
+    def test_valid_table_passes(self):
+        table = valid_two_state().build(check=False)
+        assert check_normal_mode(table) == []
+
+    def test_unstable_destination_flagged(self):
+        b = FlowTableBuilder(inputs=["x1"], outputs=["z"])
+        b.stable("a", "0", "0")
+        b.add("a", "1", "b")
+        b.add("b", "1", "c")  # b not stable under 1: a->b is not normal mode
+        b.stable("c", "1", "1")
+        b.add("b", "0", "a").add("c", "0", "a")
+        table = b.build(check=False)
+        problems = check_normal_mode(table)
+        assert len(problems) == 1
+        assert "not stable" in problems[0]
+
+    def test_unspecified_destination_column_flagged(self):
+        b = FlowTableBuilder(inputs=["x1"], outputs=["z"])
+        b.stable("a", "0", "0")
+        b.add("a", "1", "b")  # b has no entry at column 1 at all
+        b.add("b", "0", "a")
+        table = b.build(check=False)
+        assert check_normal_mode(table)
+
+
+class TestStrongConnectivity:
+    def test_valid_table_passes(self):
+        table = valid_two_state().build(check=False)
+        assert check_strongly_connected(table) == []
+
+    def test_sink_state_flagged(self):
+        b = FlowTableBuilder(inputs=["x1"], outputs=["z"])
+        b.stable("a", "0", "0").add("a", "1", "b")
+        b.stable("b", "1", "1").stable("b", "0", "1")  # b never leaves
+        table = b.build(check=False)
+        problems = check_strongly_connected(table)
+        assert any("unreachable from b" in p for p in problems)
+
+
+class TestStability:
+    def test_state_with_no_stable_column_flagged(self):
+        b = FlowTableBuilder(inputs=["x1"], outputs=["z"])
+        b.stable("a", "0", "0")
+        b.add("a", "1", "b")
+        b.stable("b", "1", "1")
+        b.add("b", "0", "a")
+        b.state("ghost")
+        b.add("ghost", "0", "a")
+        table = b.build(check=False)
+        problems = check_stability(table)
+        assert problems == ["state ghost has no stable column"]
+
+
+class TestOutputConsistency:
+    def test_unspecified_stable_outputs_flagged(self):
+        b = FlowTableBuilder(inputs=["x1"], outputs=["z"])
+        b.stable("a", "0")  # no outputs given
+        b.add("a", "1", "b")
+        b.stable("b", "1", "1")
+        b.add("b", "0", "a")
+        table = b.build(check=False)
+        problems = check_output_consistency(table)
+        assert len(problems) == 1
+
+
+class TestValidate:
+    def test_valid_table_silently_passes(self):
+        validate(valid_two_state().build(check=False))
+
+    def test_all_problems_reported_together(self):
+        b = FlowTableBuilder(inputs=["x1"], outputs=["z"])
+        b.stable("a", "0", "0")
+        b.add("a", "1", "b")
+        b.add("b", "1", "a")  # not normal mode AND b has no stable column
+        table = b.build(check=False)
+        with pytest.raises(FlowTableError) as err:
+            validate(table)
+        message = str(err.value)
+        assert "not stable" in message
+        assert "no stable column" in message
+
+    def test_builder_build_invokes_validation(self):
+        b = FlowTableBuilder(inputs=["x1"], outputs=["z"])
+        b.stable("a", "0", "0")
+        b.add("a", "1", "b")
+        b.add("b", "1", "a")
+        with pytest.raises(FlowTableError):
+            b.build()

@@ -1,0 +1,210 @@
+"""Unit tests for repro.logic.cube."""
+
+import pytest
+
+from repro.logic.cube import Cube, cover_contains, remove_contained
+
+
+class TestConstruction:
+    def test_from_string_roundtrip(self):
+        for text in ["", "0", "1", "-", "10-", "-01-", "1111", "0000", "--"]:
+            assert Cube.from_string(text).to_string() == text
+
+    def test_from_string_rejects_bad_char(self):
+        with pytest.raises(ValueError):
+            Cube.from_string("10z")
+
+    def test_from_string_accepts_x_as_dc(self):
+        assert Cube.from_string("1x0") == Cube.from_string("1-0")
+
+    def test_from_minterm(self):
+        cube = Cube.from_minterm(5, 3)
+        assert cube.to_string() == "101"
+        assert list(cube.minterms()) == [5]
+
+    def test_from_minterm_out_of_range(self):
+        with pytest.raises(ValueError):
+            Cube.from_minterm(8, 3)
+
+    def test_universe(self):
+        cube = Cube.universe(3)
+        assert cube.to_string() == "---"
+        assert cube.size == 8
+
+    def test_from_bits(self):
+        cube = Cube.from_bits({0: 1, 2: 0}, 4)
+        assert cube.to_string() == "1-0-"
+
+    def test_from_bits_rejects_out_of_range_var(self):
+        with pytest.raises(ValueError):
+            Cube.from_bits({4: 1}, 4)
+
+    def test_value_canonicalised_under_mask(self):
+        # Bits of `value` outside `mask` must not affect equality.
+        a = Cube(3, 0b001, 0b001)
+        b = Cube(3, 0b001, 0b011)  # junk bit outside the mask
+        assert a == b
+
+    def test_mask_outside_width_rejected(self):
+        with pytest.raises(ValueError):
+            Cube(2, 0b100, 0)
+
+
+class TestQueries:
+    def test_literal(self):
+        cube = Cube.from_string("1-0")
+        assert cube.literal(0) == 1
+        assert cube.literal(1) is None
+        assert cube.literal(2) == 0
+
+    def test_counts(self):
+        cube = Cube.from_string("1--0")
+        assert cube.num_literals == 2
+        assert cube.num_free == 2
+        assert cube.size == 4
+
+    def test_contains_minterm(self):
+        cube = Cube.from_string("1-0")
+        # variable 0 = 1, variable 2 = 0 -> minterms 0b001 and 0b011.
+        assert cube.contains(0b001)
+        assert cube.contains(0b011)
+        assert not cube.contains(0b000)
+        assert not cube.contains(0b101)
+
+    def test_minterms_enumeration(self):
+        cube = Cube.from_string("-0-")
+        assert sorted(cube.minterms()) == [0b000, 0b001, 0b100, 0b101]
+
+    def test_contains_cube(self):
+        big = Cube.from_string("1--")
+        small = Cube.from_string("1-0")
+        assert big.contains_cube(small)
+        assert not small.contains_cube(big)
+        assert big.contains_cube(big)
+
+    def test_intersects(self):
+        assert Cube.from_string("1-").intersects(Cube.from_string("-0"))
+        assert not Cube.from_string("1-").intersects(Cube.from_string("0-"))
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Cube.from_string("1-").intersects(Cube.from_string("1--"))
+
+
+class TestAlgebra:
+    def test_intersect(self):
+        a = Cube.from_string("1--")
+        b = Cube.from_string("-0-")
+        assert a.intersect(b) == Cube.from_string("10-")
+
+    def test_intersect_conflict_is_none(self):
+        assert Cube.from_string("1--").intersect(Cube.from_string("0--")) is None
+
+    def test_supercube(self):
+        a = Cube.from_string("101")
+        b = Cube.from_string("100")
+        assert a.supercube(b) == Cube.from_string("10-")
+
+    def test_supercube_of_disjoint(self):
+        a = Cube.from_string("11")
+        b = Cube.from_string("00")
+        assert a.supercube(b) == Cube.from_string("--")
+
+    def test_distance(self):
+        a = Cube.from_string("10-")
+        b = Cube.from_string("01-")
+        assert a.distance(b) == 2
+        assert a.distance(a) == 0
+
+    def test_merge_adjacent(self):
+        a = Cube.from_string("101")
+        b = Cube.from_string("100")
+        assert a.merge(b) == Cube.from_string("10-")
+
+    def test_merge_requires_same_mask(self):
+        assert Cube.from_string("10-").merge(Cube.from_string("101")) is None
+
+    def test_merge_requires_distance_one(self):
+        assert Cube.from_string("11").merge(Cube.from_string("00")) is None
+
+    def test_consensus(self):
+        # x·z' and x'·y -> consensus y·z' (conflict on variable 0).
+        a = Cube.from_string("1-0")
+        b = Cube.from_string("01-")
+        assert a.consensus(b) == Cube.from_string("-10")
+
+    def test_consensus_undefined_when_no_conflict(self):
+        a = Cube.from_string("1--")
+        b = Cube.from_string("-1-")
+        assert a.consensus(b) is None
+
+    def test_consensus_undefined_when_two_conflicts(self):
+        a = Cube.from_string("11-")
+        b = Cube.from_string("00-")
+        assert a.consensus(b) is None
+
+    def test_consensus_is_implicant_of_union(self):
+        a = Cube.from_string("1-0-")
+        b = Cube.from_string("01--")
+        c = a.consensus(b)
+        assert c is not None
+        for m in c.minterms():
+            assert a.contains(m) or b.contains(m)
+
+    def test_cofactor(self):
+        cube = Cube.from_string("1-0")
+        assert cube.cofactor(0, 1) == Cube.from_string("--0")
+        assert cube.cofactor(0, 0) is None
+        assert cube.cofactor(1, 1) == Cube.from_string("1-0")
+
+    def test_expand(self):
+        cube = Cube.from_string("1--")
+        assert cube.expand(1, 0) == Cube.from_string("10-")
+        with pytest.raises(ValueError):
+            cube.expand(0, 0)
+
+    def test_drop(self):
+        assert Cube.from_string("10-").drop(1) == Cube.from_string("1--")
+
+    def test_restricted_to(self):
+        cube = Cube.from_string("101")
+        assert cube.restricted_to(0b101) == Cube.from_string("1-1")
+
+
+class TestRendering:
+    def test_to_term(self):
+        cube = Cube.from_string("1-0")
+        assert cube.to_term(["a", "b", "c"]) == "a·c'"
+
+    def test_to_term_universe(self):
+        assert Cube.universe(2).to_term(["a", "b"]) == "1"
+
+    def test_to_term_wrong_names(self):
+        with pytest.raises(ValueError):
+            Cube.from_string("1-").to_term(["a"])
+
+    def test_repr(self):
+        assert repr(Cube.from_string("1-")) == "Cube('1-')"
+
+
+class TestCoverHelpers:
+    def test_cover_contains(self):
+        cover = [Cube.from_string("1-"), Cube.from_string("-0")]
+        assert cover_contains(cover, 0b01)
+        assert cover_contains(cover, 0b00)
+        assert not cover_contains(cover, 0b10)
+
+    def test_remove_contained(self):
+        cover = [
+            Cube.from_string("1--"),
+            Cube.from_string("1-0"),  # inside the first
+            Cube.from_string("-1-"),
+        ]
+        assert remove_contained(cover) == [
+            Cube.from_string("1--"),
+            Cube.from_string("-1-"),
+        ]
+
+    def test_remove_contained_keeps_one_duplicate(self):
+        cover = [Cube.from_string("1-"), Cube.from_string("1-")]
+        assert remove_contained(cover) == [Cube.from_string("1-")]

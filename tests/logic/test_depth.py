@@ -1,0 +1,70 @@
+"""Unit tests for repro.logic.depth."""
+
+from repro.logic.depth import (
+    CostReport,
+    DepthReport,
+    depth_report,
+    expression_depth,
+    longest_depth,
+)
+from repro.logic.expr import And, Lit, Nor, Or
+
+
+def factored_y_shape():
+    """The canonical factored next-state shape: L·(f̄sv·u + v)."""
+    r = Or([
+        And([Nor([Lit("fsv")]), Lit("x1")]),
+        Lit("x2"),
+    ])
+    term = And([Lit("y1"), r])
+    return Or([term, And([Lit("y2"), Lit("x1")])])
+
+
+def and_nor_fsv_shape():
+    """fsv as OR of AND-NOR first-level terms."""
+    return Or([
+        And([Lit("x1"), Nor([Lit("x2"), Lit("y1")])]),
+        And([Lit("y2"), Nor([Lit("x1")])]),
+    ])
+
+
+class TestDepthConvention:
+    def test_factored_y_is_depth_five(self):
+        # NOR=1, AND=2, OR=3, AND=4, OR=5 — Table 1's dominant Y depth.
+        assert expression_depth(factored_y_shape()) == 5
+
+    def test_and_nor_fsv_is_depth_three(self):
+        # NOR=1, AND=2, OR=3 — Table 1's dominant fsv depth.
+        assert expression_depth(and_nor_fsv_shape()) == 3
+
+    def test_longest_depth(self):
+        assert longest_depth([factored_y_shape(), Lit("a")]) == 5
+        assert longest_depth([]) == 0
+
+
+class TestDepthReport:
+    def test_total_formula_matches_table1(self):
+        # Table 1 rows: (fsv, Y, total) = (3,5,9), (4,5,10), (2,5,8)
+        assert DepthReport(3, 5).total_depth == 9
+        assert DepthReport(4, 5).total_depth == 10
+        assert DepthReport(2, 5).total_depth == 8
+
+    def test_report_from_exprs(self):
+        report = depth_report(and_nor_fsv_shape(), [factored_y_shape()])
+        assert report.fsv_depth == 3
+        assert report.y_depth == 5
+        assert report.total_depth == 9
+
+    def test_row(self):
+        assert DepthReport(3, 5).row("lion") == ("lion", 3, 5, 9)
+
+
+class TestCostReport:
+    def test_counts(self):
+        exprs = {
+            "f": Or([And([Lit("a"), Lit("b")]), Lit("c")]),
+            "g": Lit("a", negated=True),
+        }
+        report = CostReport.of(exprs)
+        assert report.gate_count == 3  # OR, AND, folded inverter
+        assert report.literal_count == 4

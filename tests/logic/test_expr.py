@@ -1,0 +1,126 @@
+"""Unit tests for repro.logic.expr."""
+
+import pytest
+
+from repro.logic.cube import Cube
+from repro.logic.expr import (
+    And,
+    Const,
+    Lit,
+    Nor,
+    Or,
+    cube_to_expr,
+    expr_truth,
+    make_and,
+    make_or,
+    sop_to_expr,
+)
+
+
+class TestLiteralsAndConstants:
+    def test_lit_evaluate(self):
+        assert Lit("a").evaluate({"a": 1}) == 1
+        assert Lit("a").evaluate({"a": 0}) == 0
+        assert Lit("a", negated=True).evaluate({"a": 1}) == 0
+
+    def test_lit_missing_variable(self):
+        with pytest.raises(ValueError):
+            Lit("a").evaluate({})
+
+    def test_const(self):
+        assert Const(1).evaluate({}) == 1
+        assert Const(0).evaluate({}) == 0
+        with pytest.raises(ValueError):
+            Const(2)
+
+    def test_lit_depth_convention(self):
+        assert Lit("a").depth() == 0
+        assert Lit("a", negated=True).depth() == 1
+
+    def test_to_string(self):
+        assert Lit("y1").to_string() == "y1"
+        assert Lit("y1", negated=True).to_string() == "y1'"
+
+
+class TestGates:
+    def test_and_or_nor_evaluate(self):
+        env = {"a": 1, "b": 0}
+        assert And([Lit("a"), Lit("b")]).evaluate(env) == 0
+        assert Or([Lit("a"), Lit("b")]).evaluate(env) == 1
+        assert Nor([Lit("a"), Lit("b")]).evaluate(env) == 0
+        assert Nor([Lit("b")]).evaluate(env) == 1  # NOR as inverter
+
+    def test_gate_needs_inputs(self):
+        with pytest.raises(ValueError):
+            And([])
+
+    def test_depth_counts_levels(self):
+        # OR(AND(a, NOR(b)), c): NOR=1, AND=2, OR=3
+        expr = Or([And([Lit("a"), Nor([Lit("b")])]), Lit("c")])
+        assert expr.depth() == 3
+
+    def test_depth_with_negated_literal_matches_nor_form(self):
+        direct = And([Lit("a"), Lit("b", negated=True)])
+        folded = And([Lit("a"), Nor([Lit("b")])])
+        assert direct.depth() == folded.depth() == 2
+
+    def test_literals_and_variables(self):
+        expr = Or([And([Lit("a"), Lit("b", negated=True)]), Lit("a")])
+        assert expr.literals() == [("a", False), ("b", True), ("a", False)]
+        assert expr.variables() == {"a", "b"}
+
+    def test_gate_count(self):
+        expr = Or([And([Lit("a"), Lit("b")]), Lit("c")])
+        assert expr.gate_count() == 2
+        neg = And([Lit("a"), Lit("b", negated=True)])
+        assert neg.gate_count() == 2  # AND plus the folded inverter
+
+    def test_equality_and_hash(self):
+        a = And([Lit("x"), Lit("y")])
+        b = And([Lit("x"), Lit("y")])
+        c = Or([Lit("x"), Lit("y")])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_to_string_nesting(self):
+        expr = Or([And([Lit("a"), Lit("b")]), Lit("c")])
+        assert expr.to_string() == "(a·b) + c"
+
+
+class TestBuilders:
+    def test_make_and_simplifications(self):
+        assert make_and([Const(1), Lit("a")]) == Lit("a")
+        assert make_and([Const(0), Lit("a")]) == Const(0)
+        assert make_and([]) == Const(1)
+        assert make_and([Lit("a"), Lit("b")]) == And([Lit("a"), Lit("b")])
+
+    def test_make_or_simplifications(self):
+        assert make_or([Const(0), Lit("a")]) == Lit("a")
+        assert make_or([Const(1), Lit("a")]) == Const(1)
+        assert make_or([]) == Const(0)
+
+    def test_cube_to_expr(self):
+        expr = cube_to_expr(Cube.from_string("1-0"), ["a", "b", "c"])
+        assert expr == And([Lit("a"), Lit("c", negated=True)])
+
+    def test_cube_to_expr_universe(self):
+        assert cube_to_expr(Cube.universe(2), ["a", "b"]) == Const(1)
+
+    def test_sop_to_expr_matches_cover_semantics(self):
+        cubes = [Cube.from_string("11-"), Cube.from_string("0-1")]
+        names = ["a", "b", "c"]
+        expr = sop_to_expr(cubes, names)
+        for m in range(8):
+            env = {n: m >> i & 1 for i, n in enumerate(names)}
+            expected = int(any(c.contains(m) for c in cubes))
+            assert expr.evaluate(env) == expected
+
+    def test_sop_to_expr_empty(self):
+        assert sop_to_expr([], ["a"]) == Const(0)
+
+
+def test_expr_truth_bit_order():
+    # expr = a (variable 0) -> truth table 0,1,0,1 over (a,b)
+    assert expr_truth(Lit("a"), ["a", "b"]) == [0, 1, 0, 1]
+    assert expr_truth(Lit("b"), ["a", "b"]) == [0, 0, 1, 1]

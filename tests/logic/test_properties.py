@@ -1,0 +1,153 @@
+"""Hypothesis property tests for the two-level logic engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.cover import minimal_cover
+from repro.logic.cube import Cube
+from repro.logic.expr import expr_truth, sop_to_expr
+from repro.logic.factor import bridge_consensus, first_level
+from repro.logic.function import BooleanFunction
+from repro.logic.quine_mccluskey import all_primes_cover, prime_implicants
+
+
+@st.composite
+def functions(draw, max_width=5):
+    width = draw(st.integers(min_value=1, max_value=max_width))
+    space = 1 << width
+    values = draw(
+        st.lists(
+            st.sampled_from([0, 1, None]), min_size=space, max_size=space
+        )
+    )
+    on = frozenset(m for m, v in enumerate(values) if v == 1)
+    dc = frozenset(m for m, v in enumerate(values) if v is None)
+    names = tuple(f"v{i}" for i in range(width))
+    return BooleanFunction(names, on, dc)
+
+
+@st.composite
+def cubes_pair(draw, width=4):
+    def one():
+        text = "".join(draw(st.sampled_from("01-")) for _ in range(width))
+        return Cube.from_string(text)
+
+    return one(), one()
+
+
+@given(functions())
+@settings(max_examples=150, deadline=None)
+def test_primes_contain_no_off_minterm(f):
+    for prime in prime_implicants(f.on, f.dc, f.width):
+        for m in prime.minterms():
+            assert m not in f.off
+
+
+@given(functions())
+@settings(max_examples=150, deadline=None)
+def test_primes_are_maximal(f):
+    primes = prime_implicants(f.on, f.dc, f.width)
+    prime_set = set(primes)
+    for prime in primes:
+        # Freeing any bound variable must leave the care set.
+        for var in range(f.width):
+            if prime.literal(var) is None:
+                continue
+            bigger = prime.drop(var)
+            assert any(m in f.off for m in bigger.minterms()), (
+                f"{prime} expandable on {var}, not prime"
+            )
+        assert prime in prime_set
+
+
+@given(functions())
+@settings(max_examples=120, deadline=None)
+def test_minimal_cover_is_valid(f):
+    result = minimal_cover(f)
+    assert f.is_cover(result.cubes)
+    assert f.cover_equals_on_care_set(result.cubes)
+
+
+@given(functions())
+@settings(max_examples=100, deadline=None)
+def test_all_primes_cover_is_single_change_hazard_free(f):
+    cover = all_primes_cover(f)
+    assert f.is_cover(cover)
+    covered = {m for c in cover for m in c.minterms()}
+    for m in f.on:
+        for bit in range(f.width):
+            other = m ^ (1 << bit)
+            if other in f.on:
+                assert any(c.contains(m) and c.contains(other) for c in cover)
+    # Every covered minterm is on or dc.
+    assert covered <= f.on | f.dc
+
+
+@given(functions(max_width=4))
+@settings(max_examples=100, deadline=None)
+def test_sop_expr_matches_cover(f):
+    cover = minimal_cover(f).cubes
+    expr = sop_to_expr(cover, f.names)
+    table = expr_truth(expr, f.names)
+    for m in range(f.space):
+        spec = f.value(m)
+        if spec is not None:
+            assert table[m] == spec
+
+
+@given(functions(max_width=4))
+@settings(max_examples=100, deadline=None)
+def test_first_level_preserves_truth(f):
+    cover = minimal_cover(f).cubes
+    expr = sop_to_expr(cover, f.names)
+    converted = first_level(expr)
+    assert expr_truth(expr, f.names) == expr_truth(converted, f.names)
+    assert not any(neg for _, neg in converted.literals())
+
+
+@given(cubes_pair())
+@settings(max_examples=200, deadline=None)
+def test_consensus_is_implicant_of_union(pair):
+    a, b = pair
+    c = a.consensus(b)
+    if c is not None:
+        for m in c.minterms():
+            assert a.contains(m) or b.contains(m)
+
+
+@given(cubes_pair())
+@settings(max_examples=200, deadline=None)
+def test_supercube_contains_both(pair):
+    a, b = pair
+    s = a.supercube(b)
+    assert s.contains_cube(a)
+    assert s.contains_cube(b)
+
+
+@given(cubes_pair())
+@settings(max_examples=200, deadline=None)
+def test_intersect_agrees_with_minterm_sets(pair):
+    a, b = pair
+    inter = a.intersect(b)
+    set_a = set(a.minterms())
+    set_b = set(b.minterms())
+    if inter is None:
+        assert not (set_a & set_b)
+    else:
+        assert set(inter.minterms()) == set_a & set_b
+
+
+@given(
+    st.lists(
+        st.text(alphabet="01-", min_size=4, max_size=4).map(Cube.from_string),
+        min_size=1,
+        max_size=6,
+    ),
+    st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=150, deadline=None)
+def test_bridge_consensus_preserves_function(cubes, pivot):
+    bridged = bridge_consensus(cubes, pivot)
+    before = {m for c in cubes for m in c.minterms()}
+    after = {m for c in bridged for m in c.minterms()}
+    assert before == after

@@ -1,0 +1,104 @@
+"""Tests for the Moore-refinement fast path."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.flowtable.builder import FlowTableBuilder
+from repro.minimize.compatibility import compute_compatibility
+from repro.minimize.cover_search import find_minimum_closed_cover
+from repro.minimize.partition import is_completely_specified, moore_partition
+from repro.minimize.reducer import reduce_flow_table
+
+from ..strategies import normal_mode_tables
+
+
+def complete_mergeable():
+    """Completely specified; b and c equivalent."""
+    b = FlowTableBuilder(inputs=["x1"], outputs=["z"])
+    b.stable("a", "0", "0").add("a", "1", "b", "1")
+    b.stable("b", "1", "1").add("b", "0", "d", "0")
+    b.stable("c", "1", "1").add("c", "0", "d", "0")
+    b.stable("d", "0", "1").add("d", "1", "c", "1")
+    return b.build(check=False, name="complete")
+
+
+class TestIsCompletelySpecified:
+    def test_complete_table(self):
+        assert is_completely_specified(complete_mergeable())
+
+    def test_missing_entry(self):
+        b = FlowTableBuilder(inputs=["x1"], outputs=["z"])
+        b.stable("a", "0", "0")
+        b.stable("b", "1", "1").add("b", "0", "a", "0")
+        table = b.build(check=False)
+        assert not is_completely_specified(table)
+
+    def test_missing_output_bit(self):
+        b = FlowTableBuilder(inputs=["x1"], outputs=["z"])
+        b.stable("a", "0", "0").add("a", "1", "b", "-")
+        b.stable("b", "1", "1").add("b", "0", "a", "0")
+        table = b.build(check=False)
+        assert not is_completely_specified(table)
+
+
+class TestMoorePartition:
+    def test_merges_equivalent_states(self):
+        partition = moore_partition(complete_mergeable())
+        assert frozenset({"b", "c"}) in partition
+        assert len(partition) == 3
+
+    def test_distinct_outputs_stay_apart(self):
+        b = FlowTableBuilder(inputs=["x1"], outputs=["z"])
+        b.stable("a", "0", "0").add("a", "1", "b", "0")
+        b.stable("b", "1", "1").add("b", "0", "a", "1")
+        table = b.build(name="two")
+        assert moore_partition(table) == [
+            frozenset({"a"}),
+            frozenset({"b"}),
+        ]
+
+    def test_successor_refinement(self):
+        # a, b and c share every output; refinement must split b away
+        # (its successor d has different outputs) while a and c — which
+        # are genuinely equivalent — stay together.
+        b = FlowTableBuilder(inputs=["x1"], outputs=["z"])
+        b.stable("a", "0", "0").add("a", "1", "c", "0")
+        b.stable("b", "0", "0").add("b", "1", "d", "0")
+        b.stable("c", "1", "0").add("c", "0", "a", "0")
+        b.stable("d", "1", "1").add("d", "0", "b", "1")
+        table = b.build(check=False)
+        partition = moore_partition(table)
+        assert frozenset({"a", "c"}) in partition
+        assert frozenset({"b"}) in partition
+        assert frozenset({"d"}) in partition
+
+    def test_rejects_incomplete_tables(self):
+        b = FlowTableBuilder(inputs=["x1"], outputs=["z"])
+        b.stable("a", "0", "0")
+        b.stable("b", "1", "1").add("b", "0", "a", "0")
+        with pytest.raises(ValueError):
+            moore_partition(b.build(check=False))
+
+
+class TestAgreementWithCompatibleSearch:
+    @given(
+        normal_mode_tables(
+            max_states=4, max_inputs=2, allow_unspecified=False
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_same_class_count_as_closed_cover(self, table):
+        # strategy leaves output bits possibly None on unstable entries;
+        # restrict to genuinely complete tables.
+        if not is_completely_specified(table):
+            return
+        partition = moore_partition(table)
+        cover = find_minimum_closed_cover(
+            table, compute_compatibility(table)
+        )
+        assert len(partition) == cover.num_classes
+
+    def test_reducer_uses_fast_path(self):
+        result = reduce_flow_table(complete_mergeable())
+        assert result.cover.exact
+        assert result.table.num_states == 3

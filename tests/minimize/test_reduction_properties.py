@@ -1,0 +1,59 @@
+"""Property tests: Step-2 reduction preserves observable behaviour."""
+
+from hypothesis import given, settings
+
+from repro.flowtable.validation import check_normal_mode
+from repro.minimize.reducer import reduce_flow_table
+from repro.sim.reference import FlowTableInterpreter
+
+from ..strategies import normal_mode_tables
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+@given(normal_mode_tables(max_states=5, max_inputs=2))
+@SETTINGS
+def test_reduced_table_simulates_original(table):
+    """For every original state and specified input sequence, the reduced
+    machine (started in a class containing that state) settles in a class
+    containing the original's settled state, with agreeing outputs."""
+    result = reduce_flow_table(table)
+    reduced = result.table
+    member_of: dict[str, str] = {}
+    for cls, members in result.state_map.items():
+        for member in members:
+            member_of.setdefault(member, cls)
+
+    for start in table.states:
+        original = FlowTableInterpreter(table, state=start)
+        mirror = FlowTableInterpreter(reduced, state=member_of[start])
+        # follow a short deterministic legal walk of the original
+        for _ in range(4):
+            legal = original.legal_columns()
+            if not legal:
+                break
+            column = legal[0]
+            step = original.apply(column)
+            mirror_step = mirror.apply(column)
+            assert step.state in result.state_map[mirror_step.state]
+            for bit, mirrored in zip(step.outputs, mirror_step.outputs):
+                if bit is not None:
+                    assert mirrored == bit
+
+
+@given(normal_mode_tables(max_states=5, max_inputs=2))
+@SETTINGS
+def test_reduction_never_grows_and_stays_normal_mode(table):
+    result = reduce_flow_table(table)
+    assert result.table.num_states <= table.num_states
+    assert check_normal_mode(result.table) == []
+
+
+@given(normal_mode_tables(max_states=5, max_inputs=2))
+@SETTINGS
+def test_every_original_state_covered(table):
+    result = reduce_flow_table(table)
+    covered = set()
+    for members in result.state_map.values():
+        covered.update(members)
+    assert covered == set(table.states)

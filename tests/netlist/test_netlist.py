@@ -1,0 +1,155 @@
+"""Unit tests for the netlist container and expression compiler."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.logic.expr import And, Const, Lit, Nor, Or
+from repro.netlist.build import compile_expression
+from repro.netlist.gates import Dff, Gate, GateType
+from repro.netlist.netlist import Netlist
+
+
+class TestGates:
+    def test_gate_evaluation(self):
+        assert GateType.AND.evaluate([1, 1, 1]) == 1
+        assert GateType.AND.evaluate([1, 0]) == 0
+        assert GateType.OR.evaluate([0, 0]) == 0
+        assert GateType.OR.evaluate([0, 1]) == 1
+        assert GateType.NOR.evaluate([0, 0]) == 1
+        assert GateType.NOR.evaluate([1, 0]) == 0
+        assert GateType.BUF.evaluate([1]) == 1
+        assert GateType.CONST0.evaluate([]) == 0
+        assert GateType.CONST1.evaluate([]) == 1
+
+    def test_gate_shape_checks(self):
+        with pytest.raises(ValueError):
+            Gate("g", GateType.AND, (), "out")
+        with pytest.raises(ValueError):
+            Gate("g", GateType.BUF, ("a", "b"), "out")
+        with pytest.raises(ValueError):
+            Gate("g", GateType.CONST0, ("a",), "out")
+
+    def test_gate_evaluate_with_values(self):
+        gate = Gate("g", GateType.AND, ("a", "b"), "out")
+        assert gate.evaluate({"a": 1, "b": 1}) == 1
+        assert gate.evaluate({"a": 1, "b": 0}) == 0
+
+
+class TestNetlist:
+    def test_single_driver_enforced(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate("g1", GateType.BUF, ("a",), "b")
+        with pytest.raises(NetlistError):
+            nl.add_gate("g2", GateType.BUF, ("a",), "b")
+
+    def test_duplicate_names_rejected(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate("g1", GateType.BUF, ("a",), "b")
+        with pytest.raises(NetlistError):
+            nl.add_gate("g1", GateType.BUF, ("a",), "c")
+
+    def test_input_cannot_be_driven(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        with pytest.raises(NetlistError):
+            nl.add_gate("g", GateType.CONST1, (), "a")
+
+    def test_dff_drives_q(self):
+        nl = Netlist("t")
+        nl.add_input("d")
+        nl.add_input("clk")
+        nl.add_dff("ff", d="d", q="q", clock="clk")
+        assert nl.driver_of("q") == "ff"
+
+    def test_validate_catches_undriven_net(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate("g", GateType.AND, ("a", "ghost"), "out")
+        with pytest.raises(NetlistError) as err:
+            nl.validate()
+        assert "ghost" in str(err.value)
+
+    def test_readers_of(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate("g1", GateType.BUF, ("a",), "b")
+        nl.add_gate("g2", GateType.NOR, ("a",), "c")
+        assert set(nl.readers_of("a")) == {"g1", "g2"}
+
+    def test_stats(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        nl.add_gate("g1", GateType.BUF, ("a",), "b")
+        stats = nl.stats()
+        assert stats["gates"] == 1
+        assert stats["gate_buf"] == 1
+
+    def test_feedback_loop_allowed(self):
+        # the G latch shape: G = AND(VI, OR(VOM, G))
+        nl = Netlist("latch")
+        nl.add_input("VI")
+        nl.add_input("VOM")
+        nl.add_gate("or1", GateType.OR, ("VOM", "G"), "hold")
+        nl.add_gate("and1", GateType.AND, ("VI", "hold"), "G")
+        nl.validate()  # cycles are fine
+
+
+class TestCompileExpression:
+    def evaluate_netlist(self, nl, inputs):
+        """Settle a combinational netlist by sweeping (no cycles here)."""
+        values = dict(inputs)
+        for _ in range(len(nl.gates) + 1):
+            for gate in nl.gates:
+                values[gate.output] = gate.evaluate(
+                    {n: values.get(n, 0) for n in gate.inputs}
+                )
+        return values
+
+    def test_simple_sop(self):
+        nl = Netlist("t")
+        for net in ("a", "b", "c"):
+            nl.add_input(net)
+        expr = Or([And([Lit("a"), Lit("b")]), Lit("c")])
+        compile_expression(nl, expr, "f", "F")
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    values = self.evaluate_netlist(
+                        nl, {"a": a, "b": b, "c": c}
+                    )
+                    assert values["f"] == ((a and b) or c)
+
+    def test_nor_inverter(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        compile_expression(nl, Nor([Lit("a")]), "f", "F")
+        assert self.evaluate_netlist(nl, {"a": 0})["f"] == 1
+        assert self.evaluate_netlist(nl, {"a": 1})["f"] == 0
+
+    def test_negated_literal_gets_inverter(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        compile_expression(nl, Lit("a", negated=True), "f", "F")
+        assert self.evaluate_netlist(nl, {"a": 1})["f"] == 0
+
+    def test_constant(self):
+        nl = Netlist("t")
+        compile_expression(nl, Const(1), "f", "F")
+        assert self.evaluate_netlist(nl, {})["f"] == 1
+
+    def test_bare_literal_gets_buffer(self):
+        nl = Netlist("t")
+        nl.add_input("a")
+        compile_expression(nl, Lit("a"), "f", "F")
+        assert nl.driver_of("f") is not None
+        assert self.evaluate_netlist(nl, {"a": 1})["f"] == 1
+
+    def test_gate_count_matches_expression(self):
+        nl = Netlist("t")
+        for net in ("a", "b", "c"):
+            nl.add_input(net)
+        expr = Or([And([Lit("a"), Lit("b", negated=True)]), Lit("c")])
+        compile_expression(nl, expr, "f", "F")
+        assert nl.gate_count() == expr.gate_count()

@@ -1,0 +1,93 @@
+"""Unit tests for the trace monitors."""
+
+from repro.sim.monitors import (
+    CycleReport,
+    ValidationSummary,
+    count_changes,
+)
+from repro.sim.simulator import NetChange
+
+
+def make_report(**overrides):
+    defaults = dict(
+        index=0,
+        column=0,
+        expected_state="a",
+        observed_state="a",
+        expected_outputs=(1, None),
+        observed_outputs=(1, 0),
+        output_changes={"z1": 1, "z2": 0},
+        vom_rises=1,
+    )
+    defaults.update(overrides)
+    return CycleReport(**defaults)
+
+
+class TestCycleReport:
+    def test_clean_cycle(self):
+        report = make_report()
+        assert report.state_correct
+        assert report.outputs_correct
+        assert report.soc_respected
+        assert report.clean
+
+    def test_state_mismatch(self):
+        report = make_report(observed_state="b")
+        assert not report.state_correct
+        assert not report.clean
+
+    def test_unspecified_outputs_never_mismatch(self):
+        report = make_report(
+            expected_outputs=(None, None), observed_outputs=(0, 1)
+        )
+        assert report.outputs_correct
+
+    def test_output_mismatch(self):
+        report = make_report(observed_outputs=(0, 0))
+        assert not report.outputs_correct
+
+    def test_soc_violation(self):
+        report = make_report(output_changes={"z1": 2})
+        assert not report.soc_respected
+        assert not report.clean
+
+    def test_multiple_vom_rises_not_clean(self):
+        report = make_report(vom_rises=3)
+        assert report.state_correct
+        assert not report.clean
+
+
+class TestValidationSummary:
+    def test_aggregation(self):
+        summary = ValidationSummary()
+        summary.add(make_report())
+        summary.add(make_report(observed_state="b"))
+        summary.add(make_report(output_changes={"z1": 5}))
+        assert summary.total == 3
+        assert summary.state_errors == 1
+        assert summary.soc_violations == 1
+        assert len(summary.failures) == 2
+        assert not summary.all_clean
+
+    def test_describe(self):
+        summary = ValidationSummary()
+        summary.add(make_report())
+        text = summary.describe()
+        assert "1 cycles" in text
+        assert "0 state errors" in text
+
+
+class TestCountChanges:
+    def test_window_is_half_open(self):
+        trace = [
+            NetChange(1.0, "z", 1),
+            NetChange(2.0, "z", 0),
+            NetChange(3.0, "z", 1),
+        ]
+        counts = count_changes(trace, ["z"], start=1.0, end=3.0)
+        assert counts["z"] == 2  # 3.0 excluded
+
+    def test_untracked_nets_ignored(self):
+        trace = [NetChange(1.0, "other", 1)]
+        counts = count_changes(trace, ["z"], start=0.0, end=10.0)
+        assert counts == {"z": 0}

@@ -1,0 +1,68 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples double as integration tests of the public API; the heavier
+simulation-driven ones are exercised with reduced workloads elsewhere
+(tests/sim), so here the cheap ones run fully and the expensive ones are
+imported and run end to end once.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[f"example_{name}"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "Table-1 metrics" in out
+        assert "state=active" in out
+
+    def test_hazard_walkthrough(self, capsys):
+        load_example("hazard_walkthrough").main()
+        out = capsys.readouterr().out
+        assert "fsv pulsed" in out
+        assert "settled in state=on" in out
+
+    def test_stg_frontend(self, capsys):
+        load_example("stg_frontend").main()
+        out = capsys.readouterr().out
+        assert "section-7 comparison" in out
+        assert "parity=1" in out
+
+    def test_pipeline_chain(self, capsys):
+        load_example("pipeline_chain").main()
+        out = capsys.readouterr().out
+        assert "own pace" in out
+
+    def test_traffic_intersection(self, capsys):
+        load_example("traffic_intersection").main()
+        out = capsys.readouterr().out
+        assert "glitch-free" in out
+        assert "WRONG" not in out
+
+    @pytest.mark.slow
+    def test_lion_cage(self, capsys):
+        load_example("lion_cage").main()
+        out = capsys.readouterr().out
+        assert "FANTOM on the same workload" in out
+        assert "0 state errors" in out.split("FANTOM on the same")[1]
+
+    def test_burst_mode_controller(self, capsys):
+        load_example("burst_mode_controller").main()
+        out = capsys.readouterr().out
+        assert "burst-mode semantics" in out
+        assert "grant=1" in out

@@ -1,0 +1,92 @@
+"""Unit tests for the generic minimum set-cover solver."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.errors import CoveringError
+from repro.util.setcover import minimum_set_cover
+
+
+def brute_force_min(universe, candidates):
+    for k in range(0, len(candidates) + 1):
+        for combo in itertools.combinations(range(len(candidates)), k):
+            union = set()
+            for i in combo:
+                union |= candidates[i]
+            if universe <= union:
+                return k
+    raise AssertionError("not coverable")
+
+
+class TestBasics:
+    def test_empty_universe(self):
+        result = minimum_set_cover(set(), [frozenset({1})])
+        assert result.chosen == ()
+        assert result.exact
+
+    def test_single_candidate(self):
+        result = minimum_set_cover({1, 2}, [frozenset({1, 2})])
+        assert result.chosen == (0,)
+
+    def test_uncoverable_raises(self):
+        with pytest.raises(CoveringError):
+            minimum_set_cover({1, 2}, [frozenset({1})])
+
+    def test_essential_forcing(self):
+        # element 3 only in candidate 2: it must be chosen.
+        candidates = [frozenset({1}), frozenset({2}), frozenset({2, 3})]
+        result = minimum_set_cover({1, 2, 3}, candidates)
+        assert 2 in result.chosen
+        assert len(result.chosen) == 2
+
+    def test_dominated_candidate_ignored(self):
+        candidates = [frozenset({1}), frozenset({1, 2}), frozenset({2})]
+        result = minimum_set_cover({1, 2}, candidates)
+        assert result.chosen == (1,)
+
+    def test_cyclic_cover_exact(self):
+        # triangle cover: {a,b},{b,c},{c,a} over {a,b,c}: minimum is 2.
+        candidates = [
+            frozenset({"a", "b"}),
+            frozenset({"b", "c"}),
+            frozenset({"c", "a"}),
+        ]
+        result = minimum_set_cover({"a", "b", "c"}, candidates)
+        assert len(result.chosen) == 2
+        assert result.exact
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_instances(self, seed):
+        rng = random.Random(seed)
+        universe = set(range(rng.randint(1, 8)))
+        candidates = []
+        for _ in range(rng.randint(1, 10)):
+            size = rng.randint(1, max(1, len(universe)))
+            candidates.append(frozenset(rng.sample(sorted(universe), size)))
+        union = set().union(*candidates) if candidates else set()
+        if not universe <= union:
+            with pytest.raises(CoveringError):
+                minimum_set_cover(universe, candidates)
+            return
+        result = minimum_set_cover(universe, candidates)
+        covered = set()
+        for i in result.chosen:
+            covered |= candidates[i]
+        assert universe <= covered
+        assert len(result.chosen) == brute_force_min(universe, candidates)
+
+
+class TestGreedy:
+    def test_greedy_mode_still_covers(self):
+        universe = set(range(12))
+        candidates = [frozenset({i, (i + 1) % 12}) for i in range(12)]
+        result = minimum_set_cover(universe, candidates, exact=False)
+        covered = set()
+        for i in result.chosen:
+            covered |= candidates[i]
+        assert universe <= covered
+        assert not result.exact
