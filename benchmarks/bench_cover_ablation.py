@@ -14,10 +14,9 @@ latching is what makes it safe.
 
 import pytest
 
-from conftest import print_table
+from conftest import pipeline_synth, print_table
 from repro.bench import TABLE1_BENCHMARKS
 from repro.bench import benchmark as load_bench
-from repro.core.seance import synthesize
 from repro.hazards.logic_hazards import static_one_hazards
 from repro.logic.cover import minimal_cover
 from repro.logic.quine_mccluskey import all_primes_cover
@@ -41,7 +40,7 @@ def cover_costs(function):
 @pytest.mark.parametrize("name", TABLE1_BENCHMARKS)
 def test_cover_ablation(benchmark, name):
     table = load_bench(name)
-    result = synthesize(table)
+    result = pipeline_synth(table)
     spec = result.spec
 
     functions = {"SSD": spec.ssd_function()}

@@ -15,7 +15,7 @@ Two ablations around the paper's Step 7:
 
 import pytest
 
-from conftest import print_table
+from conftest import pipeline_synth, print_table
 from repro.baselines.huffman import synthesize_huffman
 from repro.bench import TABLE1_BENCHMARKS
 from repro.bench import benchmark as load_bench
@@ -31,7 +31,7 @@ def test_factoring_ablation(benchmark, name):
     split = benchmark(
         synthesize, table, SynthesisOptions(reduce_mode="split")
     )
-    joint = synthesize(table, SynthesisOptions(reduce_mode="joint"))
+    joint = pipeline_synth(table, SynthesisOptions(reduce_mode="joint"))
     sic = synthesize_huffman(table)
 
     def y_cost(result):

@@ -18,9 +18,9 @@ scored against the flow-table oracle —
 
 import pytest
 
-from conftest import print_table
+from conftest import pipeline_synth, print_table
 from repro.bench import benchmark as load_bench
-from repro.core.seance import SynthesisOptions, synthesize
+from repro.core.seance import SynthesisOptions
 from repro.netlist.fantom import build_fantom
 from repro.sim.delays import hostile_random
 from repro.sim.harness import validate_against_reference
@@ -41,9 +41,9 @@ def run_validation(machine):
 @pytest.mark.parametrize("name", MACHINES)
 def test_hazard_ablation(benchmark, name):
     table = load_bench(name)
-    protected = build_fantom(synthesize(table))
+    protected = build_fantom(pipeline_synth(table))
     naive = build_fantom(
-        synthesize(table, SynthesisOptions(hazard_correction=False))
+        pipeline_synth(table, SynthesisOptions(hazard_correction=False))
     )
 
     summary = benchmark.pedantic(

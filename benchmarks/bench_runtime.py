@@ -8,14 +8,36 @@ reproduction's claim is that each example synthesises well inside the
 paper's envelope, and the per-stage breakdown shows where the time goes
 (assignment and factoring dominate, as the paper's discussion of the
 covering steps suggests).
+
+This module also measures the *pipeline* itself: serial versus
+``BatchRunner`` parallel synthesis over the whole benchmark suite, and
+cold versus warm stage cache.  Run standalone —
+
+    PYTHONPATH=src python benchmarks/bench_runtime.py
+
+— to (re)generate ``BENCH_pipeline.json`` at the repository root.
 """
+
+import json
+import time
+from pathlib import Path
 
 import pytest
 
 from conftest import print_table
-from repro.bench import TABLE1_BENCHMARKS
+from repro.bench import TABLE1_BENCHMARKS, benchmark_names, load_all
 from repro.bench import benchmark as load_bench
-from repro.core.seance import synthesize
+from repro.core.seance import SynthesisOptions, synthesize
+from repro.pipeline import BatchRunner, PassManager, StageCache
+
+#: The ablation sweep of the factoring/hazard benchmarks: every machine
+#: under every option set — the workload BatchRunner parallelism is for.
+SWEEP_OPTIONS = (
+    SynthesisOptions(),
+    SynthesisOptions(reduce_mode="joint"),
+    SynthesisOptions(hazard_correction=False),
+    SynthesisOptions(output_policy="as_specified"),
+)
 
 _rows: list[tuple] = []
 
@@ -39,6 +61,22 @@ def test_synthesis_runtime(benchmark, name):
     assert result.total_seconds < 4.0
 
 
+def test_warm_cache_synthesis_runtime(benchmark):
+    """A warm stage cache collapses repeat synthesis to cache restores."""
+    manager = PassManager(cache=StageCache())
+    table = load_bench("lion9")
+    cold_start = time.perf_counter()
+    manager.run(table)
+    cold = time.perf_counter() - cold_start
+
+    warm_result = benchmark(manager.run, table)
+    assert warm_result.total_seconds < cold
+    assert manager.last_report is not None
+    assert len(manager.last_report.cache_hits) == len(
+        warm_result.stage_seconds
+    )
+
+
 def test_print_runtime(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     if _rows:
@@ -48,3 +86,90 @@ def test_print_runtime(benchmark):
             ["Benchmark", "total (ms)", "dominant stage", "stage (ms)"],
             _rows,
         )
+
+
+# ----------------------------------------------------------------------
+# BENCH_pipeline.json — batch/parallel and stage-cache speedups.
+
+def _time_batch(tables, jobs, cache=None):
+    start = time.perf_counter()
+    items = BatchRunner(jobs=jobs, cache=cache).run(tables)
+    elapsed = time.perf_counter() - start
+    failures = [item.name for item in items if not item.ok]
+    assert not failures, f"benchmarks failed to synthesise: {failures}"
+    return elapsed, items
+
+
+def measure_pipeline(jobs: int = 4, rounds: int = 3) -> dict:
+    """Serial vs parallel vs warm-cache timings over the whole suite.
+
+    ``rounds`` repeats each measurement and keeps the minimum (the usual
+    noise-floor estimator for sub-second wall-clock benchmarks).
+    """
+    tables = list(load_all().values())
+
+    serial = min(_time_batch(tables, jobs=1)[0] for _ in range(rounds))
+    parallel = min(_time_batch(tables, jobs=jobs)[0] for _ in range(rounds))
+
+    def time_sweep(n_jobs):
+        start = time.perf_counter()
+        items = BatchRunner(jobs=n_jobs).run_matrix(tables, SWEEP_OPTIONS)
+        elapsed = time.perf_counter() - start
+        assert all(item.ok for item in items)
+        return elapsed
+
+    sweep_serial = min(time_sweep(1) for _ in range(rounds))
+    sweep_parallel = min(time_sweep(jobs) for _ in range(rounds))
+
+    cache = StageCache()
+    cold, _ = _time_batch(tables, jobs=1, cache=cache)
+    warm = min(
+        _time_batch(tables, jobs=1, cache=cache)[0] for _ in range(rounds)
+    )
+    assert cache.hits > 0, "warm run never hit the stage cache"
+
+    import os
+
+    return {
+        "suite": list(benchmark_names()),
+        "machines": len(tables),
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "rounds": rounds,
+        "serial_seconds": round(serial, 6),
+        "parallel_seconds": round(parallel, 6),
+        "parallel_speedup": round(serial / parallel, 3),
+        "sweep_option_sets": len(SWEEP_OPTIONS),
+        "sweep_serial_seconds": round(sweep_serial, 6),
+        "sweep_parallel_seconds": round(sweep_parallel, 6),
+        "sweep_parallel_speedup": round(sweep_serial / sweep_parallel, 3),
+        "cache_cold_seconds": round(cold, 6),
+        "cache_warm_seconds": round(warm, 6),
+        "cache_speedup": round(cold / warm, 3),
+    }
+
+
+def test_pipeline_speedups(benchmark):
+    """The claims BENCH_pipeline.json records, asserted coarsely."""
+    stats = benchmark.pedantic(
+        measure_pipeline, kwargs={"jobs": 2, "rounds": 1},
+        rounds=1, iterations=1,
+    )
+    # The warm cache must be a clear win; parallelism merely must not
+    # collapse (pool start-up can eat the gain on tiny suites/machines).
+    assert stats["cache_speedup"] > 2.0
+    assert stats["parallel_seconds"] < stats["serial_seconds"] * 3
+
+
+def main() -> int:
+    out = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+    stats = measure_pipeline()
+    stats["generated_by"] = "benchmarks/bench_runtime.py"
+    out.write_text(json.dumps(stats, indent=2) + "\n")
+    print(json.dumps(stats, indent=2))
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,7 +20,10 @@ The library covers the full stack the paper describes:
   validates machines against the flow-table semantics —
   :mod:`repro.netlist`, :mod:`repro.sim`;
 * the baselines of the paper's comparisons — :mod:`repro.baselines`;
-* the (reconstructed) Table-1 benchmark suite — :mod:`repro.bench`.
+* the (reconstructed) Table-1 benchmark suite — :mod:`repro.bench`;
+* the pass-manager pipeline the synthesis runs on — declarative pass
+  lists, per-pass timing, a content-hash stage cache, and batch/parallel
+  synthesis — :mod:`repro.pipeline`.
 
 Quickstart
 ----------
@@ -36,6 +39,7 @@ from .bench import (
     benchmark,
     benchmark_names,
     kiss_source,
+    synthesize_suite,
 )
 from .core import (
     Seance,
@@ -63,18 +67,28 @@ from .flowtable import (
     write_kiss,
 )
 from .netlist import FantomMachine, build_fantom, timing_report
+from .pipeline import (
+    BatchItem,
+    BatchRunner,
+    PassManager,
+    StageCache,
+    synthesize_batch,
+)
 from .sim import (
     FantomHarness,
     FlowTableInterpreter,
     hostile_random,
     loop_safe_random,
     skewed_random,
+    synthesize_and_validate,
     validate_against_reference,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchItem",
+    "BatchRunner",
     "BurstSpec",
     "CoveringError",
     "FantomHarness",
@@ -86,8 +100,10 @@ __all__ = [
     "KissFormatError",
     "NetlistError",
     "PAPER_TABLE1",
+    "PassManager",
     "ReproError",
     "Seance",
+    "StageCache",
     "SimulationError",
     "SpecificationError",
     "StateAssignmentError",
@@ -105,6 +121,9 @@ __all__ = [
     "parse_kiss",
     "skewed_random",
     "synthesize",
+    "synthesize_and_validate",
+    "synthesize_batch",
+    "synthesize_suite",
     "timing_report",
     "validate_against_reference",
     "write_kiss",

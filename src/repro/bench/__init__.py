@@ -8,6 +8,7 @@ from .suite import (
     benchmark_names,
     kiss_source,
     load_all,
+    synthesize_suite,
 )
 
 __all__ = [
@@ -18,4 +19,5 @@ __all__ = [
     "benchmark_names",
     "kiss_source",
     "load_all",
+    "synthesize_suite",
 ]

@@ -363,3 +363,30 @@ def kiss_source(name: str) -> str:
 def load_all() -> dict[str, FlowTable]:
     """Every benchmark machine, keyed by name."""
     return {name: benchmark(name) for name in benchmark_names()}
+
+
+def synthesize_suite(
+    names=None, options=None, jobs: int = 1, cache=None
+):
+    """Synthesise benchmarks through the pass pipeline, keyed by name.
+
+    The workhorse of ``seance table1``, the ablation benchmarks and the
+    regression tests: a :class:`~repro.pipeline.batch.BatchRunner` run
+    over the named machines (default: the whole suite) with an optional
+    shared :class:`~repro.pipeline.cache.StageCache`, returning
+    ``{name: SynthesisResult}`` in suite order.  Benchmarks are known
+    good, so any synthesis failure is re-raised.
+    """
+    from ..errors import SynthesisError
+    from ..pipeline.batch import BatchRunner
+
+    chosen = tuple(names) if names is not None else benchmark_names()
+    runner = BatchRunner(options=options, jobs=jobs, cache=cache)
+    results = {}
+    for item in runner.run_names(chosen):
+        if not item.ok:
+            raise SynthesisError(
+                f"benchmark {item.name!r} failed to synthesise: {item.error}"
+            )
+        results[item.name] = item.result
+    return results

@@ -14,6 +14,12 @@ Subcommands mirror how the paper's tool was used:
     Build the gate-level FANTOM machine and dynamically validate it
     against the flow-table semantics under randomised delays.
 
+``seance batch NAME|FILE ...``
+    Synthesise many machines through the pass pipeline at once —
+    optionally in parallel (``--jobs``) and/or against a persistent
+    stage cache (``--cache-dir``), with a deterministic, input-ordered
+    report.  With no names, runs the full built-in suite.
+
 ``seance bench-list`` / ``seance show NAME``
     Enumerate the built-in benchmarks / print one as KISS2 text.
 """
@@ -26,13 +32,14 @@ from pathlib import Path
 
 from . import __version__
 from .bench import PAPER_TABLE1, TABLE1_BENCHMARKS, benchmark, benchmark_names
-from .bench import kiss_source
+from .bench import kiss_source, synthesize_suite
 from .core.seance import SynthesisOptions, synthesize
 from .errors import ReproError
 from .flowtable.kiss import parse_kiss
 from .netlist.fantom import build_fantom
+from .pipeline import BatchRunner, StageCache
 from .sim.delays import loop_safe_random, skewed_random
-from .sim.harness import validate_against_reference
+from .sim.harness import synthesize_and_validate
 
 
 def _load_table(spec: str):
@@ -71,13 +78,13 @@ def cmd_synth(args: argparse.Namespace) -> int:
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
+    results = synthesize_suite(TABLE1_BENCHMARKS)
     print(
         f"{'Benchmark':14s} {'fsv':>4s} {'Y':>4s} {'Total':>6s}   "
         f"{'paper fsv/Y/total':>18s}"
     )
     for name in TABLE1_BENCHMARKS:
-        result = synthesize(benchmark(name))
-        _, fsv_d, y_d, total = result.table1_row()
+        _, fsv_d, y_d, total = results[name].table1_row()
         paper = PAPER_TABLE1[name]
         print(
             f"{name:14s} {fsv_d:4d} {y_d:4d} {total:6d}   "
@@ -88,11 +95,10 @@ def cmd_table1(args: argparse.Namespace) -> int:
 
 def cmd_validate(args: argparse.Namespace) -> int:
     table = _load_table(args.spec)
-    result = synthesize(table)
-    machine = build_fantom(result, use_fsv=not args.no_fsv)
     factory = skewed_random if args.skewed else loop_safe_random
-    summary = validate_against_reference(
-        machine,
+    summary = synthesize_and_validate(
+        table,
+        use_fsv=not args.no_fsv,
         steps=args.steps,
         seeds=tuple(range(args.seeds)),
         delays_factory=factory,
@@ -118,6 +124,68 @@ def cmd_export(args: argparse.Namespace) -> int:
     else:
         print(text, end="")
     return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        raise ReproError(f"--jobs must be >= 1, got {args.jobs}")
+    specs = args.specs or list(benchmark_names())
+    tables = [_load_table(spec) for spec in specs]
+    options = SynthesisOptions(
+        minimize=not args.no_minimize,
+        reduce_mode=args.reduce_mode,
+        hazard_correction=not args.no_fsv,
+    )
+    try:
+        cache = (
+            StageCache(path=args.cache_dir) if args.cache_dir else StageCache()
+        )
+    except OSError as error:
+        raise ReproError(
+            f"cannot use --cache-dir {args.cache_dir!r}: {error}"
+        ) from error
+    runner = BatchRunner(options=options, jobs=args.jobs, cache=cache)
+
+    items = runner.run(tables)
+    failures = [item for item in items if not item.ok]
+
+    if args.json:
+        import json
+
+        payload = [
+            {
+                "name": item.name,
+                "ok": item.ok,
+                "error": item.error,
+                "seconds": item.seconds,
+                "cached_stages": list(item.cache_hits),
+                "result": item.result.to_dict() if item.ok else None,
+            }
+            for item in items
+        ]
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"{'Benchmark':14s} {'fsv':>4s} {'Y':>4s} {'Total':>6s} "
+            f"{'ms':>8s} {'cached':>7s}"
+        )
+        for item in items:
+            if not item.ok:
+                print(f"{item.name:14s} FAILED: {item.error}")
+                continue
+            _, fsv_d, y_d, total = item.result.table1_row()
+            print(
+                f"{item.name:14s} {fsv_d:4d} {y_d:4d} {total:6d} "
+                f"{item.seconds * 1000:8.1f} "
+                f"{len(item.cache_hits):4d}/{len(item.result.stage_seconds)}"
+            )
+        wall = sum(item.seconds for item in items)
+        mode = f"{runner.jobs} worker(s)"
+        print(
+            f"{len(items)} machines, {len(failures)} failed, "
+            f"{wall * 1000:.1f}ms synthesis time, {mode}"
+        )
+    return 1 if failures else 0
 
 
 def cmd_bench_list(args: argparse.Namespace) -> int:
@@ -209,6 +277,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     export.set_defaults(func=cmd_export)
 
+    batch = sub.add_parser(
+        "batch",
+        help="synthesise many machines through the pass pipeline",
+    )
+    batch.add_argument(
+        "specs",
+        nargs="*",
+        help="KISS2 files or benchmark names (default: the whole suite)",
+    )
+    batch.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial in-process; default 1)",
+    )
+    batch.add_argument(
+        "--cache-dir",
+        help="persistent stage-cache directory (shared across runs "
+        "and worker processes)",
+    )
+    batch.add_argument(
+        "--no-minimize", action="store_true", help="skip Step 2"
+    )
+    batch.add_argument(
+        "--no-fsv",
+        action="store_true",
+        help="skip the hazard correction (unprotected machines)",
+    )
+    batch.add_argument(
+        "--reduce-mode",
+        choices=["split", "joint"],
+        default="split",
+        help="Step-7 reduction style (paper: split)",
+    )
+    batch.add_argument(
+        "--json", action="store_true",
+        help="emit the full reports as JSON",
+    )
+    batch.set_defaults(func=cmd_batch)
+
     blist = sub.add_parser("bench-list", help="list built-in benchmarks")
     blist.set_defaults(func=cmd_bench_list)
 
@@ -227,6 +336,18 @@ def main(argv: list[str] | None = None) -> int:
         message = error.args[0] if error.args else error
         print(f"error: {message}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # e.g. `seance table1 | head -3`: the reader closed the pipe.
+        # Point stdout at devnull so the interpreter's shutdown flush
+        # doesn't print a second traceback, and exit like a killed pipe
+        # participant would.
+        import os
+
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except OSError:
+            pass
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

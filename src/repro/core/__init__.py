@@ -18,9 +18,12 @@ from .fsv import (
 from .hazard_analysis import HazardAnalysis, find_hazards
 from .outputs import OutputEquation, synthesize_outputs
 from .result import SynthesisResult
-from .seance import Seance, SynthesisOptions, synthesize
 from .spec import SpecifiedMachine
 from .ssd import SsdEquation, synthesize_ssd
+
+# Imported last: the facade pulls in repro.pipeline, whose passes import
+# the core submodules above while this package is mid-initialisation.
+from .seance import Seance, SynthesisOptions, synthesize
 
 __all__ = [
     "FSV_NAME",

@@ -1,189 +1,50 @@
-"""The SEANCE synthesis pipeline (paper Figure 3).
+"""The SEANCE synthesis front door (paper Figure 3).
 
-Seven steps, each delegated to its package:
+The seven steps — validate, reduce, assign, outputs/ssd, hazards, fsv,
+factor — are implemented as passes in :mod:`repro.pipeline.passes` and
+executed by the :class:`~repro.pipeline.manager.PassManager`.  This
+module is the stable, paper-facing facade over that engine: the
+:class:`Seance` tool class, the :func:`synthesize` one-shot, and the
+:class:`SynthesisOptions` re-export all keep their pre-pipeline
+signatures and behaviour (including the ``stage_seconds`` keys of the
+result), so every existing caller and test is unaffected.
 
-1. flow-table preparation — the caller supplies a validated
-   :class:`~repro.flowtable.table.FlowTable` (KISS2, builder, or STG);
-2. table reduction — :mod:`repro.minimize`;
-3. USTT state assignment — :mod:`repro.assign`;
-4. ``Z`` and ``SSD`` equation generation — :mod:`repro.core.outputs`,
-   :mod:`repro.core.ssd`;
-5. hazard search — :mod:`repro.core.hazard_analysis` (Figure 4);
-6. ``fsv`` and ``Y`` equation generation — :mod:`repro.core.fsv`;
-7. hazard factoring — :mod:`repro.core.factoring` (Figure 5).
+Use the pipeline directly when you need more than one-shot synthesis:
 
-`Seance.run` wires them together, times each stage, and returns a
-:class:`~repro.core.result.SynthesisResult`.
+* a shared :class:`~repro.pipeline.cache.StageCache` across runs
+  (``Seance(cache=...)`` threads one through this facade too);
+* batch/parallel synthesis —
+  :class:`~repro.pipeline.batch.BatchRunner`;
+* custom pass lists (ablations, new workloads) —
+  ``PassManager(passes=...)``.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
-
-from ..assign.tracey import assign_states
-from ..assign.verify import ustt_violations
-from ..errors import SynthesisError
 from ..flowtable.table import FlowTable
-from ..flowtable.validation import validate
-from ..minimize.reducer import ReductionResult, reduce_flow_table
-from .factoring import factor_fsv, factor_next_state
-from .fsv import fsv_function, next_state_functions
-from .hazard_analysis import find_hazards
-from .outputs import synthesize_outputs
+from ..pipeline.cache import StageCache
+from ..pipeline.manager import PassManager
+from ..pipeline.options import SynthesisOptions
 from .result import SynthesisResult
-from .spec import SpecifiedMachine
-from .ssd import synthesize_ssd
 
-
-@dataclass(frozen=True)
-class SynthesisOptions:
-    """Knobs of the pipeline (paper defaults).
-
-    Attributes
-    ----------
-    minimize:
-        Run Step 2 (table reduction).  The MCNC-style benchmarks are
-        already minimal, but incompletely specified user tables often are
-        not.
-    validate_input:
-        Check normal mode / strong connectivity / restability before
-        synthesis.  Disable only for deliberately partial tables in
-        tests.
-    output_policy:
-        ``stable_only`` (paper; outputs latched at VOM) or
-        ``as_specified`` (honour transitional output bits).
-    ssd_dc_policy:
-        ``unspecified`` (don't-care outside the travelled space) or
-        ``strict`` (the canonical ``y == Y`` reading).  See
-        :meth:`repro.core.spec.SpecifiedMachine.ssd_function`.
-    verify_assignment:
-        Re-check the Tracey assignment against the USTT condition and
-        fail loudly instead of producing a racy machine.
-    reduce_mode:
-        Step-7 reduction style for the next-state equations: ``split``
-        (paper: reduce the two fsv halves separately) or ``joint``
-        (minimise over the doubled space; ablation).  See
-        :func:`repro.core.factoring.factor_next_state`.
-    hazard_correction:
-        With False, Steps 6-7 use an *empty* hazard list: ``fsv`` is the
-        constant 0 and the next-state equations are the plain reduced
-        excitations.  The Figure-4 analysis still runs (and is reported),
-        so the result records which hazards were knowingly left in — this
-        is the unprotected machine of the hazard-ablation benchmark.
-    """
-
-    minimize: bool = True
-    validate_input: bool = True
-    output_policy: str = "stable_only"
-    ssd_dc_policy: str = "unspecified"
-    verify_assignment: bool = True
-    reduce_mode: str = "split"
-    hazard_correction: bool = True
+__all__ = ["Seance", "SynthesisOptions", "synthesize"]
 
 
 class Seance:
-    """The synthesis tool.  Instances are reusable and stateless."""
+    """The synthesis tool.  Instances are reusable and stateless
+    (a ``cache``, if given, is the only cross-run state)."""
 
-    def __init__(self, options: SynthesisOptions | None = None):
+    def __init__(
+        self,
+        options: SynthesisOptions | None = None,
+        cache: StageCache | None = None,
+    ):
         self.options = options or SynthesisOptions()
+        self._manager = PassManager(cache=cache)
 
     def run(self, table: FlowTable) -> SynthesisResult:
         """Synthesise a FANTOM machine from a normal-mode flow table."""
-        options = self.options
-        stage_seconds: dict[str, float] = {}
-
-        def timed(stage: str):
-            class _Timer:
-                def __enter__(self_inner):
-                    self_inner.start = time.perf_counter()
-                    return self_inner
-
-                def __exit__(self_inner, *exc):
-                    stage_seconds[stage] = (
-                        time.perf_counter() - self_inner.start
-                    )
-                    return False
-
-            return _Timer()
-
-        # Step 1: flow table preparation (validation).
-        with timed("validate"):
-            if options.validate_input:
-                validate(table)
-
-        # Step 2: table reduction.
-        with timed("reduce"):
-            if options.minimize:
-                reduction = reduce_flow_table(table)
-            else:
-                reduction = ReductionResult(
-                    table=table,
-                    cover=_trivial_cover(table),
-                    state_map={s: (s,) for s in table.states},
-                )
-        working = reduction.table
-
-        # Step 3: USTT state assignment.
-        with timed("assign"):
-            assignment = assign_states(working)
-            if options.verify_assignment:
-                problems = ustt_violations(working, assignment.encoding)
-                if problems:
-                    raise SynthesisError(
-                        "state assignment violates the USTT condition:\n  "
-                        + "\n  ".join(problems)
-                    )
-        spec = SpecifiedMachine(working, assignment.encoding)
-
-        # Step 4: output determination (Z and SSD).
-        with timed("outputs"):
-            outputs = synthesize_outputs(spec, options.output_policy)
-            ssd = synthesize_ssd(spec, options.ssd_dc_policy)
-
-        # Step 5: hazard search (Figure 4).
-        with timed("hazards"):
-            analysis = find_hazards(spec)
-
-        # Step 6: fsv and Y canonical equations.
-        with timed("fsv"):
-            if options.hazard_correction:
-                effective = analysis
-            else:
-                from .hazard_analysis import HazardAnalysis
-
-                effective = HazardAnalysis(
-                    num_state_vars=spec.num_state_vars
-                )
-            fsv_fn = fsv_function(spec, effective)
-            y_fns = next_state_functions(spec, effective)
-
-        # Step 7: hazard factoring (Figure 5).
-        with timed("factor"):
-            fsv_eq = factor_fsv(fsv_fn)
-            fsv_index = spec.width  # fsv is the top bit of the doubled space
-            y_eqs = [
-                factor_next_state(
-                    fn,
-                    fsv_index,
-                    name=spec.encoding.variables[n],
-                    reduce_mode=options.reduce_mode,
-                )
-                for n, fn in enumerate(y_fns)
-            ]
-
-        return SynthesisResult(
-            source=table,
-            reduction=reduction,
-            assignment=assignment,
-            spec=spec,
-            analysis=analysis,
-            fsv=fsv_eq,
-            next_state=y_eqs,
-            outputs=outputs,
-            ssd=ssd,
-            stage_seconds=stage_seconds,
-        )
+        return self._manager.run(table, self.options)
 
 
 def synthesize(
@@ -191,12 +52,3 @@ def synthesize(
 ) -> SynthesisResult:
     """One-shot convenience wrapper around :class:`Seance`."""
     return Seance(options).run(table)
-
-
-def _trivial_cover(table: FlowTable):
-    from ..minimize.cover_search import ClosedCover
-
-    return ClosedCover(
-        classes=tuple(frozenset({s}) for s in table.states),
-        exact=True,
-    )

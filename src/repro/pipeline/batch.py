@@ -1,0 +1,256 @@
+"""Batch synthesis: many tables through the pass pipeline at once.
+
+`BatchRunner` synthesises a sequence of flow tables and yields one
+:class:`BatchItem` per table **in input order**, regardless of which
+worker finishes first — the stream is deterministic, so downstream
+consumers (the Table-1 printer, the JSON emitter, regression diffs) see
+identical output for identical input no matter the parallelism.
+
+``jobs > 1`` uses a :class:`~concurrent.futures.ProcessPoolExecutor`
+(synthesis is pure CPU — covering searches and minimisation — so
+processes, not threads).  Tables and results cross the process boundary
+by pickle; both are plain data.  ``jobs=1`` (or ``jobs=None`` on a
+single-CPU box) runs serially in-process, where a shared
+:class:`~repro.pipeline.cache.StageCache` makes repeated tables nearly
+free.  A failing table never aborts the batch: its item carries the
+error message and ``result=None``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections.abc import Iterable, Iterator, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from ..errors import ReproError
+from ..flowtable.table import FlowTable
+from .cache import StageCache
+from .manager import PassManager
+from .options import SynthesisOptions
+
+
+@dataclass
+class BatchItem:
+    """Outcome of one table in a batch run."""
+
+    index: int
+    name: str
+    result: object | None  # SynthesisResult on success
+    error: str | None
+    seconds: float
+    cache_hits: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _error_message(error: ReproError) -> str:
+    return str(error.args[0]) if error.args else repr(error)
+
+
+#: Per-worker-process manager, built once by `_init_worker` so the
+#: in-memory cache tier survives across the tables one worker handles.
+_WORKER_MANAGER: PassManager | None = None
+
+
+def _init_worker(use_cache: bool, cache_path: str | None) -> None:
+    global _WORKER_MANAGER
+    # Even without a disk tier, a memory-only per-worker cache is free
+    # and serves repeated (table, options) pairs within one worker.
+    cache = StageCache(path=cache_path) if use_cache else None
+    _WORKER_MANAGER = PassManager(cache=cache)
+
+
+def _synthesize_one(
+    index: int,
+    table: FlowTable,
+    options: SynthesisOptions,
+) -> tuple[int, object | None, str | None, float, tuple[str, ...]]:
+    """Worker body; module-level so ProcessPoolExecutor can pickle it."""
+    start = time.perf_counter()
+    manager = _WORKER_MANAGER or PassManager()
+    try:
+        result, report = manager.run_with_report(table, options)
+        return (
+            index,
+            result,
+            None,
+            time.perf_counter() - start,
+            report.cache_hits,
+        )
+    except ReproError as error:
+        return (
+            index,
+            None,
+            _error_message(error),
+            time.perf_counter() - start,
+            (),
+        )
+
+
+class BatchRunner:
+    """Synthesises many tables with an ordered, deterministic result stream.
+
+    Parameters
+    ----------
+    options:
+        Applied to every table in the batch.
+    jobs:
+        Worker processes.  ``None`` → ``os.cpu_count()``; ``1`` → serial
+        in-process (shares ``cache`` across tables and runs).
+    cache:
+        Stage cache for the serial path.  Worker *processes* do not see
+        the in-memory tier, but a disk-backed cache (``StageCache(path=...)``)
+        is shared through the filesystem in every mode.
+    """
+
+    def __init__(
+        self,
+        options: SynthesisOptions | None = None,
+        jobs: int | None = None,
+        cache: StageCache | None = None,
+    ):
+        self.options = options or SynthesisOptions()
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+    def iter_results(
+        self, tables: Sequence[FlowTable]
+    ) -> Iterator[BatchItem]:
+        """Yield one item per table, in input order."""
+        yield from self._iter_pairs(
+            [(table, self.options) for table in tables]
+        )
+
+    def run(self, tables: Sequence[FlowTable]) -> list[BatchItem]:
+        return list(self.iter_results(tables))
+
+    def run_names(self, names: Iterable[str]) -> list[BatchItem]:
+        """Synthesise built-in benchmarks by name."""
+        from ..bench.suite import benchmark
+
+        return self.run([benchmark(name) for name in names])
+
+    def run_matrix(
+        self,
+        tables: Sequence[FlowTable],
+        options_list: Sequence[SynthesisOptions],
+    ) -> list[BatchItem]:
+        """Cross tables × option sets through one worker pool.
+
+        The shape of an ablation sweep: every table synthesised under
+        every option set, ordered option-major (all tables under
+        ``options_list[0]`` first).  One pool amortises process start-up
+        over the whole sweep instead of paying it per option set.
+        """
+        return list(
+            self._iter_pairs(
+                [(t, o) for o in options_list for t in tables]
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def _iter_pairs(
+        self, pairs: Sequence[tuple[FlowTable, SynthesisOptions]]
+    ) -> Iterator[BatchItem]:
+        if self.jobs == 1 or len(pairs) <= 1:
+            yield from self._iter_serial(pairs)
+        else:
+            yield from self._iter_parallel(pairs)
+
+    def _iter_serial(
+        self, pairs: Sequence[tuple[FlowTable, SynthesisOptions]]
+    ) -> Iterator[BatchItem]:
+        manager = PassManager(cache=self.cache)
+        for index, (table, options) in enumerate(pairs):
+            start = time.perf_counter()
+            try:
+                result, report = manager.run_with_report(table, options)
+                yield BatchItem(
+                    index=index,
+                    name=table.name,
+                    result=result,
+                    error=None,
+                    seconds=time.perf_counter() - start,
+                    cache_hits=report.cache_hits,
+                )
+            except ReproError as error:
+                yield BatchItem(
+                    index=index,
+                    name=table.name,
+                    result=None,
+                    error=_error_message(error),
+                    seconds=time.perf_counter() - start,
+                )
+
+    def _iter_parallel(
+        self, pairs: Sequence[tuple[FlowTable, SynthesisOptions]]
+    ) -> Iterator[BatchItem]:
+        workers = min(self.jobs, len(pairs))
+        # Worker processes cannot share the in-memory tier; a disk-backed
+        # cache is re-opened once per worker (`_init_worker`) so warm
+        # stages survive the pool and repeats within a worker stay
+        # in-memory.
+        cache_path = (
+            str(self.cache.path)
+            if self.cache is not None and self.cache.path is not None
+            else None
+        )
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(self.cache is not None, cache_path),
+        )
+        try:
+            futures = [
+                pool.submit(_synthesize_one, index, table, options)
+                for index, (table, options) in enumerate(pairs)
+            ]
+            # Input order, not completion order: determinism beats a
+            # marginal head-of-line latency win for this stream size.
+            for job_index, ((table, _), future) in enumerate(
+                zip(pairs, futures)
+            ):
+                try:
+                    index, result, error, seconds, hits = future.result()
+                except Exception as error:  # noqa: BLE001
+                    # A dead worker (OOM kill, unpicklable artifact)
+                    # must not take the rest of the batch with it.
+                    yield BatchItem(
+                        index=job_index,
+                        name=table.name,
+                        result=None,
+                        error=f"worker failed: "
+                        f"{type(error).__name__}: {error}",
+                        seconds=0.0,
+                    )
+                    continue
+                yield BatchItem(
+                    index=index,
+                    name=table.name,
+                    result=result,
+                    error=error,
+                    seconds=seconds,
+                    cache_hits=hits,
+                )
+        finally:
+            # Normal exhaustion: every future is done, this returns at
+            # once.  An abandoned generator: cancel queued work instead
+            # of blocking the consumer until the whole batch finishes.
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+def synthesize_batch(
+    tables: Sequence[FlowTable],
+    options: SynthesisOptions | None = None,
+    jobs: int | None = None,
+    cache: StageCache | None = None,
+) -> list[BatchItem]:
+    """One-shot convenience wrapper around :class:`BatchRunner`."""
+    return BatchRunner(options=options, jobs=jobs, cache=cache).run(tables)

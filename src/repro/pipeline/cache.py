@@ -1,0 +1,188 @@
+"""Content-hash stage cache for the pass pipeline.
+
+Synthesis is deterministic: every artifact is a pure function of the
+source flow table, the options, and the passes that ran before it.  The
+cache therefore keys each stage by
+
+    sha256(cache format version
+           ‖ canonical flow-table text (incl. signal/state names)
+           ‖ canonical options items
+           ‖ the pass-name prefix up to and including this stage)
+
+and stores the artifacts the stage provided.  Re-synthesising the same
+table — the bench suite re-running, an ablation sharing its prefix with
+the paper-default run, a property test shrinking — skips every stage
+whose key is already present.
+
+Two tiers:
+
+* an in-memory dictionary (always on), and
+* an optional directory of pickle files (``path=...``) so separate
+  processes/invocations — ``seance batch --cache-dir`` — share warm
+  stages.  Disk entries are written atomically (tmp + rename) and
+  unreadable/corrupt files are treated as misses.
+
+Note the prefix hash means an ablated run (say ``reduce_mode="joint"``)
+shares *no* keys with the paper-default run even though their first
+stages compute identical artifacts: options are hashed whole.  That is
+deliberate — it keeps the key derivation auditable and can never serve
+a stale artifact.  The remaining caveat: a pass whose *behaviour*
+changes without its class moving or being renamed (an edited method, a
+pass reading global state) is indistinguishable to the key; bump
+:data:`CACHE_FORMAT_VERSION` (or clear the cache directory) when
+editing pass semantics in place.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+from typing import Any
+
+from ..flowtable.table import FlowTable
+from .options import SynthesisOptions
+
+#: Bump when artifact layout or pass semantics change incompatibly.
+CACHE_FORMAT_VERSION = 1
+
+
+def table_fingerprint(table: FlowTable) -> str:
+    """A canonical text form of a flow table, for hashing.
+
+    KISS2 serialisation is *not* used because it drops signal names; the
+    fingerprint must distinguish tables that synthesise to differently
+    named equations.
+    """
+    lines = [
+        f"name={table.name!r}",
+        f"inputs={tuple(table.inputs)!r}",
+        f"outputs={tuple(table.outputs)!r}",
+        f"states={tuple(table.states)!r}",
+        f"reset={table.reset_state!r}",
+    ]
+    # The full entry map, not just specified_entries(): a cell with an
+    # unspecified successor can still carry output bits, and those bits
+    # feed output-compatibility during reduction — two tables differing
+    # only there must not share a key.
+    for (state, column), entry in sorted(table.entry_map().items()):
+        lines.append(
+            f"{(state, column, entry.next_state, entry.outputs)!r}"
+        )
+    return "\n".join(lines)
+
+
+def run_fingerprint(table: FlowTable, options: SynthesisOptions) -> str:
+    """The (table, options) prefix every stage key of a run derives from."""
+    digest = hashlib.sha256()
+    digest.update(f"v{CACHE_FORMAT_VERSION}\n".encode())
+    digest.update(table_fingerprint(table).encode())
+    digest.update(repr(options.fingerprint_items()).encode())
+    return digest.hexdigest()
+
+
+def stage_key(run_prefix: str, pass_names: tuple[str, ...]) -> str:
+    """The content hash identifying one stage of one run.
+
+    ``pass_names`` is the pipeline prefix up to and including the stage
+    (the manager passes ``name=module.QualName`` entries, so swapping a
+    pass *implementation* under the same name also changes the key);
+    inserting, removing or reordering passes invalidates every key
+    downstream of the edit.
+    """
+    digest = hashlib.sha256()
+    digest.update(run_prefix.encode())
+    # repr of the tuple, not a joined string: pass names are arbitrary,
+    # and ("a/b",) must never collide with ("a", "b").
+    digest.update(repr(tuple(pass_names)).encode())
+    return digest.hexdigest()
+
+
+class StageCache:
+    """In-memory (optionally disk-backed) store of completed stages.
+
+    ``max_entries`` bounds the in-memory tier (FIFO eviction — synthesis
+    artifacts are small, the bound is a safety valve for unbounded batch
+    loops, not a tuned policy).  ``hits``/``misses``/``stores`` expose
+    effectiveness to the benchmarks.
+    """
+
+    def __init__(
+        self, path: str | os.PathLike | None = None, max_entries: int = 4096
+    ):
+        self._memory: dict[str, dict[str, Any]] = {}
+        self._path = Path(path) if path is not None else None
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        if self._path is not None:
+            self._path.mkdir(parents=True, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    @property
+    def path(self) -> Path | None:
+        """Disk-tier directory, or None for a memory-only cache."""
+        return self._path
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The stage's artifacts, or None on a miss."""
+        artifacts = self._memory.get(key)
+        if artifacts is None and self._path is not None:
+            artifacts = self._read_disk(key)
+            if artifacts is not None:
+                self._remember(key, artifacts)
+        if artifacts is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return artifacts
+
+    def put(self, key: str, artifacts: dict[str, Any]) -> None:
+        self._remember(key, artifacts)
+        self.stores += 1
+        if self._path is not None:
+            self._write_disk(key, artifacts)
+
+    def clear(self) -> None:
+        self._memory.clear()
+
+    # ------------------------------------------------------------------
+    def _remember(self, key: str, artifacts: dict[str, Any]) -> None:
+        while len(self._memory) >= self._max_entries:
+            self._memory.pop(next(iter(self._memory)))
+        self._memory[key] = artifacts
+
+    def _entry_path(self, key: str) -> Path:
+        assert self._path is not None
+        return self._path / f"{key}.pkl"
+
+    def _read_disk(self, key: str) -> dict[str, Any] | None:
+        entry = self._entry_path(key)
+        try:
+            with entry.open("rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError, IndexError):
+            # Missing, corrupt, or written by an incompatible version:
+            # a miss, never an error.
+            return None
+
+    def _write_disk(self, key: str, artifacts: dict[str, Any]) -> None:
+        entry = self._entry_path(key)
+        tmp = entry.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with tmp.open("wb") as handle:
+                pickle.dump(artifacts, handle, pickle.HIGHEST_PROTOCOL)
+            tmp.replace(entry)
+        except (OSError, pickle.PickleError):
+            # Unpicklable artifact or unwritable directory: stay
+            # memory-only rather than failing the synthesis.
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass

@@ -11,6 +11,7 @@ from .delays import (
 from .harness import (
     FantomHarness,
     random_legal_walk,
+    synthesize_and_validate,
     validate_against_reference,
 )
 from .monitors import CycleReport, ValidationSummary, count_changes
@@ -34,6 +35,7 @@ __all__ = [
     "loop_safe_random",
     "random_legal_walk",
     "skewed_random",
+    "synthesize_and_validate",
     "trace_to_vcd",
     "validate_against_reference",
     "write_vcd",

@@ -175,6 +175,39 @@ def random_legal_walk(
     return walk
 
 
+def synthesize_and_validate(
+    table,
+    options=None,
+    *,
+    use_fsv: bool = True,
+    steps: int = 30,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    delays_factory=loop_safe_random,
+    manager=None,
+) -> ValidationSummary:
+    """Flow table → pass pipeline → FANTOM netlist → dynamic validation.
+
+    The one-call version of the paper's full loop: synthesise ``table``
+    through the :class:`~repro.pipeline.manager.PassManager` (pass a
+    cached ``manager`` to skip already-computed stages — the ablation
+    benchmarks validate the same table with and without fsv, sharing
+    nothing but saving the repeated paper-default synthesis), build the
+    gate-level machine, and run :func:`validate_against_reference`.
+    ``use_fsv=False`` wires the unprotected machine (the hazard
+    ablation).
+    """
+    from ..netlist.fantom import build_fantom
+    from ..pipeline.manager import PassManager
+
+    if manager is None:
+        manager = PassManager()
+    result = manager.run(table, options)
+    machine = build_fantom(result, use_fsv=use_fsv)
+    return validate_against_reference(
+        machine, steps=steps, seeds=seeds, delays_factory=delays_factory
+    )
+
+
 def validate_against_reference(
     machine: FantomMachine,
     steps: int = 30,

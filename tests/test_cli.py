@@ -62,6 +62,68 @@ class TestValidate:
         assert "FAILED" in out
 
 
+class TestBatch:
+    def test_batch_default_runs_whole_suite(self, capsys):
+        from repro.bench import benchmark_names
+
+        assert main(["batch"]) == 0
+        out = capsys.readouterr().out
+        for name in benchmark_names():
+            assert name in out
+        assert "0 failed" in out
+
+    def test_batch_named_subset_in_order(self, capsys):
+        assert main(["batch", "traffic", "lion"]) == 0
+        out = capsys.readouterr().out
+        assert out.index("traffic") < out.index("lion")
+
+    def test_batch_parallel_jobs(self, capsys):
+        assert main(["batch", "lion", "traffic", "-j", "2"]) == 0
+        assert "2 worker(s)" in capsys.readouterr().out
+
+    def test_batch_json_reports(self, capsys):
+        import json
+
+        assert main(["batch", "lion", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["name"] == "lion"
+        assert payload[0]["ok"] is True
+        assert payload[0]["result"]["depths"]["total"] == 9
+
+    def test_batch_cache_dir_warms_across_invocations(
+        self, tmp_path, capsys
+    ):
+        cache = str(tmp_path / "stages")
+        assert main(["batch", "lion", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["batch", "lion", "--cache-dir", cache]) == 0
+        assert "7/7" in capsys.readouterr().out
+
+    def test_batch_kiss_file_and_options(self, tmp_path, capsys):
+        from repro.bench import kiss_source
+
+        path = tmp_path / "machine.kiss2"
+        path.write_text(kiss_source("hazard_demo"))
+        assert main(["batch", str(path), "--no-fsv"]) == 0
+        assert "machine" in capsys.readouterr().out
+
+    def test_batch_unknown_spec_is_a_cli_error(self, capsys):
+        assert main(["batch", "no_such_benchmark"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_batch_zero_jobs_is_a_cli_error(self, capsys):
+        assert main(["batch", "lion", "-j", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_batch_cache_dir_on_a_file_is_a_cli_error(
+        self, tmp_path, capsys
+    ):
+        blocker = tmp_path / "not_a_dir"
+        blocker.write_text("")
+        assert main(["batch", "lion", "--cache-dir", str(blocker)]) == 2
+        assert "cache-dir" in capsys.readouterr().err
+
+
 class TestListing:
     def test_bench_list(self, capsys):
         assert main(["bench-list"]) == 0
