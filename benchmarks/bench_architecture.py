@@ -13,7 +13,7 @@ import pytest
 from conftest import print_table
 from repro.bench import TABLE1_BENCHMARKS
 from repro.bench import benchmark as load_bench
-from repro.core.seance import SynthesisOptions, synthesize
+from repro.api import SynthesisOptions, synthesize
 from repro.netlist.fantom import build_fantom
 from repro.netlist.gates import GateType
 

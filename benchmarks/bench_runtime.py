@@ -27,7 +27,7 @@ import pytest
 from conftest import print_table
 from repro.bench import TABLE1_BENCHMARKS, benchmark_names, load_all
 from repro.bench import benchmark as load_bench
-from repro.core.seance import SynthesisOptions, synthesize
+from repro.api import SynthesisOptions, synthesize
 from repro.pipeline import BatchRunner, PassManager, StageCache
 
 #: The ablation sweep of the factoring/hazard benchmarks: every machine
@@ -149,6 +149,73 @@ def measure_pipeline(jobs: int = 4, rounds: int = 3) -> dict:
     }
 
 
+def measure_property_suite(
+    num_tables: int = 20, replays: int = 2, rounds: int = 3
+) -> dict:
+    """The hypothesis-workload speedup of the session-scoped test cache.
+
+    ``tests/test_end_to_end.py`` routes all synthesis through the
+    session-scoped stage cache in ``tests/strategies.py``
+    (``REPRO_TEST_CACHE=off`` disables it).  A hypothesis suite's repeat
+    structure is *replays*: the same (shrunk or database-stored) table
+    re-synthesised across attempts and test functions.  This measures
+    exactly that workload on the suite's own strategy — ``num_tables``
+    strategy-drawn tables synthesised once cold, then ``replays`` more
+    times — with the shared cache versus without.  The cold pass pays
+    the cache's store overhead; every replay pass is pure hits.
+    """
+    import sys
+
+    repo = Path(__file__).resolve().parent.parent
+    if str(repo) not in sys.path:
+        sys.path.insert(0, str(repo))
+
+    from hypothesis import HealthCheck, given, seed, settings
+
+    from repro.flowtable.validation import (
+        check_stability,
+        check_strongly_connected,
+    )
+    from tests.strategies import normal_mode_tables
+
+    tables: list = []
+
+    @seed(0)
+    @settings(
+        max_examples=num_tables,
+        deadline=None,
+        database=None,
+        suppress_health_check=list(HealthCheck),
+    )
+    @given(normal_mode_tables(max_states=3, max_inputs=2,
+                              allow_unspecified=False))
+    def collect(table):
+        # The same filter the end-to-end suite assumes: synthesisable
+        # tables only.
+        if not check_strongly_connected(table) and not check_stability(table):
+            tables.append(table)
+
+    collect()
+
+    def run_workload(cache):
+        manager = PassManager(cache=cache)
+        start = time.perf_counter()
+        for _ in range(1 + replays):
+            for table in tables:
+                manager.run(table)
+        return time.perf_counter() - start
+
+    uncached = min(run_workload(None) for _ in range(rounds))
+    cached = min(run_workload(StageCache()) for _ in range(rounds))
+    return {
+        "property_workload_tables": len(tables),
+        "property_workload_replays": replays,
+        "property_workload_uncached_seconds": round(uncached, 6),
+        "property_workload_cached_seconds": round(cached, 6),
+        "property_workload_cache_speedup": round(uncached / cached, 3),
+    }
+
+
 def test_pipeline_speedups(benchmark):
     """The claims BENCH_pipeline.json records, asserted coarsely."""
     stats = benchmark.pedantic(
@@ -164,6 +231,7 @@ def test_pipeline_speedups(benchmark):
 def main() -> int:
     out = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
     stats = measure_pipeline()
+    stats.update(measure_property_suite())
     stats["generated_by"] = "benchmarks/bench_runtime.py"
     out.write_text(json.dumps(stats, indent=2) + "\n")
     print(json.dumps(stats, indent=2))

@@ -11,7 +11,7 @@ import pytest
 
 from conftest import print_table
 from repro.bench.suite import _chain_machine
-from repro.core.seance import SynthesisOptions, synthesize
+from repro.api import SynthesisOptions, synthesize
 
 _rows: list[tuple] = []
 

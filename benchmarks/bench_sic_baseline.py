@@ -23,7 +23,7 @@ from repro.baselines.huffman_sim import (
     sic_walk,
 )
 from repro.bench import benchmark as load_bench
-from repro.core.seance import synthesize
+from repro.api import synthesize
 from repro.netlist.fantom import build_fantom
 from repro.sim.delays import skewed_random
 from repro.sim.harness import random_legal_walk, validate_against_reference

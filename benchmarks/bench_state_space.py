@@ -16,7 +16,7 @@ from conftest import print_table
 from repro.bench import TABLE1_BENCHMARKS
 from repro.bench import benchmark as load_bench
 from repro.core.fsv import state_space_growth
-from repro.core.seance import SynthesisOptions, synthesize
+from repro.api import SynthesisOptions, synthesize
 
 _rows: list[tuple] = []
 

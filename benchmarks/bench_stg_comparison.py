@@ -18,7 +18,7 @@ from conftest import print_table
 from repro.baselines.stg_expansion import comparison_row
 from repro.bench import TABLE1_BENCHMARKS
 from repro.bench import benchmark as load_bench
-from repro.core.seance import synthesize
+from repro.api import synthesize
 
 _rows: list[tuple] = []
 

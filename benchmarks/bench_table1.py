@@ -17,7 +17,7 @@ import pytest
 from conftest import print_table
 from repro.bench import PAPER_TABLE1, TABLE1_BENCHMARKS
 from repro.bench import benchmark as load_bench
-from repro.core.seance import synthesize
+from repro.api import synthesize
 
 _rows: dict[str, tuple] = {}
 

@@ -13,7 +13,7 @@ import pytest
 from conftest import print_table
 from repro.bench import TABLE1_BENCHMARKS
 from repro.bench import benchmark as load_bench
-from repro.core.seance import synthesize
+from repro.api import synthesize
 from repro.netlist.timing import timing_report
 
 _rows: list[tuple] = []

@@ -11,24 +11,52 @@ pytest-benchmark as usual.
 
 from __future__ import annotations
 
-from repro.pipeline import PassManager, StageCache
+from repro import api
+from repro.pipeline import StageCache
 
-#: One stage-cached pipeline shared by every bench module: set-up
-#: synthesis of the same (table, options) pair — the hazard ablation
-#: building its protected machine, the cover ablation inspecting the
-#: same spec — runs its passes once per session.
-_PIPELINE = PassManager(cache=StageCache())
+#: One stage cache shared by every bench module: set-up synthesis of the
+#: same (table, options, pass-prefix) — the hazard ablation building its
+#: protected machine, the cover ablation inspecting the same spec — runs
+#: each pass once per session.  Because ablations are *pass
+#: substitutions*, an ablated run still shares every stage upstream of
+#: the swapped pass with the paper-default run.
+_CACHE = StageCache()
 
 
-def pipeline_synth(table, options=None):
-    """Synthesise through the session-shared, stage-cached pass pipeline.
+def pipeline_session(table, options=None, substitutions=()):
+    """An :class:`repro.api.Session` on the shared stage cache."""
+    session = api.load(table).with_cache(_CACHE)
+    if options is not None:
+        session = session.with_options(options)
+    if substitutions:
+        session = session.with_pass(*substitutions)
+    return session
+
+
+def pipeline_synth(table, options=None, substitutions=()):
+    """Synthesise through the session-shared, stage-cached pipeline.
 
     Use for *set-up* synthesis in benchmarks whose timed section is
     something else (validation walks, cover costing, factoring).  Timed
-    synthesis should call ``repro.core.seance.synthesize`` (or a fresh
-    ``PassManager``) so the measurement is never a cache hit.
+    synthesis should call ``repro.api.synthesize`` (or an uncached
+    session) so the measurement is never a cache hit.
     """
-    return _PIPELINE.run(table, options)
+    return pipeline_session(table, options, substitutions).run()
+
+
+def cold_report(table, options=None, substitutions=()):
+    """(result, PipelineReport) from an *uncached* run — honest per-pass
+    wall-clock numbers for the ablation timing diffs."""
+    session = pipeline_session(table, options, substitutions).with_cache(None)
+    return session.run_with_report()
+
+
+def pass_seconds(report, stage: str) -> float:
+    """Wall-clock seconds the named stage took in a report."""
+    for event in report.events:
+        if event.name == stage:
+            return event.seconds
+    raise KeyError(f"no pass {stage!r} in report ({report.cache_hits})")
 
 
 def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:

@@ -10,10 +10,16 @@ follower that watches stage 1's latched output.  The composite is a
 single netlist; the example drives it through several transactions and
 shows the one-transaction pipeline latency the hand-shake implies.
 
+Both stages are synthesised through one `repro.api` session chain
+sharing a stage cache — `api.load(...)` accepts benchmark names and
+programmatic tables alike, and `.with_table(...)` re-targets a session
+without rebuilding its configuration.
+
 Run:  python examples/pipeline_chain.py
 """
 
-from repro import FlowTableBuilder, benchmark, build_fantom, synthesize
+from repro import FlowTableBuilder, api
+from repro import build_fantom
 from repro.netlist import chain
 from repro.sim import Simulator, loop_safe_random
 
@@ -51,8 +57,11 @@ def run_transaction(sim, pipeline, column, env_delay=2.0, budget=600.0):
 
 
 def main():
-    stage1 = build_fantom(synthesize(benchmark("hazard_demo")))
-    stage2 = build_fantom(synthesize(build_follower()))
+    # One fluent session chain: same configuration (and shared stage
+    # cache), two different machines.
+    session = api.load("hazard_demo")
+    stage1 = build_fantom(session.run())
+    stage2 = build_fantom(session.with_table(build_follower()).run())
     pipeline = chain(stage1, stage2, name="demo_pipeline")
     print(f"composite netlist: {pipeline.netlist.stats()}")
 

@@ -1,16 +1,20 @@
-"""Quickstart: specify a machine, run SEANCE, inspect the FANTOM result.
+"""Quickstart: specify a machine, run SEANCE via `repro.api`, inspect it.
 
 This walks the public API end to end:
 
 1. describe an asynchronous controller as a normal-mode flow table,
-2. synthesise it (the full Figure-3 pipeline),
+2. open an `api.load(...)` session and run the full Figure-3 pipeline,
 3. read the hazard analysis and the synthesised equations,
-4. build the gate-level FANTOM machine and run one hand-shake.
+4. ship the result through its JSON wire form (`to_dict`/`from_dict`
+   round-trip byte-identically — that is how results cross machines),
+5. build the gate-level FANTOM machine and run one hand-shake.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import FlowTableBuilder, build_fantom, synthesize
+import json
+
+from repro import FlowTableBuilder, api, build_fantom
 from repro.sim import FantomHarness, loop_safe_random
 
 
@@ -41,7 +45,11 @@ def main():
     print(table.pretty())
     print()
 
-    result = synthesize(table)
+    # The front door: load any table source, run the paper pipeline.
+    # (Sessions are fluent — .with_options(...), .with_pass(...) derive
+    # reconfigured sessions sharing one stage cache.)
+    session = api.load(table)
+    result = session.run()
     print(result.describe())
     print()
     print("Hazard analysis (the Figure-4 search):")
@@ -56,9 +64,20 @@ def main():
     )
     print()
 
+    # Results are plain data on the wire: to_dict() → JSON →
+    # from_dict() reconstructs the full result, byte-identically.
+    wire = json.dumps(result.to_dict())
+    shipped = api.SynthesisResult.from_dict(json.loads(wire))
+    assert shipped.table1_row() == result.table1_row()
+    print(
+        f"result survives its JSON wire form "
+        f"({len(wire)} bytes, round-trip byte-identical)"
+    )
+    print()
+
     # Build the architecture of Figure 1 and run a hand-shake in which
     # both inputs change at once.
-    machine = build_fantom(result)
+    machine = build_fantom(shipped)
     print(f"FANTOM netlist: {machine.netlist.stats()}")
     harness = FantomHarness(machine, delays=loop_safe_random(seed=7))
     state, outputs = harness.apply(table.column_of("11"))

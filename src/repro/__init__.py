@@ -25,6 +25,12 @@ The library covers the full stack the paper describes:
   lists, per-pass timing, a content-hash stage cache, and batch/parallel
   synthesis — :mod:`repro.pipeline`.
 
+The typed front door is :mod:`repro.api`: ``api.load(...)`` opens a
+fluent :class:`~repro.api.Session`, :class:`~repro.pipeline.spec.
+PipelineSpec` names pipeline configurations declaratively (and
+round-trips through JSON), and results serialise completely via
+``SynthesisResult.to_dict``/``from_dict``.
+
 Quickstart
 ----------
 >>> from repro import benchmark, synthesize
@@ -33,6 +39,8 @@ Quickstart
 ('lion', 3, 5, 9)
 """
 
+from . import api
+from .api import PipelineSpec, Session, load
 from .bench import (
     PAPER_TABLE1,
     TABLE1_BENCHMARKS,
@@ -45,8 +53,11 @@ from .core import (
     Seance,
     SynthesisOptions,
     SynthesisResult,
-    synthesize,
 )
+
+# The package-level one-shot keeps the historical `table` parameter
+# name (keyword callers exist); it routes through repro.api internally.
+from .core.seance import synthesize
 from .errors import (
     CoveringError,
     FlowTableError,
@@ -101,8 +112,10 @@ __all__ = [
     "NetlistError",
     "PAPER_TABLE1",
     "PassManager",
+    "PipelineSpec",
     "ReproError",
     "Seance",
+    "Session",
     "StageCache",
     "SimulationError",
     "SpecificationError",
@@ -112,11 +125,13 @@ __all__ = [
     "SynthesisOptions",
     "SynthesisResult",
     "TABLE1_BENCHMARKS",
+    "api",
     "benchmark",
     "benchmark_names",
     "build_fantom",
     "hostile_random",
     "kiss_source",
+    "load",
     "loop_safe_random",
     "parse_kiss",
     "skewed_random",

@@ -1,0 +1,99 @@
+"""Input loading for the front door: anything-to-:class:`FlowTable`.
+
+:func:`load_table` is the single dispatch point behind
+:func:`repro.api.load`: it accepts every specification frontend the
+library has — a built-in benchmark name, a KISS2 file, a serialised
+flow-table JSON file, or the programmatic objects
+(:class:`~repro.flowtable.table.FlowTable`,
+:class:`~repro.flowtable.stg.Stg`,
+:class:`~repro.flowtable.burst.BurstSpec`) — and always hands back a
+flow table.  A :class:`~repro.flowtable.builder.FlowTableBuilder` is
+deliberately *not* accepted: ``build()`` chooses the reset state and
+name, which the loader cannot guess — pass the built table.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..core.serialize import table_from_dict
+from ..errors import ReproError
+from ..flowtable.builder import FlowTableBuilder
+from ..flowtable.burst import BurstSpec
+from ..flowtable.kiss import parse_kiss
+from ..flowtable.stg import Stg
+from ..flowtable.table import FlowTable
+
+#: Anything :func:`load_table` accepts.
+TableSource = "FlowTable | Stg | BurstSpec | FlowTableBuilder | str | os.PathLike"
+
+
+def load_table(source, name: str | None = None) -> FlowTable:
+    """Resolve any table source to a validated-shape :class:`FlowTable`.
+
+    Dispatch, in order:
+
+    * a :class:`FlowTable` passes through (renamed when ``name`` given);
+    * :class:`Stg` / :class:`BurstSpec` are expanded via their
+      ``to_flow_table`` converters;
+    * a :class:`FlowTableBuilder` is rejected with guidance (call
+      ``build(...)`` yourself — it chooses the reset state and name);
+    * a string naming a built-in benchmark loads that benchmark;
+    * a path loads the file — ``.json`` as a serialised flow table
+      (:func:`repro.core.serialize.table_from_dict`), anything else as
+      KISS2 — with content sniffing (leading ``{``) as the fallback for
+      unknown extensions.
+
+    Structural validation (normal mode, connectivity) stays where it
+    always ran: in the pipeline's ``validate`` pass.
+    """
+    if isinstance(source, FlowTable):
+        return source.with_name(name) if name else source
+    if isinstance(source, (Stg, BurstSpec)):
+        return source.to_flow_table(name=name) if name else source.to_flow_table()
+    if isinstance(source, FlowTableBuilder):
+        raise ReproError(
+            "pass the built table: FlowTableBuilder.build(...) chooses "
+            "the reset state and name, which load() cannot guess"
+        )
+    if isinstance(source, (str, os.PathLike)):
+        return _load_path_or_name(os.fspath(source), name)
+    raise ReproError(
+        f"cannot load a flow table from {type(source).__name__!r}"
+    )
+
+
+def _load_path_or_name(spec: str, name: str | None) -> FlowTable:
+    from ..bench.suite import benchmark, benchmark_names
+
+    if spec in benchmark_names():
+        table = benchmark(spec)
+        return table.with_name(name) if name else table
+    path = Path(spec)
+    if not path.exists():
+        raise ReproError(
+            f"{spec!r} is neither a file nor a benchmark name "
+            f"(benchmarks: {', '.join(benchmark_names())})"
+        )
+    try:
+        text = path.read_text()
+    except OSError as error:
+        raise ReproError(f"cannot read {spec!r}: {error}") from error
+    default_name = name or path.stem
+    if path.suffix.lower() == ".json" or text.lstrip().startswith("{"):
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ReproError(
+                f"{spec!r} is not valid flow-table JSON: {error}"
+            ) from error
+        table = table_from_dict(payload)
+        if name:
+            return table.with_name(name)
+        if "name" not in payload:
+            # No embedded name: default to the path stem, like KISS2.
+            return table.with_name(default_name)
+        return table
+    return parse_kiss(text, name=default_name)

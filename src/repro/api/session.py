@@ -1,0 +1,183 @@
+"""The fluent synthesis session: one table, one evolving configuration.
+
+A :class:`Session` binds a loaded flow table to a
+:class:`~repro.pipeline.spec.PipelineSpec` and a live
+:class:`~repro.pipeline.cache.StageCache`.  Sessions are immutable: the
+``with_*`` builders derive new sessions, and every session in one
+derivation chain *shares the same cache object*, so an ablation sweep —
+
+    base = api.load("lion")
+    paper = base.run()
+    joint = base.with_pass("factor:joint").run()
+
+— re-executes only the substituted stage (the upstream stage-cache
+entries carry over; see :mod:`repro.pipeline.registry`).
+"""
+
+from __future__ import annotations
+
+from ..core.result import SynthesisResult
+from ..flowtable.table import FlowTable
+from ..pipeline.cache import StageCache
+from ..pipeline.manager import PipelineReport
+from ..pipeline.options import SynthesisOptions
+from ..pipeline.spec import PipelineSpec
+from .loaders import load_table
+
+
+class Session:
+    """An immutable (table, spec, cache) triple with fluent builders."""
+
+    def __init__(
+        self,
+        table: FlowTable,
+        spec: PipelineSpec | None = None,
+        cache: StageCache | None | type(...) = ...,
+    ):
+        self._table = table
+        self._spec = spec if spec is not None else PipelineSpec()
+        # ``...`` means "build what the spec configures"; an explicit
+        # cache (or None) overrides the spec's cache config.
+        self._cache = self._spec.cache.build() if cache is ... else cache
+
+    # ------------------------------------------------------------------
+    @property
+    def table(self) -> FlowTable:
+        return self._table
+
+    @property
+    def spec(self) -> PipelineSpec:
+        return self._spec
+
+    @property
+    def cache(self) -> StageCache | None:
+        return self._cache
+
+    # ------------------------------------------------------------------
+    # Builders (each returns a new Session sharing this one's cache)
+    # ------------------------------------------------------------------
+    def _derive(self, spec: PipelineSpec) -> "Session":
+        return Session(self._table, spec, cache=self._cache)
+
+    def with_table(self, source, name: str | None = None) -> "Session":
+        """Same configuration, different machine."""
+        return Session(load_table(source, name), self._spec, cache=self._cache)
+
+    def with_spec(self, spec: PipelineSpec) -> "Session":
+        """Replace the whole spec.
+
+        A changed cache *config* re-materialises the cache; otherwise
+        the current cache object is kept warm.
+        """
+        if spec.cache != self._spec.cache:
+            return Session(self._table, spec)
+        return self._derive(spec)
+
+    def with_options(
+        self, options: SynthesisOptions | None = None, **overrides
+    ) -> "Session":
+        """Replace the options or update individual fields."""
+        return self._derive(self._spec.with_options(options, **overrides))
+
+    def with_passes(self, *passes: str) -> "Session":
+        """Run exactly this pass list (registry keys, in order)."""
+        return self._derive(self._spec.with_passes(*passes))
+
+    def with_pass(self, *overrides: str) -> "Session":
+        """Substitute stages by base name (``"factor:joint"`` → factor)."""
+        return self._derive(self._spec.substitute(*overrides))
+
+    def with_cache(self, cache) -> "Session":
+        """Attach a cache: an existing :class:`StageCache`, a disk-tier
+        directory path (str or PathLike), or None to disable caching."""
+        import os
+
+        from ..pipeline.spec import CacheSpec
+
+        if isinstance(cache, (str, os.PathLike)):
+            # Through CacheSpec.build for the domain-error wrapping.
+            cache = CacheSpec(path=os.fspath(cache)).build()
+        return Session(self._table, self._spec, cache=cache)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> SynthesisResult:
+        """Synthesise the table under the session's configuration."""
+        result, _ = self.run_with_report()
+        return result
+
+    def run_with_report(self) -> tuple[SynthesisResult, PipelineReport]:
+        """Like :meth:`run`, plus the per-pass :class:`PipelineReport`."""
+        manager = self._spec.build_manager(cache=self._cache)
+        return manager.run_with_report(self._table, self._spec.options)
+
+    def __repr__(self) -> str:
+        return (
+            f"Session({self._table.name!r}, passes={list(self._spec.passes)}, "
+            f"cache={'on' if self._cache is not None else 'off'})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Module-level one-shots
+# ----------------------------------------------------------------------
+def load(source, name: str | None = None,
+         spec: PipelineSpec | None = None) -> Session:
+    """Open a session on any table source (see
+    :func:`repro.api.loaders.load_table` for the accepted forms)."""
+    return Session(load_table(source, name), spec)
+
+
+def synthesize(
+    source,
+    options: SynthesisOptions | None = None,
+    *,
+    spec: PipelineSpec | None = None,
+    cache: StageCache | None = None,
+) -> SynthesisResult:
+    """One-shot synthesis of any table source.
+
+    ``options`` overrides the spec's options (the common case:
+    ``api.synthesize(table, SynthesisOptions(minimize=False))``).
+
+    A one-shot run has nothing to reuse, so no stage cache is built
+    unless the caller passes one (or configures one in ``spec``) —
+    exactly the old ``core.seance.synthesize`` behaviour.
+    """
+    if cache is None and spec is not None:
+        cache = spec.cache.build()
+    session = Session(
+        load_table(source),
+        spec if spec is not None else PipelineSpec(),
+        cache=cache,
+    )
+    if options is not None:
+        session = session.with_options(options)
+    return session.run()
+
+
+def batch(
+    sources,
+    *,
+    spec: PipelineSpec | None = None,
+    options: SynthesisOptions | None = None,
+    jobs: int | None = 1,
+    cache: StageCache | None = None,
+):
+    """Synthesise many sources with an ordered, deterministic stream.
+
+    Returns a list of :class:`~repro.pipeline.batch.BatchItem`; each
+    item carries the result (or the error), wall-clock seconds, and the
+    per-pass :class:`~repro.pipeline.manager.PassEvent` telemetry.
+    As in :func:`synthesize`, ``options`` given alongside a ``spec``
+    override the spec's options.
+    """
+    from ..pipeline.batch import BatchRunner
+
+    if spec is not None and options is not None:
+        spec = spec.with_options(options)
+        options = None
+    tables = [load_table(source) for source in sources]
+    runner = BatchRunner(options=options, jobs=jobs, cache=cache, spec=spec)
+    return runner.run(tables)

@@ -366,24 +366,31 @@ def load_all() -> dict[str, FlowTable]:
 
 
 def synthesize_suite(
-    names=None, options=None, jobs: int = 1, cache=None
+    names=None, options=None, jobs: int = 1, cache=None, spec=None
 ):
     """Synthesise benchmarks through the pass pipeline, keyed by name.
 
     The workhorse of ``seance table1``, the ablation benchmarks and the
-    regression tests: a :class:`~repro.pipeline.batch.BatchRunner` run
-    over the named machines (default: the whole suite) with an optional
-    shared :class:`~repro.pipeline.cache.StageCache`, returning
-    ``{name: SynthesisResult}`` in suite order.  Benchmarks are known
-    good, so any synthesis failure is re-raised.
+    regression tests: a :func:`repro.api.batch` run over the named
+    machines (default: the whole suite) with an optional shared
+    :class:`~repro.pipeline.cache.StageCache` and/or a
+    :class:`~repro.pipeline.spec.PipelineSpec` selecting pass variants,
+    returning ``{name: SynthesisResult}`` in suite order.  Benchmarks
+    are known good, so any synthesis failure is re-raised.
     """
+    from ..api import batch
     from ..errors import SynthesisError
-    from ..pipeline.batch import BatchRunner
 
     chosen = tuple(names) if names is not None else benchmark_names()
-    runner = BatchRunner(options=options, jobs=jobs, cache=cache)
+    items = batch(
+        [benchmark(name) for name in chosen],
+        spec=spec,
+        options=options,
+        jobs=jobs,
+        cache=cache,
+    )
     results = {}
-    for item in runner.run_names(chosen):
+    for item in items:
         if not item.ok:
             raise SynthesisError(
                 f"benchmark {item.name!r} failed to synthesise: {item.error}"

@@ -1,10 +1,16 @@
 """Command-line front end: ``seance`` (or ``python -m repro``).
 
-Subcommands mirror how the paper's tool was used:
+Every subcommand routes through :mod:`repro.api` — loading via
+``api.load`` (benchmark names, KISS2, flow-table JSON), configuration
+via :class:`~repro.pipeline.spec.PipelineSpec` — so a CLI run is
+reproducible from a spec file alone.
 
 ``seance synth SPEC.kiss2``
-    Run the full pipeline on a KISS2 flow table and print the synthesis
-    report (equations, hazard lists, Table-1 depths).
+    Run the full pipeline on a flow table and print the synthesis
+    report (equations, hazard lists, Table-1 depths).  ``--spec
+    SPEC.json`` loads a pipeline spec; ``--pass STAGE:VARIANT``
+    substitutes registered pass variants (repeatable); ``--emit-spec``
+    prints the resolved spec JSON instead of synthesising.
 
 ``seance table1``
     Regenerate paper Table 1 over the benchmark suite, side by side with
@@ -18,7 +24,12 @@ Subcommands mirror how the paper's tool was used:
     Synthesise many machines through the pass pipeline at once —
     optionally in parallel (``--jobs``) and/or against a persistent
     stage cache (``--cache-dir``), with a deterministic, input-ordered
-    report.  With no names, runs the full built-in suite.
+    report.  With no names, runs the full built-in suite.  ``--json``
+    includes the per-pass telemetry (wall clock + cache hits) of every
+    run.  ``--spec``/``--pass`` work as in ``synth``.
+
+``seance passes``
+    List the registered pass names a spec or ``--pass`` can use.
 
 ``seance bench-list`` / ``seance show NAME``
     Enumerate the built-in benchmarks / print one as KISS2 text.
@@ -30,38 +41,56 @@ import argparse
 import sys
 from pathlib import Path
 
-from . import __version__
+from . import __version__, api
 from .bench import PAPER_TABLE1, TABLE1_BENCHMARKS, benchmark, benchmark_names
 from .bench import kiss_source, synthesize_suite
-from .core.seance import SynthesisOptions, synthesize
 from .errors import ReproError
-from .flowtable.kiss import parse_kiss
 from .netlist.fantom import build_fantom
-from .pipeline import BatchRunner, StageCache
+from .pipeline import BatchRunner, PipelineSpec, StageCache
+from .pipeline.registry import DEFAULT_PIPELINE, base_name, registered_passes
 from .sim.delays import loop_safe_random, skewed_random
 from .sim.harness import synthesize_and_validate
 
 
 def _load_table(spec: str):
-    if spec in benchmark_names():
-        return benchmark(spec)
-    path = Path(spec)
-    if not path.exists():
-        raise ReproError(
-            f"{spec!r} is neither a file nor a benchmark name "
-            f"(benchmarks: {', '.join(benchmark_names())})"
-        )
-    return parse_kiss(path.read_text(), name=path.stem)
+    return api.load_table(spec)
+
+
+def _build_spec(args: argparse.Namespace) -> PipelineSpec:
+    """The effective PipelineSpec of a synth/batch invocation.
+
+    Precedence: the ``--spec`` file (or the default spec), then option
+    flags *that were actually given* (``--reduce-mode`` defaults to the
+    unset sentinel, so an explicit ``--reduce-mode split`` overrides a
+    spec that says joint; the boolean switches can only be raised), then
+    ``--pass`` substitutions.
+    """
+    spec = (
+        PipelineSpec.load(args.pipeline_spec)
+        if args.pipeline_spec
+        else PipelineSpec()
+    )
+    overrides = {}
+    if args.no_minimize:
+        overrides["minimize"] = False
+    if args.no_fsv:
+        overrides["hazard_correction"] = False
+    if args.reduce_mode is not None:
+        overrides["reduce_mode"] = args.reduce_mode
+    if overrides:
+        spec = spec.with_options(**overrides)
+    if args.passes:
+        spec = spec.substitute(*args.passes)
+    return spec
 
 
 def cmd_synth(args: argparse.Namespace) -> int:
-    table = _load_table(args.spec)
-    options = SynthesisOptions(
-        minimize=not args.no_minimize,
-        reduce_mode=args.reduce_mode,
-        hazard_correction=not args.no_fsv,
-    )
-    result = synthesize(table, options)
+    spec = _build_spec(args)
+    if args.emit_spec:
+        print(spec.to_json())
+        return 0
+    session = api.load(args.spec, spec=spec)
+    result = session.run()
     if args.json:
         import json
 
@@ -115,7 +144,7 @@ def cmd_export(args: argparse.Namespace) -> int:
     from .netlist.verilog import machine_to_verilog
 
     table = _load_table(args.spec)
-    result = synthesize(table)
+    result = api.synthesize(table)
     machine = build_fantom(result, use_fsv=not args.no_fsv)
     text = machine_to_verilog(machine)
     if args.output:
@@ -131,20 +160,17 @@ def cmd_batch(args: argparse.Namespace) -> int:
         raise ReproError(f"--jobs must be >= 1, got {args.jobs}")
     specs = args.specs or list(benchmark_names())
     tables = [_load_table(spec) for spec in specs]
-    options = SynthesisOptions(
-        minimize=not args.no_minimize,
-        reduce_mode=args.reduce_mode,
-        hazard_correction=not args.no_fsv,
-    )
+    spec = _build_spec(args)
     try:
-        cache = (
-            StageCache(path=args.cache_dir) if args.cache_dir else StageCache()
-        )
+        # --cache-dir overrides the spec's cache config; otherwise the
+        # spec decides (its default is an in-memory cache, matching the
+        # historical `seance batch` behaviour).
+        cache = StageCache(path=args.cache_dir) if args.cache_dir else None
     except OSError as error:
         raise ReproError(
             f"cannot use --cache-dir {args.cache_dir!r}: {error}"
         ) from error
-    runner = BatchRunner(options=options, jobs=args.jobs, cache=cache)
+    runner = BatchRunner(spec=spec, jobs=args.jobs, cache=cache)
 
     items = runner.run(tables)
     failures = [item for item in items if not item.ok]
@@ -159,6 +185,14 @@ def cmd_batch(args: argparse.Namespace) -> int:
                 "error": item.error,
                 "seconds": item.seconds,
                 "cached_stages": list(item.cache_hits),
+                "passes": [
+                    {
+                        "name": event.name,
+                        "seconds": event.seconds,
+                        "cached": event.cache_hit,
+                    }
+                    for event in item.events
+                ],
                 "result": item.result.to_dict() if item.ok else None,
             }
             for item in items
@@ -186,6 +220,35 @@ def cmd_batch(args: argparse.Namespace) -> int:
             f"{wall * 1000:.1f}ms synthesis time, {mode}"
         )
     return 1 if failures else 0
+
+
+def cmd_passes(args: argparse.Namespace) -> int:
+    default = set(DEFAULT_PIPELINE)
+    for key in registered_passes():
+        marker = "*" if key in default else " "
+        print(f"{marker} {key:20s} (stage: {base_name(key)})")
+    print("(* = the paper's default pipeline; substitute variants "
+          "with --pass)")
+    return 0
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--spec",
+        dest="pipeline_spec",
+        metavar="SPEC.json",
+        help="load the pipeline configuration from a PipelineSpec "
+        "JSON file (see --emit-spec)",
+    )
+    parser.add_argument(
+        "--pass",
+        dest="passes",
+        action="append",
+        metavar="STAGE[:VARIANT]",
+        default=None,
+        help="substitute a registered pass variant by stage name "
+        "(repeatable; see `seance passes`)",
+    )
 
 
 def cmd_bench_list(args: argparse.Namespace) -> int:
@@ -231,8 +294,9 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument(
         "--reduce-mode",
         choices=["split", "joint"],
-        default="split",
-        help="Step-7 reduction style (paper: split)",
+        default=None,
+        help="Step-7 reduction style (paper: split; explicit values "
+        "override a --spec file)",
     )
     synth.add_argument(
         "--hazards", action="store_true", help="print the hazard lists"
@@ -243,6 +307,13 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument(
         "--json", action="store_true",
         help="emit the synthesis report as JSON",
+    )
+    _add_spec_arguments(synth)
+    synth.add_argument(
+        "--emit-spec",
+        action="store_true",
+        help="print the resolved pipeline spec as JSON and exit "
+        "(feed it back with --spec)",
     )
     synth.set_defaults(func=cmd_synth)
 
@@ -309,14 +380,21 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--reduce-mode",
         choices=["split", "joint"],
-        default="split",
-        help="Step-7 reduction style (paper: split)",
+        default=None,
+        help="Step-7 reduction style (paper: split; explicit values "
+        "override a --spec file)",
     )
     batch.add_argument(
         "--json", action="store_true",
-        help="emit the full reports as JSON",
+        help="emit the full reports (incl. per-pass telemetry) as JSON",
     )
+    _add_spec_arguments(batch)
     batch.set_defaults(func=cmd_batch)
+
+    passes = sub.add_parser(
+        "passes", help="list the registered pipeline pass names"
+    )
+    passes.set_defaults(func=cmd_passes)
 
     blist = sub.add_parser("bench-list", help="list built-in benchmarks")
     blist.set_defaults(func=cmd_bench_list)

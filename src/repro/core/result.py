@@ -88,15 +88,39 @@ class SynthesisResult:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """A JSON-serialisable summary of the synthesis run.
+        """The JSON wire form of the result.
 
-        Used by the CLI's ``--json`` flag and by downstream tooling;
-        everything here is derivable from the result object, so the
-        dictionary is a view, not state.
+        Two layers share the dictionary: the human/tooling summary
+        (``depths``, ``equations``, ``hazards``, ... — all *derived*
+        views, used by the CLI's ``--json`` flag) and the ``artifacts``
+        section, which carries every stage artifact completely enough
+        for :meth:`from_dict` to reconstruct the result object.  The
+        round-trip is byte-identical:
+        ``SynthesisResult.from_dict(r.to_dict()).to_dict() == r.to_dict()``.
         """
+        from .serialize import (
+            analysis_to_dict,
+            assignment_to_dict,
+            equation_to_dict,
+            reduction_to_dict,
+            ssd_equation_to_dict,
+            table_to_dict,
+        )
+
         report = self.depth_report
         stats = TableStats.of(self.source)
+        artifacts = {
+            "source": table_to_dict(self.source),
+            "reduction": reduction_to_dict(self.reduction),
+            "assignment": assignment_to_dict(self.assignment),
+            "analysis": analysis_to_dict(self.analysis),
+            "fsv": equation_to_dict(self.fsv),
+            "next_state": [equation_to_dict(eq) for eq in self.next_state],
+            "outputs": [equation_to_dict(eq) for eq in self.outputs],
+            "ssd": ssd_equation_to_dict(self.ssd),
+        }
         return {
+            "artifacts": artifacts,
             "name": self.source.name,
             "flow_table": {
                 "states": stats.num_states,
@@ -138,6 +162,55 @@ class SynthesisResult:
             },
             "stage_seconds": dict(self.stage_seconds),
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SynthesisResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Only the ``artifacts`` and ``stage_seconds`` sections are read;
+        the summary sections are derived views and are regenerated
+        (identically) by the next :meth:`to_dict` call.
+        """
+        from ..errors import SynthesisError
+        from .serialize import (
+            analysis_from_dict,
+            assignment_from_dict,
+            factored_equation_from_dict,
+            output_equation_from_dict,
+            reduction_from_dict,
+            ssd_equation_from_dict,
+            table_from_dict,
+        )
+        from .spec import SpecifiedMachine
+
+        try:
+            artifacts = payload["artifacts"]
+            source = table_from_dict(artifacts["source"])
+            reduction = reduction_from_dict(artifacts["reduction"], source)
+            assignment = assignment_from_dict(artifacts["assignment"])
+            return cls(
+                source=source,
+                reduction=reduction,
+                assignment=assignment,
+                spec=SpecifiedMachine(reduction.table, assignment.encoding),
+                analysis=analysis_from_dict(artifacts["analysis"]),
+                fsv=factored_equation_from_dict(artifacts["fsv"]),
+                next_state=[
+                    factored_equation_from_dict(eq)
+                    for eq in artifacts["next_state"]
+                ],
+                outputs=[
+                    output_equation_from_dict(eq)
+                    for eq in artifacts["outputs"]
+                ],
+                ssd=ssd_equation_from_dict(artifacts["ssd"]),
+                stage_seconds=dict(payload.get("stage_seconds", {})),
+            )
+        except (KeyError, TypeError, ValueError, IndexError) as error:
+            raise SynthesisError(
+                f"malformed synthesis-result payload: "
+                f"{type(error).__name__}: {error}"
+            ) from error
 
     def describe(self) -> str:
         """Human-readable synthesis report."""

@@ -1,54 +1,70 @@
-"""The SEANCE synthesis front door (paper Figure 3).
+"""Deprecated SEANCE facade — superseded by :mod:`repro.api`.
 
-The seven steps — validate, reduce, assign, outputs/ssd, hazards, fsv,
-factor — are implemented as passes in :mod:`repro.pipeline.passes` and
-executed by the :class:`~repro.pipeline.manager.PassManager`.  This
-module is the stable, paper-facing facade over that engine: the
-:class:`Seance` tool class, the :func:`synthesize` one-shot, and the
-:class:`SynthesisOptions` re-export all keep their pre-pipeline
-signatures and behaviour (including the ``stage_seconds`` keys of the
-result), so every existing caller and test is unaffected.
+This module was the synthesis front door before the library grew its
+typed API.  It remains as a thin, behaviour-preserving shim (the golden
+tests pin its output byte-for-byte against the original monolithic
+implementation), but new code should use :mod:`repro.api`:
 
-Use the pipeline directly when you need more than one-shot synthesis:
+=============================  =======================================
+old                            new
+=============================  =======================================
+``synthesize(table, options)``  ``api.synthesize(table, options)``
+``Seance(options, cache)``      ``api.load(table).with_options(...)``
+                                ``.with_cache(...)`` — a :class:`Session`
+``SynthesisOptions``            ``api.SynthesisOptions`` (re-export)
+=============================  =======================================
 
-* a shared :class:`~repro.pipeline.cache.StageCache` across runs
-  (``Seance(cache=...)`` threads one through this facade too);
-* batch/parallel synthesis —
-  :class:`~repro.pipeline.batch.BatchRunner`;
-* custom pass lists (ablations, new workloads) —
-  ``PassManager(passes=...)``.
+The :class:`Seance` tool class emits a :class:`DeprecationWarning`;
+:func:`synthesize` stays silent because it is re-exported (from
+:mod:`repro.api`) as the package-level ``repro.synthesize``.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from ..flowtable.table import FlowTable
 from ..pipeline.cache import StageCache
-from ..pipeline.manager import PassManager
 from ..pipeline.options import SynthesisOptions
+from ..pipeline.spec import PipelineSpec
 from .result import SynthesisResult
 
 __all__ = ["Seance", "SynthesisOptions", "synthesize"]
 
 
 class Seance:
-    """The synthesis tool.  Instances are reusable and stateless
-    (a ``cache``, if given, is the only cross-run state)."""
+    """The pre-API synthesis tool class (deprecated).
+
+    Equivalent to a :class:`repro.api.Session` without a bound table:
+    reusable across tables, stateless apart from an optional shared
+    ``cache``.
+    """
 
     def __init__(
         self,
         options: SynthesisOptions | None = None,
         cache: StageCache | None = None,
     ):
+        warnings.warn(
+            "repro.core.seance.Seance is deprecated; use repro.api "
+            "(api.load(...).with_options(...).run(), or api.synthesize)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.options = options or SynthesisOptions()
-        self._manager = PassManager(cache=cache)
+        self._spec = PipelineSpec(options=self.options)
+        self._cache = cache
 
     def run(self, table: FlowTable) -> SynthesisResult:
         """Synthesise a FANTOM machine from a normal-mode flow table."""
-        return self._manager.run(table, self.options)
+        manager = self._spec.build_manager(cache=self._cache)
+        return manager.run(table, self.options)
 
 
 def synthesize(
     table: FlowTable, options: SynthesisOptions | None = None
 ) -> SynthesisResult:
-    """One-shot convenience wrapper around :class:`Seance`."""
-    return Seance(options).run(table)
+    """One-shot synthesis (shim for :func:`repro.api.synthesize`)."""
+    from ..api import synthesize as api_synthesize
+
+    return api_synthesize(table, options)

@@ -1,0 +1,313 @@
+"""JSON (de)serialisers for every synthesis artifact.
+
+This is the wire format of the repo: the ``"artifacts"`` section of
+:meth:`repro.core.result.SynthesisResult.to_dict` is built from these
+functions and :meth:`~repro.core.result.SynthesisResult.from_dict`
+inverts them, so a full synthesis result survives a JSON round-trip
+**byte-identically** (serialise → deserialise → re-serialise yields the
+same bytes).  That property is what the sharded-batch and remote-store
+roadmap items rest on: results can cross process, machine, and storage
+boundaries as plain JSON instead of pickles.
+
+Conventions
+-----------
+* Cubes travel as their ``"10-"`` string form (width = string length).
+* Expressions travel as tagged lists — ``["lit", name, negated]``,
+  ``["const", bit]``, ``["and"|"or"|"nor", child, ...]`` — a direct
+  image of the gate AST.
+* Sets (hazard lists, dichotomy blocks, cover classes) are emitted as
+  sorted lists so serialisation is deterministic.
+* Mapping insertion order (state codes, state maps) is preserved —
+  JSON objects keep order in Python — because downstream ``describe()``
+  output depends on it.
+
+Every ``*_from_dict`` validates through the artifact constructors (a
+corrupt payload raises a domain error rather than building nonsense).
+"""
+
+from __future__ import annotations
+
+from ..assign.dichotomy import Dichotomy
+from ..assign.encoding import StateEncoding
+from ..assign.tracey import AssignmentResult
+from ..errors import SynthesisError
+from ..flowtable.table import Entry, FlowTable
+from ..logic.cube import Cube
+from ..logic.expr import And, Const, Expr, Lit, Nor, Or
+from ..minimize.cover_search import ClosedCover
+from ..minimize.reducer import ReductionResult
+from .factoring import FactoredEquation
+from .hazard_analysis import HazardAnalysis
+from .outputs import OutputEquation
+from .ssd import SsdEquation
+
+__all__ = [
+    "expr_to_obj",
+    "expr_from_obj",
+    "table_to_dict",
+    "table_from_dict",
+    "encoding_to_dict",
+    "encoding_from_dict",
+    "assignment_to_dict",
+    "assignment_from_dict",
+    "reduction_to_dict",
+    "reduction_from_dict",
+    "analysis_to_dict",
+    "analysis_from_dict",
+    "equation_to_dict",
+    "factored_equation_from_dict",
+    "output_equation_from_dict",
+    "ssd_equation_to_dict",
+    "ssd_equation_from_dict",
+]
+
+
+# ----------------------------------------------------------------------
+# Expressions and cubes
+# ----------------------------------------------------------------------
+_GATES = {"and": And, "or": Or, "nor": Nor}
+
+
+def expr_to_obj(expr: Expr) -> list:
+    """The tagged-list form of a gate expression."""
+    if isinstance(expr, Const):
+        return ["const", expr.bit]
+    if isinstance(expr, Lit):
+        return ["lit", expr.name, int(expr.negated)]
+    for tag, cls in _GATES.items():
+        if isinstance(expr, cls):
+            return [tag] + [expr_to_obj(child) for child in expr.children]
+    raise SynthesisError(f"unserialisable expression node {type(expr).__name__}")
+
+
+def expr_from_obj(obj) -> Expr:
+    """Inverse of :func:`expr_to_obj`."""
+    if not isinstance(obj, list) or not obj:
+        raise SynthesisError(f"malformed expression payload {obj!r}")
+    tag = obj[0]
+    if tag == "const":
+        if len(obj) != 2:
+            raise SynthesisError(f"malformed const payload {obj!r}")
+        return Const(obj[1])
+    if tag == "lit":
+        if len(obj) != 3:
+            raise SynthesisError(f"malformed literal payload {obj!r}")
+        return Lit(obj[1], negated=bool(obj[2]))
+    cls = _GATES.get(tag)
+    if cls is None:
+        raise SynthesisError(f"unknown expression tag {tag!r}")
+    return cls([expr_from_obj(child) for child in obj[1:]])
+
+
+def _cover_to_obj(cover) -> list[str]:
+    return [cube.to_string() for cube in cover]
+
+
+def _cover_from_obj(payload) -> tuple[Cube, ...]:
+    return tuple(Cube.from_string(text) for text in payload)
+
+
+# ----------------------------------------------------------------------
+# Flow tables
+# ----------------------------------------------------------------------
+def table_to_dict(table: FlowTable) -> dict:
+    """Complete, order-preserving serialisation of a flow table."""
+    order = {state: i for i, state in enumerate(table.states)}
+    entries = [
+        [state, column, entry.next_state, list(entry.outputs)]
+        for (state, column), entry in sorted(
+            table.entry_map().items(),
+            key=lambda item: (order[item[0][0]], item[0][1]),
+        )
+    ]
+    return {
+        "name": table.name,
+        "inputs": list(table.inputs),
+        "outputs": list(table.outputs),
+        "states": list(table.states),
+        "reset": table.reset_state,
+        "entries": entries,
+    }
+
+
+def table_from_dict(payload: dict) -> FlowTable:
+    """Inverse of :func:`table_to_dict`."""
+    try:
+        entries = {
+            (state, column): Entry(next_state, tuple(outputs))
+            for state, column, next_state, outputs in payload["entries"]
+        }
+        return FlowTable(
+            inputs=payload["inputs"],
+            outputs=payload["outputs"],
+            states=payload["states"],
+            entries=entries,
+            reset_state=payload.get("reset"),
+            name=payload.get("name", "flow_table"),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise SynthesisError(
+            f"malformed flow-table payload: {error}"
+        ) from error
+
+
+# ----------------------------------------------------------------------
+# Assignment artifacts
+# ----------------------------------------------------------------------
+def encoding_to_dict(encoding: StateEncoding) -> dict:
+    return {
+        "variables": list(encoding.variables),
+        "codes": dict(encoding.codes),
+    }
+
+
+def encoding_from_dict(payload: dict) -> StateEncoding:
+    return StateEncoding(
+        variables=tuple(payload["variables"]),
+        codes=dict(payload["codes"]),
+    )
+
+
+def _dichotomy_to_obj(dichotomy: Dichotomy) -> list:
+    return [sorted(dichotomy.left), sorted(dichotomy.right)]
+
+
+def _dichotomy_from_obj(payload) -> Dichotomy:
+    left, right = payload
+    return Dichotomy(frozenset(left), frozenset(right))
+
+
+def assignment_to_dict(assignment: AssignmentResult) -> dict:
+    return {
+        "encoding": encoding_to_dict(assignment.encoding),
+        "seeds": [_dichotomy_to_obj(d) for d in assignment.seeds],
+        "chosen": [_dichotomy_to_obj(d) for d in assignment.chosen],
+        "exact": assignment.exact,
+    }
+
+
+def assignment_from_dict(payload: dict) -> AssignmentResult:
+    return AssignmentResult(
+        encoding=encoding_from_dict(payload["encoding"]),
+        seeds=tuple(_dichotomy_from_obj(d) for d in payload["seeds"]),
+        chosen=tuple(_dichotomy_from_obj(d) for d in payload["chosen"]),
+        exact=payload["exact"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Reduction artifacts
+# ----------------------------------------------------------------------
+def reduction_to_dict(reduction: ReductionResult) -> dict:
+    return {
+        "table": table_to_dict(reduction.table),
+        "cover": {
+            "classes": [sorted(members) for members in reduction.cover.classes],
+            "exact": reduction.cover.exact,
+        },
+        "state_map": {
+            name: list(members)
+            for name, members in reduction.state_map.items()
+        },
+    }
+
+
+def reduction_from_dict(payload: dict, source: FlowTable) -> ReductionResult:
+    """Rebuild a reduction; an unreduced table is re-identified with
+    ``source`` (the reducer returns the *same object* in that case, and
+    ``SynthesisResult.describe`` keys off that identity)."""
+    table = table_from_dict(payload["table"])
+    if table_to_dict(source) == payload["table"]:
+        table = source
+    cover = ClosedCover(
+        classes=tuple(
+            frozenset(members) for members in payload["cover"]["classes"]
+        ),
+        exact=payload["cover"]["exact"],
+    )
+    state_map = {
+        name: tuple(members)
+        for name, members in payload["state_map"].items()
+    }
+    return ReductionResult(table=table, cover=cover, state_map=state_map)
+
+
+# ----------------------------------------------------------------------
+# Hazard analysis
+# ----------------------------------------------------------------------
+def analysis_to_dict(analysis: HazardAnalysis) -> dict:
+    return {
+        "num_state_vars": analysis.num_state_vars,
+        "hl": {
+            str(n): sorted(analysis.hl[n]) for n in sorted(analysis.hl)
+        },
+        "fl": sorted(analysis.fl),
+        "pins": sorted(
+            [minterm, n, bit]
+            for (minterm, n), bit in analysis.pins.items()
+        ),
+        "transitions_examined": analysis.transitions_examined,
+        "intermediates_examined": analysis.intermediates_examined,
+    }
+
+
+def analysis_from_dict(payload: dict) -> HazardAnalysis:
+    return HazardAnalysis(
+        num_state_vars=payload["num_state_vars"],
+        hl={int(n): set(points) for n, points in payload["hl"].items()},
+        fl=set(payload["fl"]),
+        pins={
+            (minterm, n): bit for minterm, n, bit in payload["pins"]
+        },
+        transitions_examined=payload["transitions_examined"],
+        intermediates_examined=payload["intermediates_examined"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Equations
+# ----------------------------------------------------------------------
+def equation_to_dict(eq: FactoredEquation | OutputEquation) -> dict:
+    """Shared shape of factored and output equations."""
+    return {
+        "name": eq.name,
+        "cover": _cover_to_obj(eq.cover),
+        "expr": expr_to_obj(eq.expr),
+        "exact": eq.exact,
+    }
+
+
+def factored_equation_from_dict(payload: dict) -> FactoredEquation:
+    return FactoredEquation(
+        name=payload["name"],
+        cover=_cover_from_obj(payload["cover"]),
+        expr=expr_from_obj(payload["expr"]),
+        exact=payload["exact"],
+    )
+
+
+def output_equation_from_dict(payload: dict) -> OutputEquation:
+    return OutputEquation(
+        name=payload["name"],
+        cover=_cover_from_obj(payload["cover"]),
+        expr=expr_from_obj(payload["expr"]),
+        exact=payload["exact"],
+    )
+
+
+def ssd_equation_to_dict(eq: SsdEquation) -> dict:
+    return {
+        "cover": _cover_to_obj(eq.cover),
+        "expr": expr_to_obj(eq.expr),
+        "exact": eq.exact,
+        "dc_policy": eq.dc_policy,
+    }
+
+
+def ssd_equation_from_dict(payload: dict) -> SsdEquation:
+    return SsdEquation(
+        cover=_cover_from_obj(payload["cover"]),
+        expr=expr_from_obj(payload["expr"]),
+        exact=payload["exact"],
+        dc_policy=payload["dc_policy"],
+    )

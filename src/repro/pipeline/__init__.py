@@ -41,12 +41,24 @@ from .passes import (
     ValidatePass,
     default_passes,
 )
+from .registry import (
+    DEFAULT_PIPELINE,
+    base_name,
+    create_pass,
+    register_pass,
+    registered_passes,
+    resolve_passes,
+    substitute,
+)
+from .spec import SPEC_FORMAT_VERSION, CacheSpec, PipelineSpec
 
 __all__ = [
     "AssignPass",
     "BatchItem",
     "BatchRunner",
     "CACHE_FORMAT_VERSION",
+    "CacheSpec",
+    "DEFAULT_PIPELINE",
     "FactorPass",
     "FsvPass",
     "HazardsPass",
@@ -57,13 +69,21 @@ __all__ = [
     "PassManager",
     "PipelineContext",
     "PipelineReport",
+    "PipelineSpec",
     "ReducePass",
+    "SPEC_FORMAT_VERSION",
     "StageCache",
     "SynthesisOptions",
     "ValidatePass",
+    "base_name",
+    "create_pass",
     "default_passes",
+    "register_pass",
+    "registered_passes",
+    "resolve_passes",
     "run_fingerprint",
     "stage_key",
+    "substitute",
     "synthesize_batch",
     "table_fingerprint",
 ]

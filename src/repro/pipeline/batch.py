@@ -27,13 +27,20 @@ from dataclasses import dataclass
 from ..errors import ReproError
 from ..flowtable.table import FlowTable
 from .cache import StageCache
-from .manager import PassManager
+from .manager import PassEvent, PassManager
 from .options import SynthesisOptions
+from .spec import CacheSpec, PipelineSpec
 
 
 @dataclass
 class BatchItem:
-    """Outcome of one table in a batch run."""
+    """Outcome of one table in a batch run.
+
+    ``events`` is the per-pass telemetry of the run (name, wall-clock
+    seconds, cache hit) — the :class:`~repro.pipeline.manager.PipelineReport`
+    stream, flattened so it crosses process boundaries; ``seance batch
+    --json`` emits it verbatim.
+    """
 
     index: int
     name: str
@@ -41,6 +48,7 @@ class BatchItem:
     error: str | None
     seconds: float
     cache_hits: tuple[str, ...] = ()
+    events: tuple[PassEvent, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -56,19 +64,24 @@ def _error_message(error: ReproError) -> str:
 _WORKER_MANAGER: PassManager | None = None
 
 
-def _init_worker(use_cache: bool, cache_path: str | None) -> None:
+def _init_worker(
+    spec_payload: dict, use_cache: bool, cache_path: str | None
+) -> None:
     global _WORKER_MANAGER
     # Even without a disk tier, a memory-only per-worker cache is free
-    # and serves repeated (table, options) pairs within one worker.
+    # and serves repeated (table, options) pairs within one worker.  The
+    # pipeline crosses the process boundary as its serialised spec (not
+    # as pickled pass objects) — the same wire form `--spec` files use.
     cache = StageCache(path=cache_path) if use_cache else None
-    _WORKER_MANAGER = PassManager(cache=cache)
+    spec = PipelineSpec.from_dict(spec_payload)
+    _WORKER_MANAGER = spec.build_manager(cache=cache)
 
 
 def _synthesize_one(
     index: int,
     table: FlowTable,
     options: SynthesisOptions,
-) -> tuple[int, object | None, str | None, float, tuple[str, ...]]:
+) -> tuple[int, object | None, str | None, float, tuple]:
     """Worker body; module-level so ProcessPoolExecutor can pickle it."""
     start = time.perf_counter()
     manager = _WORKER_MANAGER or PassManager()
@@ -79,7 +92,7 @@ def _synthesize_one(
             result,
             None,
             time.perf_counter() - start,
-            report.cache_hits,
+            tuple(report.events),
         )
     except ReproError as error:
         return (
@@ -97,14 +110,20 @@ class BatchRunner:
     Parameters
     ----------
     options:
-        Applied to every table in the batch.
+        Applied to every table in the batch.  Mutually exclusive with
+        ``spec`` (whose options then apply).
     jobs:
         Worker processes.  ``None`` → ``os.cpu_count()``; ``1`` → serial
         in-process (shares ``cache`` across tables and runs).
     cache:
-        Stage cache for the serial path.  Worker *processes* do not see
-        the in-memory tier, but a disk-backed cache (``StageCache(path=...)``)
-        is shared through the filesystem in every mode.
+        Stage cache for the serial path; overrides ``spec.cache``.
+        Worker *processes* do not see the in-memory tier, but a
+        disk-backed cache (``StageCache(path=...)``) is shared through
+        the filesystem in every mode.
+    spec:
+        A :class:`~repro.pipeline.spec.PipelineSpec` selecting the pass
+        list (and options, and — unless ``cache`` is given — the cache
+        config).  Defaults to the paper pipeline.
     """
 
     def __init__(
@@ -112,12 +131,25 @@ class BatchRunner:
         options: SynthesisOptions | None = None,
         jobs: int | None = None,
         cache: StageCache | None = None,
+        spec: PipelineSpec | None = None,
     ):
-        self.options = options or SynthesisOptions()
+        if spec is not None and options is not None:
+            raise ValueError(
+                "pass either options or a spec (whose options apply), "
+                "not both"
+            )
+        self.spec = spec if spec is not None else PipelineSpec(
+            options=options or SynthesisOptions(),
+            # No implicit cache on the legacy path: a cache only exists
+            # when the caller hands one over (or configures it in a
+            # spec).
+            cache=CacheSpec(enabled=False),
+        )
+        self.options = self.spec.options
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
-        self.cache = cache
+        self.cache = cache if cache is not None else self.spec.cache.build()
 
     # ------------------------------------------------------------------
     def iter_results(
@@ -167,7 +199,7 @@ class BatchRunner:
     def _iter_serial(
         self, pairs: Sequence[tuple[FlowTable, SynthesisOptions]]
     ) -> Iterator[BatchItem]:
-        manager = PassManager(cache=self.cache)
+        manager = self.spec.build_manager(cache=self.cache)
         for index, (table, options) in enumerate(pairs):
             start = time.perf_counter()
             try:
@@ -179,6 +211,7 @@ class BatchRunner:
                     error=None,
                     seconds=time.perf_counter() - start,
                     cache_hits=report.cache_hits,
+                    events=tuple(report.events),
                 )
             except ReproError as error:
                 yield BatchItem(
@@ -205,7 +238,7 @@ class BatchRunner:
         pool = ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
-            initargs=(self.cache is not None, cache_path),
+            initargs=(self.spec.to_dict(), self.cache is not None, cache_path),
         )
         try:
             futures = [
@@ -218,7 +251,7 @@ class BatchRunner:
                 zip(pairs, futures)
             ):
                 try:
-                    index, result, error, seconds, hits = future.result()
+                    index, result, error, seconds, events = future.result()
                 except Exception as error:  # noqa: BLE001
                     # A dead worker (OOM kill, unpicklable artifact)
                     # must not take the rest of the batch with it.
@@ -237,7 +270,10 @@ class BatchRunner:
                     result=result,
                     error=error,
                     seconds=seconds,
-                    cache_hits=hits,
+                    cache_hits=tuple(
+                        e.name for e in events if e.cache_hit
+                    ),
+                    events=tuple(events),
                 )
         finally:
             # Normal exhaustion: every future is done, this returns at
@@ -251,6 +287,9 @@ def synthesize_batch(
     options: SynthesisOptions | None = None,
     jobs: int | None = None,
     cache: StageCache | None = None,
+    spec: PipelineSpec | None = None,
 ) -> list[BatchItem]:
     """One-shot convenience wrapper around :class:`BatchRunner`."""
-    return BatchRunner(options=options, jobs=jobs, cache=cache).run(tables)
+    return BatchRunner(
+        options=options, jobs=jobs, cache=cache, spec=spec
+    ).run(tables)

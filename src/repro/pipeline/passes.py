@@ -19,6 +19,14 @@ factor     spec, fsv_fn, y_fns        fsv, next_state
 ``default_passes()`` returns the paper pipeline in order; ablations and
 future workloads build alternative lists from the same parts (or new
 :class:`Pass` implementations) without touching the manager.
+
+Every class here registers itself in the named-pass registry
+(:mod:`repro.pipeline.registry`), the default stages under their stage
+names and the ablation variants under ``stage:variant`` keys
+(``"factor:joint"``, ``"hazards:off"``, ...).  A variant keeps its base
+``name`` — it caches, times, and reports as the stage it replaces — so
+swapping one in is a pure pass substitution, shape-preserving for every
+consumer of ``stage_seconds`` and :class:`PipelineReport`.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ from ..errors import SynthesisError
 from ..flowtable.validation import validate
 from ..minimize.reducer import ReductionResult, reduce_flow_table
 from .context import PipelineContext
+from .registry import DEFAULT_PIPELINE, register_pass, resolve_passes
 
 
 @runtime_checkable
@@ -53,6 +62,7 @@ class Pass(Protocol):
         ...
 
 
+@register_pass("validate")
 class ValidatePass:
     """Step 1: flow table preparation (validation)."""
 
@@ -66,6 +76,7 @@ class ValidatePass:
             validate(ctx.table)
 
 
+@register_pass("reduce")
 class ReducePass:
     """Step 2: table reduction (state minimisation)."""
 
@@ -87,6 +98,7 @@ class ReducePass:
         ctx.set("working", reduction.table)
 
 
+@register_pass("assign")
 class AssignPass:
     """Step 3: USTT state assignment (Tracey)."""
 
@@ -111,6 +123,7 @@ class AssignPass:
         ctx.set("spec", SpecifiedMachine(working, assignment.encoding))
 
 
+@register_pass("outputs")
 class OutputsPass:
     """Step 4: output determination (Z and SSD)."""
 
@@ -128,6 +141,7 @@ class OutputsPass:
         ctx.set("ssd", synthesize_ssd(spec, ctx.options.ssd_dc_policy))
 
 
+@register_pass("hazards")
 class HazardsPass:
     """Step 5: hazard search (paper Figure 4)."""
 
@@ -142,6 +156,7 @@ class HazardsPass:
         ctx.set("analysis", find_hazards(ctx.get("spec")))
 
 
+@register_pass("fsv")
 class FsvPass:
     """Step 6: fsv and canonical Y equations."""
 
@@ -163,6 +178,7 @@ class FsvPass:
         ctx.set("y_fns", next_state_functions(spec, effective))
 
 
+@register_pass("factor")
 class FactorPass:
     """Step 7: hazard factoring (paper Figure 5)."""
 
@@ -191,17 +207,192 @@ class FactorPass:
         )
 
 
+# ----------------------------------------------------------------------
+# Registered ablation variants.  Each keeps its base stage name (it is a
+# drop-in substitution) but is a distinct class, so the stage-cache
+# lineage distinguishes it from the default implementation.
+# ----------------------------------------------------------------------
+@register_pass("validate:off")
+class SkipValidatePass:
+    """Step 1 disabled: accept the table as given (ablation/testing)."""
+
+    name = "validate"
+    requires: tuple[str, ...] = ()
+    provides: tuple[str, ...] = ()
+    cacheable = True
+
+    def run(self, ctx: PipelineContext) -> None:
+        return None
+
+
+@register_pass("reduce:off")
+class TrivialReducePass:
+    """Step 2 disabled: keep every original state (one class per state).
+
+    Unlike ``options.minimize=False`` this ignores the options entirely —
+    the substitution *is* the knob.
+    """
+
+    name = "reduce"
+    requires: tuple[str, ...] = ()
+    provides = ("reduction", "working")
+    cacheable = True
+
+    def run(self, ctx: PipelineContext) -> None:
+        reduction = ReductionResult(
+            table=ctx.table,
+            cover=_trivial_cover(ctx.table),
+            state_map={s: (s,) for s in ctx.table.states},
+        )
+        ctx.set("reduction", reduction)
+        ctx.set("working", reduction.table)
+
+
+@register_pass("outputs:all-primes")
+class AllPrimesOutputsPass:
+    """Step 4 with all-primes covers for Z and SSD.
+
+    The paper's architecture latches outputs at VOM, which is what lets
+    Step 4 use *minimum* covers; this variant spends the full
+    logic-hazard-free all-primes cover instead — the cover-ablation
+    benchmark diffs the two to quantify what the latching buys.
+    """
+
+    name = "outputs"
+    requires = ("spec",)
+    provides = ("outputs", "ssd")
+    cacheable = True
+
+    def run(self, ctx: PipelineContext) -> None:
+        from ..core.outputs import OutputEquation
+        from ..core.ssd import SsdEquation
+        from ..logic.expr import sop_to_expr
+        from ..logic.factor import first_level
+        from ..logic.quine_mccluskey import all_primes_cover
+
+        spec = ctx.get("spec")
+        equations = []
+        for k, name in enumerate(spec.table.outputs):
+            cover = all_primes_cover(
+                spec.output_function(k, ctx.options.output_policy)
+            )
+            equations.append(
+                OutputEquation(
+                    name=name,
+                    cover=tuple(cover),
+                    expr=first_level(sop_to_expr(cover, spec.names)),
+                    exact=True,
+                )
+            )
+        ctx.set("outputs", equations)
+        ssd_cover = all_primes_cover(
+            spec.ssd_function(ctx.options.ssd_dc_policy)
+        )
+        ctx.set(
+            "ssd",
+            SsdEquation(
+                cover=tuple(ssd_cover),
+                expr=first_level(sop_to_expr(ssd_cover, spec.names)),
+                exact=True,
+                dc_policy=ctx.options.ssd_dc_policy,
+            ),
+        )
+
+
+@register_pass("hazards:off")
+class SkipHazardsPass:
+    """Step 5 disabled: report an *empty* hazard analysis without searching.
+
+    Downstream stages then build the unprotected machine, and the result
+    records no hazard points at all (contrast ``fsv:unprotected``, which
+    still runs the search and reports what it knowingly leaves in).
+    """
+
+    name = "hazards"
+    requires = ("spec",)
+    provides = ("analysis",)
+    cacheable = True
+
+    def run(self, ctx: PipelineContext) -> None:
+        from ..core.hazard_analysis import HazardAnalysis
+
+        spec = ctx.get("spec")
+        ctx.set(
+            "analysis", HazardAnalysis(num_state_vars=spec.num_state_vars)
+        )
+
+
+@register_pass("fsv:unprotected")
+class UnprotectedFsvPass:
+    """Step 6 without the hazard correction: ``fsv`` is the constant 0.
+
+    The Figure-4 analysis artifact is left untouched (and reported), so
+    the result records which hazards were knowingly left in — this is
+    the unprotected machine of the hazard-ablation benchmark, as a pass
+    substitution instead of ``options.hazard_correction=False``.
+    """
+
+    name = "fsv"
+    requires = ("spec", "analysis")
+    provides = ("fsv_fn", "y_fns")
+    cacheable = True
+
+    def run(self, ctx: PipelineContext) -> None:
+        from ..core.fsv import fsv_function, next_state_functions
+        from ..core.hazard_analysis import HazardAnalysis
+
+        spec = ctx.get("spec")
+        empty = HazardAnalysis(num_state_vars=spec.num_state_vars)
+        ctx.set("fsv_fn", fsv_function(spec, empty))
+        ctx.set("y_fns", next_state_functions(spec, empty))
+
+
+class _ForcedModeFactorPass:
+    """Step 7 with the reduction style pinned (ignores ``reduce_mode``)."""
+
+    name = "factor"
+    requires = ("spec", "fsv_fn", "y_fns")
+    provides = ("fsv", "next_state")
+    cacheable = True
+    reduce_mode = "split"
+
+    def run(self, ctx: PipelineContext) -> None:
+        from ..core.factoring import factor_fsv, factor_next_state
+
+        spec = ctx.get("spec")
+        fsv_index = spec.width
+        ctx.set("fsv", factor_fsv(ctx.get("fsv_fn")))
+        ctx.set(
+            "next_state",
+            [
+                factor_next_state(
+                    fn,
+                    fsv_index,
+                    name=spec.encoding.variables[n],
+                    reduce_mode=self.reduce_mode,
+                )
+                for n, fn in enumerate(ctx.get("y_fns"))
+            ],
+        )
+
+
+@register_pass("factor:split")
+class SplitFactorPass(_ForcedModeFactorPass):
+    """Step 7 pinned to the paper's split (per-half) reduction."""
+
+    reduce_mode = "split"
+
+
+@register_pass("factor:joint")
+class JointFactorPass(_ForcedModeFactorPass):
+    """Step 7 pinned to joint reduction over the doubled space (ablation)."""
+
+    reduce_mode = "joint"
+
+
 def default_passes() -> tuple[Pass, ...]:
-    """The paper's Figure-3 pipeline, in order."""
-    return (
-        ValidatePass(),
-        ReducePass(),
-        AssignPass(),
-        OutputsPass(),
-        HazardsPass(),
-        FsvPass(),
-        FactorPass(),
-    )
+    """The paper's Figure-3 pipeline, in order (from the registry)."""
+    return resolve_passes(DEFAULT_PIPELINE)
 
 
 def _trivial_cover(table):

@@ -7,6 +7,13 @@ refactor.  These tests pin today's pipeline — facade, PassManager,
 cached, and batch paths — to those bytes, so any behavioural drift in
 the refactored engine is caught against the original implementation,
 not against itself.
+
+When ``to_dict`` grew its full ``artifacts`` section (the JSON
+round-trip wire format), the file was regenerated *additively*: the
+regeneration asserted that every pre-existing summary section was
+byte-identical to the seed capture before writing, so the pin's anchor
+is unchanged.  The golden now also pins the artifacts wire format
+(tests/pipeline/test_roundtrip.py reads the same file).
 """
 
 import json

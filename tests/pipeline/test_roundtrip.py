@@ -1,0 +1,112 @@
+"""SynthesisResult JSON round-trips, pinned against ``golden_seed.json``.
+
+The acceptance contract: ``SynthesisResult.from_dict(r.to_dict())``
+re-serialises **byte-identically** on the full built-in suite, and the
+wire format itself is pinned by the golden file (whose summary sections
+are in turn pinned to the seed implementation — see test_golden.py).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import api
+from repro.bench import benchmark, benchmark_names
+from repro.core.result import SynthesisResult
+from repro.errors import SynthesisError
+
+GOLDEN = json.loads(
+    Path(__file__).with_name("golden_seed.json").read_text()
+)
+
+
+def canonical(payload: dict) -> str:
+    payload = {k: v for k, v in payload.items() if k != "stage_seconds"}
+    return json.dumps(payload, sort_keys=True)
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_result_roundtrip_is_byte_identical(name):
+    result = api.synthesize(benchmark(name))
+    first = result.to_dict()
+    rebuilt = SynthesisResult.from_dict(first)
+    assert json.dumps(rebuilt.to_dict(), sort_keys=True) == json.dumps(
+        first, sort_keys=True
+    )
+    # and through actual JSON text (the wire), including stage_seconds
+    wire = json.dumps(first, sort_keys=True)
+    rewired = SynthesisResult.from_dict(json.loads(wire))
+    assert json.dumps(rewired.to_dict(), sort_keys=True) == wire
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_wire_format_pinned_to_golden(name):
+    result = api.synthesize(benchmark(name))
+    assert canonical(result.to_dict()) == json.dumps(
+        GOLDEN[name], sort_keys=True
+    )
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+def test_rebuilt_results_are_functionally_whole(name):
+    """The deserialised object supports every derived view."""
+    original = api.synthesize(benchmark(name))
+    rebuilt = SynthesisResult.from_dict(original.to_dict())
+    assert rebuilt.table1_row() == original.table1_row()
+    assert rebuilt.equations().keys() == original.equations().keys()
+    for signal, expr in rebuilt.equations().items():
+        assert expr.to_string() == original.equations()[signal].to_string()
+    assert rebuilt.covers() == original.covers()
+    assert rebuilt.describe() == original.describe()
+    assert rebuilt.assignment.encoding == original.assignment.encoding
+    assert rebuilt.analysis.fl == original.analysis.fl
+    assert rebuilt.spec.names == original.spec.names
+    assert rebuilt.stage_seconds == original.stage_seconds
+
+
+def test_rebuilt_result_rebuilds_the_fantom_machine():
+    """A deserialised result drives the netlist builder like a live one."""
+    from repro.netlist.fantom import build_fantom
+
+    original = api.synthesize(benchmark("lion"))
+    rebuilt = SynthesisResult.from_dict(
+        json.loads(json.dumps(original.to_dict()))
+    )
+    machine = build_fantom(rebuilt)
+    assert machine.netlist.stats() == build_fantom(original).netlist.stats()
+
+
+def test_golden_artifacts_deserialise():
+    """The golden file's artifacts sections are live wire payloads."""
+    for name, payload in GOLDEN.items():
+        rebuilt = SynthesisResult.from_dict(payload)
+        assert canonical(rebuilt.to_dict()) == json.dumps(
+            GOLDEN[name], sort_keys=True
+        )
+
+
+def test_unreduced_table_identity_is_restored():
+    """describe() relies on `reduction.table is source` for unreduced
+    machines; the round trip must restore that identity."""
+    result = api.synthesize(benchmark("lion"))
+    assert result.reduction.table is result.source  # lion is minimal
+    rebuilt = SynthesisResult.from_dict(result.to_dict())
+    assert rebuilt.reduction.table is rebuilt.source
+
+
+def test_reduced_table_stays_distinct():
+    result = api.synthesize(benchmark("test_example"))
+    assert result.reduction.table is not result.source
+    rebuilt = SynthesisResult.from_dict(result.to_dict())
+    assert rebuilt.reduction.table is not rebuilt.source
+    assert rebuilt.table.num_states == result.table.num_states
+
+
+def test_malformed_payload_raises_domain_error():
+    with pytest.raises(SynthesisError, match="malformed synthesis-result"):
+        SynthesisResult.from_dict({"not": "a result"})
+    broken = api.synthesize(benchmark("lion")).to_dict()
+    del broken["artifacts"]["fsv"]
+    with pytest.raises(SynthesisError, match="malformed synthesis-result"):
+        SynthesisResult.from_dict(broken)

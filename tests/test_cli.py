@@ -124,6 +124,109 @@ class TestBatch:
         assert "cache-dir" in capsys.readouterr().err
 
 
+class TestSpecWorkflow:
+    """`--spec` / `--pass` / `--emit-spec`: declarative pipeline runs."""
+
+    def test_emit_spec_prints_default_spec(self, capsys):
+        import json
+
+        assert main(["synth", "lion", "--emit-spec"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["passes"][-1] == "factor"
+        assert payload["options"]["minimize"] is True
+
+    def test_emit_spec_reflects_flags_and_substitutions(self, capsys):
+        import json
+
+        assert main([
+            "synth", "lion", "--emit-spec", "--no-minimize",
+            "--pass", "factor:joint",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["options"]["minimize"] is False
+        assert payload["passes"][-1] == "factor:joint"
+
+    def test_spec_file_reproduces_an_ablation_run(self, tmp_path, capsys):
+        """The acceptance criterion: an ablation run is reproducible
+        from a PipelineSpec JSON file alone."""
+        import json
+
+        assert main([
+            "synth", "hazard_demo", "--emit-spec",
+            "--pass", "fsv:unprotected",
+        ]) == 0
+        spec_path = tmp_path / "unprotected.json"
+        spec_path.write_text(capsys.readouterr().out)
+
+        assert main([
+            "synth", "hazard_demo", "--spec", str(spec_path), "--json",
+        ]) == 0
+        from_spec = json.loads(capsys.readouterr().out)
+        assert main([
+            "synth", "hazard_demo", "--pass", "fsv:unprotected", "--json",
+        ]) == 0
+        from_flags = json.loads(capsys.readouterr().out)
+        from_spec.pop("stage_seconds")
+        from_flags.pop("stage_seconds")
+        assert from_spec == from_flags
+        # the unprotected machine really has no fsv
+        assert from_spec["equations"]["fsv"] == "0"
+
+    def test_unknown_pass_substitution_is_a_cli_error(self, capsys):
+        assert main(["synth", "lion", "--pass", "factor:typo"]) == 2
+        assert "registered passes" in capsys.readouterr().err
+
+    def test_unreadable_spec_is_a_cli_error(self, capsys):
+        assert main(["synth", "lion", "--spec", "/no/such/file.json"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_passes_subcommand_lists_registry(self, capsys):
+        assert main(["passes"]) == 0
+        out = capsys.readouterr().out
+        assert "factor:joint" in out
+        assert "fsv:unprotected" in out
+
+    def test_batch_json_emits_per_pass_telemetry(self, capsys):
+        import json
+
+        assert main(["batch", "lion", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        events = payload[0]["passes"]
+        assert [e["name"] for e in events] == [
+            "validate", "reduce", "assign", "outputs", "hazards", "fsv",
+            "factor",
+        ]
+        for event in events:
+            assert event["seconds"] >= 0.0
+            assert event["cached"] is False
+
+    def test_batch_json_telemetry_marks_cache_hits(self, tmp_path, capsys):
+        import json
+
+        cache = str(tmp_path / "stages")
+        assert main(["batch", "lion", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["batch", "lion", "--cache-dir", cache, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all(e["cached"] for e in payload[0]["passes"])
+
+    def test_batch_with_substitution(self, capsys):
+        assert main(["batch", "lion", "--pass", "factor:joint"]) == 0
+        assert "lion" in capsys.readouterr().out
+
+    def test_synth_json_round_trips(self, capsys):
+        import json
+
+        from repro.core.result import SynthesisResult
+
+        assert main(["synth", "lion", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        rebuilt = SynthesisResult.from_dict(payload)
+        assert json.dumps(rebuilt.to_dict(), sort_keys=True) == json.dumps(
+            payload, sort_keys=True
+        )
+
+
 class TestListing:
     def test_bench_list(self, capsys):
         assert main(["bench-list"]) == 0

@@ -1,6 +1,89 @@
 """The documented public API surface: every promise in README/docstrings."""
 
 import repro
+import repro.api
+
+#: The pinned `repro.api` surface.  A change here is an API change:
+#: update the snapshot deliberately, never incidentally.
+API_ALL_SNAPSHOT = [
+    "BatchItem",
+    "BatchRunner",
+    "CacheSpec",
+    "DEFAULT_PIPELINE",
+    "FlowTable",
+    "PassEvent",
+    "PassManager",
+    "PipelineReport",
+    "PipelineSpec",
+    "Session",
+    "StageCache",
+    "SynthesisOptions",
+    "SynthesisResult",
+    "batch",
+    "create_pass",
+    "load",
+    "load_table",
+    "register_pass",
+    "registered_passes",
+    "substitute",
+    "synthesize",
+]
+
+#: The pinned pass registry (name -> stage), the vocabulary PipelineSpec
+#: files are written in.  Removing or renaming a key breaks saved specs.
+REGISTRY_SNAPSHOT = {
+    "validate": "validate",
+    "validate:off": "validate",
+    "reduce": "reduce",
+    "reduce:off": "reduce",
+    "assign": "assign",
+    "outputs": "outputs",
+    "outputs:all-primes": "outputs",
+    "hazards": "hazards",
+    "hazards:off": "hazards",
+    "fsv": "fsv",
+    "fsv:unprotected": "fsv",
+    "factor": "factor",
+    "factor:split": "factor",
+    "factor:joint": "factor",
+}
+
+
+class TestApiSnapshot:
+    """CI tripwire: the typed front door and the registry vocabulary."""
+
+    def test_api_all_matches_snapshot(self):
+        assert sorted(repro.api.__all__) == sorted(API_ALL_SNAPSHOT)
+
+    def test_api_names_resolvable(self):
+        for name in repro.api.__all__:
+            assert hasattr(repro.api, name), name
+
+    def test_registry_matches_snapshot(self):
+        from repro.pipeline.registry import base_name, registered_passes
+
+        observed = {key: base_name(key) for key in registered_passes()}
+        assert observed == REGISTRY_SNAPSHOT
+
+    def test_default_pipeline_snapshot(self):
+        assert repro.api.DEFAULT_PIPELINE == (
+            "validate", "reduce", "assign", "outputs", "hazards", "fsv",
+            "factor",
+        )
+
+    def test_front_door_session_idiom(self):
+        """The README's API block, executed literally."""
+        from repro import api
+
+        result = (
+            api.load("lion")
+            .with_options(minimize=False)
+            .with_pass("factor:joint")
+            .run()
+        )
+        assert result.table1_row()[0] == "lion"
+        spec = api.PipelineSpec().substitute("factor:joint")
+        assert api.PipelineSpec.from_dict(spec.to_dict()) == spec
 
 
 class TestPackageSurface:
