@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import StateAssignmentError
+from ..logic.bitset import iter_bits
 
 
 @dataclass(frozen=True)
@@ -90,12 +91,39 @@ def merge_all(dichotomies: list[Dichotomy]) -> Dichotomy:
     return merged
 
 
+def state_bits(dichotomies: list[Dichotomy]) -> dict[str, int]:
+    """Assign each state of ``dichotomies`` one bit position (sorted order).
+
+    The returned mapping, together with :func:`block_mask`, is the shared
+    packing convention for every bitset consumer of dichotomy blocks
+    (:func:`maximal_merged_dichotomies`, :func:`seed_coverage_sets`, and
+    :func:`repro.assign.tracey.absorb_seeds`).
+    """
+    states = sorted({s for d in dichotomies for s in d.states})
+    return {s: k for k, s in enumerate(states)}
+
+
+def block_mask(block: frozenset[str], bit_of: dict[str, int]) -> int:
+    """Pack a state block into an incidence bitset under ``bit_of``."""
+    bits = 0
+    for s in block:
+        bits |= 1 << bit_of[s]
+    return bits
+
+
 def maximal_merged_dichotomies(seeds: list[Dichotomy]) -> list[Dichotomy]:
     """All maximal merges of pairwise-compatible seed orientations.
 
     Both orientations of every seed participate; the result is
     deduplicated up to orientation and deterministically ordered.  Each
     returned dichotomy corresponds to one candidate state variable.
+
+    The pairwise-compatibility graph, the Bron-Kerbosch recursion state
+    and the block unions all run on packed bitsets: state blocks become
+    incidence ints (compatibility is two ``&`` tests), vertex sets become
+    one int each, and a clique's merged dichotomy is the OR of its
+    members' block masks.  The set of maximal cliques — and therefore the
+    returned dichotomies — is unchanged from the set-based original.
     """
     oriented: list[Dichotomy] = []
     seen: set[tuple[frozenset[str], frozenset[str]]] = set()
@@ -107,33 +135,50 @@ def maximal_merged_dichotomies(seeds: list[Dichotomy]) -> list[Dichotomy]:
                 oriented.append(d)
 
     n = len(oriented)
-    compatible = [
-        {
-            j
-            for j in range(n)
-            if j != i and oriented[i].compatible(oriented[j])
-        }
-        for i in range(n)
-    ]
+    bit_of = state_bits(oriented)
+    states = sorted(bit_of, key=bit_of.get)
+    lefts = [block_mask(d.left, bit_of) for d in oriented]
+    rights = [block_mask(d.right, bit_of) for d in oriented]
 
-    cliques: list[frozenset[int]] = []
+    # compatible[i] is the vertex bitset of the orientations i can merge
+    # with: lefts must avoid each other's rights in both directions.
+    compatible = [0] * n
+    for i in range(n):
+        li, ri = lefts[i], rights[i]
+        for j in range(i + 1, n):
+            if not (li & rights[j]) and not (ri & lefts[j]):
+                compatible[i] |= 1 << j
+                compatible[j] |= 1 << i
 
-    def bron_kerbosch(r: set[int], p: set[int], x: set[int]) -> None:
+    cliques: list[int] = []
+
+    def bron_kerbosch(r: int, p: int, x: int) -> None:
         if not p and not x:
-            cliques.append(frozenset(r))
+            cliques.append(r)
             return
-        pivot = max(p | x, key=lambda v: len(compatible[v] & p))
-        for v in sorted(p - compatible[pivot]):
-            bron_kerbosch(r | {v}, p & compatible[v], x & compatible[v])
-            p = p - {v}
-            x = x | {v}
+        pivot = max(
+            iter_bits(p | x), key=lambda v: (compatible[v] & p).bit_count()
+        )
+        for v in iter_bits(p & ~compatible[pivot]):
+            bit = 1 << v
+            bron_kerbosch(r | bit, p & compatible[v], x & compatible[v])
+            p &= ~bit
+            x |= bit
 
-    bron_kerbosch(set(), set(range(n)), set())
+    bron_kerbosch(0, (1 << n) - 1 if n else 0, 0)
 
     merged: list[Dichotomy] = []
     seen_canonical: set[tuple[frozenset[str], frozenset[str]]] = set()
     for clique in cliques:
-        combined = merge_all([oriented[i] for i in sorted(clique)])
+        left_bits = 0
+        right_bits = 0
+        for v in iter_bits(clique):
+            left_bits |= lefts[v]
+            right_bits |= rights[v]
+        combined = Dichotomy(
+            frozenset(states[k] for k in iter_bits(left_bits)),
+            frozenset(states[k] for k in iter_bits(right_bits)),
+        )
         canon = combined.canonical()
         key = (canon.left, canon.right)
         if key not in seen_canonical:
@@ -141,3 +186,34 @@ def maximal_merged_dichotomies(seeds: list[Dichotomy]) -> list[Dichotomy]:
             merged.append(canon)
     merged.sort(key=lambda d: (sorted(d.left), sorted(d.right)))
     return merged
+
+
+def seed_coverage_sets(
+    candidates: list[Dichotomy], seeds: list[Dichotomy]
+) -> list[frozenset[int]]:
+    """For each candidate, the indices of the seeds it :meth:`covers`.
+
+    This is the incidence input of the Tracey covering step
+    (:func:`repro.assign.tracey.assign_states`); blocks are compared as
+    packed bitsets so each candidate-seed test is four ``&`` ops instead
+    of four frozenset subset checks.
+    """
+    bit_of = state_bits(list(candidates) + list(seeds))
+    cand_blocks = [
+        (block_mask(c.left, bit_of), block_mask(c.right, bit_of))
+        for c in candidates
+    ]
+    seed_blocks = [
+        (block_mask(s.left, bit_of), block_mask(s.right, bit_of))
+        for s in seeds
+    ]
+    covered: list[frozenset[int]] = []
+    for cl, cr in cand_blocks:
+        hits = []
+        for k, (sl, sr) in enumerate(seed_blocks):
+            if (sl & ~cl == 0 and sr & ~cr == 0) or (
+                sl & ~cr == 0 and sr & ~cl == 0
+            ):
+                hits.append(k)
+        covered.append(frozenset(hits))
+    return covered

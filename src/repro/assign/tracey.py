@@ -34,7 +34,13 @@ from itertools import combinations
 from ..errors import StateAssignmentError
 from ..flowtable.table import FlowTable
 from ..util.setcover import minimum_set_cover
-from .dichotomy import Dichotomy, maximal_merged_dichotomies
+from .dichotomy import (
+    Dichotomy,
+    block_mask,
+    state_bits,
+    maximal_merged_dichotomies,
+    seed_coverage_sets,
+)
 from .encoding import StateEncoding
 
 
@@ -97,26 +103,31 @@ def absorb_seeds(seeds: list[Dichotomy]) -> list[Dichotomy]:
     optimum nor its feasible solutions — it only shrinks the merge graph,
     which dominates the assignment runtime on the larger machines.
     """
+    if not seeds:
+        return []
+    bit_of = state_bits(seeds)
+    blocks = [
+        (block_mask(d.left, bit_of), block_mask(d.right, bit_of))
+        for d in seeds
+    ]
     kept: list[Dichotomy] = []
-    for i, a in enumerate(seeds):
+    for i, (al, ar) in enumerate(blocks):
         absorbed = False
-        for j, b in enumerate(seeds):
+        for j, (bl, br) in enumerate(blocks):
             if i == j:
                 continue
-            contained = (
-                a.left <= b.left and a.right <= b.right
-            ) or (a.left <= b.right and a.right <= b.left)
+            contained = (al & ~bl == 0 and ar & ~br == 0) or (
+                al & ~br == 0 and ar & ~bl == 0
+            )
             if contained:
-                equal = (a.left == b.left and a.right == b.right) or (
-                    a.left == b.right and a.right == b.left
-                )
+                equal = (al == bl and ar == br) or (al == br and ar == bl)
                 # Of two equal seeds keep the first occurrence only.
                 if equal and j > i:
                     continue
                 absorbed = True
                 break
         if not absorbed:
-            kept.append(a)
+            kept.append(seeds[i])
     return kept
 
 
@@ -136,12 +147,7 @@ def assign_states(
     candidates = maximal_merged_dichotomies(seeds)
 
     universe: set[int] = set(range(len(seeds)))
-    candidate_sets = [
-        frozenset(
-            i for i, seed in enumerate(seeds) if candidate.covers(seed)
-        )
-        for candidate in candidates
-    ]
+    candidate_sets = seed_coverage_sets(candidates, seeds)
     cover = minimum_set_cover(universe, candidate_sets)
     chosen = [candidates[i] for i in cover.chosen]
 

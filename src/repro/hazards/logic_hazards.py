@@ -25,9 +25,9 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from ..logic.bitset import half_space, iter_bits
 from ..logic.cube import Cube
 from ..logic.function import BooleanFunction
-from .function_hazards import transition_vertices
 
 
 @dataclass(frozen=True)
@@ -45,18 +45,32 @@ def static_one_hazards(
     """All single-bit static-1 hazards of a cover.
 
     Reported once per unordered pair (``minterm_a < minterm_b``).
+
+    Runs on packed coverage bitsets: for each variable ``v``, the minterms
+    whose ``v``-neighbour is also covered are ``covered & (covered >> 2**v)``
+    (restricted to the half-space where bit ``v`` is 0 so the shift is a
+    genuine single-bit flip), and the pairs held by a single term are the
+    same expression per cube.  The difference of those two masks is
+    exactly the hazard set for ``v`` — no per-minterm scanning.
     """
-    covered = sorted({m for cube in cubes for m in cube.minterms()})
-    covered_set = set(covered)
-    hazards = []
-    for m in covered:
-        for bit in range(width):
-            other = m ^ (1 << bit)
-            if other <= m or other not in covered_set:
-                continue
-            if not any(c.contains(m) and c.contains(other) for c in cubes):
-                hazards.append(StaticHazard(m, other, bit))
-    return hazards
+    coverages = [cube.coverage_mask() for cube in cubes]
+    covered = 0
+    for cov in coverages:
+        covered |= cov
+    found: list[tuple[int, int, int]] = []
+    for bit in range(width):
+        shift = 1 << bit
+        low_half = half_space(width, bit)
+        pairs = covered & (covered >> shift) & low_half
+        if not pairs:
+            continue
+        held = 0
+        for cov in coverages:
+            held |= cov & (cov >> shift)
+        for m in iter_bits(pairs & ~held):
+            found.append((m, m ^ shift, bit))
+    found.sort()
+    return [StaticHazard(a, b, bit) for a, b, bit in found]
 
 
 def is_sic_hazard_free(cubes: Sequence[Cube], width: int) -> bool:
@@ -84,10 +98,11 @@ def mic_static_one_hazard(
         return True
     width = cubes[0].width
     span = Cube.from_minterm(a, width).supercube(Cube.from_minterm(b, width))
-    vertices = transition_vertices(a, b)
-    if not all(
-        any(c.contains(v) for c in cubes) for v in vertices
-    ):
+    covered = 0
+    for cube in cubes:
+        covered |= cube.coverage_mask()
+    # The transition subcube's minterms are exactly the span's coverage.
+    if span.coverage_mask() & ~covered:
         raise ValueError(
             "mic_static_one_hazard expects a fully covered transition cube"
         )

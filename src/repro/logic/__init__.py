@@ -15,6 +15,7 @@ This package is the substrate under every synthesis stage of SEANCE:
 * :mod:`~repro.logic.depth` — Table 1's depth metrics.
 """
 
+from .bitset import Bitset, coverage_mask, full_mask, iter_bits, mask_of
 from .cube import Cube, cover_contains, remove_contained
 from .cover import (
     CoverResult,
@@ -61,6 +62,7 @@ from .quine_mccluskey import (
 
 __all__ = [
     "And",
+    "Bitset",
     "BooleanFunction",
     "Const",
     "CostReport",
@@ -76,6 +78,7 @@ __all__ = [
     "bridge_consensus",
     "common_cube",
     "cover_contains",
+    "coverage_mask",
     "cube_to_expr",
     "depth_report",
     "divide_cube",
@@ -86,10 +89,13 @@ __all__ = [
     "factor_groups",
     "factored_sop_expr",
     "first_level",
+    "full_mask",
     "has_complemented_inputs",
+    "iter_bits",
     "longest_depth",
     "make_and",
     "make_or",
+    "mask_of",
     "minimal_cover",
     "prime_implicants",
     "primes_of",

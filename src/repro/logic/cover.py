@@ -1,4 +1,4 @@
-"""Minimum-cover selection over prime implicants.
+"""Minimum-cover selection over prime implicants, on packed bitsets.
 
 SEANCE reduces ``Z``, ``SSD`` and the next-state equations to an
 *essential* sum-of-products (paper Section 5.2): essential primes first,
@@ -10,6 +10,15 @@ Cost model: primary objective is the number of product terms, secondary is
 the total literal count — the classic two-level cost used by
 Quine-McCluskey treatments (Mano; Kohavi), which is also what the paper's
 "depth" metric ultimately depends on.
+
+Engine notes: every candidate's coverage is one packed bitset int
+(:meth:`Cube.coverage_mask`), the uncovered on-set is one int, so
+"covers something new" is ``coverage & remaining``, essential detection
+is a covered-once/covered-twice carry cascade, and the branch-and-bound
+memoises on the remaining-universe bitset (a pruned state can never
+improve the incumbent again — see the Pareto-prefix check in
+:func:`_branch_and_bound`).  The original set-based selection survives in
+:mod:`repro.logic._reference` for the equivalence suite.
 """
 
 from __future__ import annotations
@@ -18,12 +27,16 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 from ..errors import CoveringError
+from .bitset import iter_bits, mask_of
 from .cube import Cube, remove_contained
 from .function import BooleanFunction
 from .quine_mccluskey import primes_of, useful_primes
 
 #: Above this many undecided primes the exact branch-and-bound hands over
-#: to the greedy heuristic.  The paper's machines stay far below it.
+#: to the greedy heuristic.  The paper's machines stay far below it.  The
+#: value is part of the pinned output contract (the ``exact`` flag of
+#: every golden cover), so the bitset rewrite kept it; the generic
+#: :data:`repro.util.setcover.EXACT_LIMIT` was raised instead.
 EXACT_SEARCH_LIMIT = 26
 
 
@@ -57,16 +70,43 @@ class CoverResult:
         return sum(cube.num_literals for cube in self.cubes)
 
 
+def _covered_once_mask(coverage: Sequence[int]) -> int:
+    """Bitset of the minterms covered by exactly one coverage mask."""
+    once = 0
+    more = 0
+    for cov in coverage:
+        more |= once & cov
+        once |= cov
+    return once & ~more
+
+
+def _unique_coverer(coverage: Sequence[int], unique_mask: int) -> dict[int, int]:
+    """Map each uniquely covered minterm to the index of its sole coverer."""
+    coverer: dict[int, int] = {}
+    for i, cov in enumerate(coverage):
+        hits = cov & unique_mask
+        if hits:
+            for m in iter_bits(hits):
+                coverer[m] = i
+    return coverer
+
+
 def essential_primes(
-    primes: Sequence[Cube], on: Iterable[int]
+    primes: Sequence[Cube], on: Iterable[int] | int
 ) -> list[Cube]:
     """Primes that are the unique cover of at least one on-set minterm."""
-    on = set(on)
+    on_mask = on if isinstance(on, int) else mask_of(on)
+    primes = list(primes)
+    coverage = [p.coverage_mask() for p in primes]
+    unique = _covered_once_mask(coverage) & on_mask
+    coverer = _unique_coverer(coverage, unique)
     essential: list[Cube] = []
-    for minterm in sorted(on):
-        covering = [p for p in primes if p.contains(minterm)]
-        if len(covering) == 1 and covering[0] not in essential:
-            essential.append(covering[0])
+    seen: set[int] = set()
+    for m in iter_bits(unique):
+        i = coverer[m]
+        if i not in seen:
+            seen.add(i)
+            essential.append(primes[i])
     return essential
 
 
@@ -95,48 +135,69 @@ def minimal_cover(
         explicit, insufficient ``primes`` argument).
     """
     if primes is None:
-        primes = useful_primes(primes_of(function), function.on)
+        primes = useful_primes(primes_of(function), function.on_mask)
     primes = list(primes)
+    off_mask = function.off_mask
+    coverage = []
     for prime in primes:
-        if not function.is_implicant(prime):
+        function._check_cube_width(prime, function.names)
+        cov = prime.coverage_mask()
+        if cov & off_mask:
             raise CoveringError(
                 f"candidate {prime} intersects the off-set of the function"
             )
+        coverage.append(cov)
 
-    remaining = set(function.on)
+    remaining = function.on_mask
     if not remaining:
         return CoverResult((), (), True)
 
-    chosen: list[Cube] = []
-    essential: list[Cube] = []
+    # Uniqueness of coverage is a property of the (static) candidate list,
+    # so the covered-exactly-once mask and the sole-coverer map are
+    # computed one time; each essential round just intersects with the
+    # shrinking remaining-minterm bitset.
+    unique = _covered_once_mask(coverage) & remaining
+    coverer = _unique_coverer(coverage, unique)
+
+    chosen_idx: list[int] = []
+    chosen_set: set[int] = set()
+    essential_idx: list[int] = []
     # Iterated essential extraction: picking an essential prime can make
     # further primes essential for the still-uncovered minterms.
     while True:
-        new_essentials = [
-            p
-            for p in essential_primes(primes, remaining)
-            if p not in chosen
-        ]
+        found: list[int] = []
+        found_set: set[int] = set()
+        for m in iter_bits(unique & remaining):
+            i = coverer[m]
+            if i not in found_set:
+                found_set.add(i)
+                found.append(i)
+        new_essentials = [i for i in found if i not in chosen_set]
         if not new_essentials:
             break
-        for prime in new_essentials:
-            chosen.append(prime)
-            if prime not in essential:
-                essential.append(prime)
-            remaining -= set(prime.minterms())
+        for i in new_essentials:
+            chosen_idx.append(i)
+            chosen_set.add(i)
+            if i not in essential_idx:
+                essential_idx.append(i)
+            remaining &= ~coverage[i]
         if not remaining:
             break
 
+    exact_flag = True
     if remaining:
         candidates = [
-            p
-            for p in primes
-            if p not in chosen and any(m in remaining for m in p.minterms())
+            i
+            for i in range(len(primes))
+            if i not in chosen_set and coverage[i] & remaining
         ]
-        if not any_cover_possible(candidates, remaining):
+        union = 0
+        for i in candidates:
+            union |= coverage[i]
+        if remaining & ~union:
             raise CoveringError(
-                f"{len(remaining)} on-set minterms cannot be covered by the "
-                f"supplied candidate implicants"
+                f"{(remaining & ~union).bit_count()} on-set minterms cannot "
+                f"be covered by the supplied candidate implicants"
             )
         use_exact = (
             exact
@@ -144,111 +205,123 @@ def minimal_cover(
             else len(candidates) <= EXACT_SEARCH_LIMIT
         )
         if use_exact:
-            extra = _branch_and_bound(candidates, frozenset(remaining))
-            exact_flag = True
+            extra = _branch_and_bound(primes, coverage, candidates, remaining)
         else:
-            extra = _greedy(candidates, set(remaining))
+            extra = _greedy(primes, coverage, candidates, remaining)
             exact_flag = False
-        chosen.extend(extra)
-    else:
-        exact_flag = True
+        chosen_idx.extend(extra)
 
-    chosen = remove_contained(chosen)
+    chosen = remove_contained([primes[i] for i in chosen_idx])
+    essential = [primes[i] for i in essential_idx]
     return CoverResult(
         tuple(sorted(chosen)), tuple(sorted(essential)), exact_flag
     )
 
 
-def any_cover_possible(candidates: Sequence[Cube], minterms: set[int]) -> bool:
+def any_cover_possible(
+    candidates: Sequence[Cube], minterms: Iterable[int] | int
+) -> bool:
     """True when the union of the candidates contains every minterm."""
-    union: set[int] = set()
+    wanted = minterms if isinstance(minterms, int) else mask_of(minterms)
+    union = 0
     for cube in candidates:
-        union.update(m for m in cube.minterms() if m in minterms)
-    return minterms <= union
+        union |= cube.coverage_mask()
+    return wanted & ~union == 0
 
 
-def _greedy(candidates: Sequence[Cube], remaining: set[int]) -> list[Cube]:
+def _greedy(
+    primes: Sequence[Cube],
+    coverage: Sequence[int],
+    candidates: list[int],
+    remaining: int,
+) -> list[int]:
     """Greedy set cover: repeatedly take the cube covering the most."""
-    chosen: list[Cube] = []
-    coverage = {
-        cube: {m for m in cube.minterms() if m in remaining}
-        for cube in candidates
-    }
+    chosen: list[int] = []
     while remaining:
         best = max(
             candidates,
-            key=lambda c: (
-                len(coverage[c] & remaining),
-                -c.num_literals,
+            key=lambda i: (
+                (coverage[i] & remaining).bit_count(),
+                -primes[i].num_literals,
             ),
         )
         gain = coverage[best] & remaining
         if not gain:
             raise CoveringError("greedy cover stalled (internal error)")
         chosen.append(best)
-        remaining -= gain
+        remaining &= ~gain
     return chosen
 
 
 def _branch_and_bound(
-    candidates: Sequence[Cube], remaining: frozenset[int]
-) -> list[Cube]:
+    primes: Sequence[Cube],
+    coverage: Sequence[int],
+    candidates: list[int],
+    remaining: int,
+) -> list[int]:
     """Exact minimum completion of the cover (terms, then literals).
 
-    Plain depth-first branch-and-bound on the uncovered minterm with the
-    fewest covering candidates (most-constrained-first), bounded by the
-    best solution found so far.  The candidate lists at this point are the
-    cyclic core of a QM table, which is tiny for the paper's machines.
+    Depth-first branch-and-bound on the uncovered minterm with the fewest
+    covering candidates (most-constrained-first, ties to the smallest
+    minterm), bounded by the best solution found so far and memoised on
+    the remaining-universe bitset: once a state has been explored with a
+    componentwise no-worse (terms, literals) prefix, revisiting it cannot
+    produce a strictly better incumbent, so the revisit is pruned without
+    changing which cover is returned.
     """
-    candidate_list = list(candidates)
-    cover_map = {
-        cube: frozenset(m for m in cube.minterms() if m in remaining)
-        for cube in candidate_list
-    }
+    cover_map = {i: coverage[i] & remaining for i in candidates}
+    literals = {i: primes[i].num_literals for i in candidates}
     # Seed the bound with the greedy solution so pruning starts effective.
-    greedy_choice = _greedy(candidate_list, set(remaining))
-    best: list[Cube] = list(greedy_choice)
-    best_cost = _cost(best)
+    best: list[int] = _greedy(primes, coverage, candidates, remaining)
+    best_cost = _cost(best, literals)
 
-    def search(uncovered: frozenset[int], chosen: list[Cube]) -> None:
+    # Static most-constrained order: how many candidates cover each
+    # minterm never changes during the search.
+    counts: dict[int, int] = {}
+    for i in candidates:
+        for m in iter_bits(cover_map[i]):
+            counts[m] = counts.get(m, 0) + 1
+    order = sorted(counts, key=lambda m: (counts[m], m))
+
+    # Pareto prefixes per remaining-universe bitset (see docstring).
+    explored: dict[int, list[tuple[int, int]]] = {}
+
+    def search(uncovered: int, chosen: list[int], chosen_lits: int) -> None:
         nonlocal best, best_cost
         if not uncovered:
-            cost = _cost(chosen)
+            cost = (len(chosen), chosen_lits)
             if cost < best_cost:
                 best = list(chosen)
                 best_cost = cost
             return
         if len(chosen) + 1 > best_cost[0]:
-            # Even one more term cannot beat the incumbent.
-            if len(chosen) + 1 == best_cost[0] + 1:
-                return
             return
-        # Most-constrained uncovered minterm.
-        target = min(
-            uncovered,
-            key=lambda m: sum(1 for c in candidate_list if m in cover_map[c]),
-        )
-        options = [c for c in candidate_list if target in cover_map[c]]
+        prefixes = explored.setdefault(uncovered, [])
+        for terms, lits in prefixes:
+            if terms <= len(chosen) and lits <= chosen_lits:
+                return
+        prefixes.append((len(chosen), chosen_lits))
+        target = next(m for m in order if uncovered >> m & 1)
+        options = [i for i in candidates if cover_map[i] >> target & 1]
         # Try larger cubes first: covers more, fewer literals.
-        options.sort(key=lambda c: (len(cover_map[c] & uncovered), ), reverse=True)
+        options.sort(
+            key=lambda i: (cover_map[i] & uncovered).bit_count(), reverse=True
+        )
         for option in options:
             if option in chosen:
                 continue
             chosen.append(option)
-            if _cost_lower_bound(chosen) <= best_cost:
-                search(uncovered - cover_map[option], chosen)
+            lits = chosen_lits + literals[option]
+            if (len(chosen), lits) <= best_cost:
+                search(uncovered & ~cover_map[option], chosen, lits)
             chosen.pop()
 
-    search(remaining, [])
+    search(remaining, [], 0)
     return best
 
 
-def _cost(cubes: Sequence[Cube]) -> tuple[int, int]:
-    return (len(cubes), sum(c.num_literals for c in cubes))
-
-
-def _cost_lower_bound(cubes: Sequence[Cube]) -> tuple[int, int]:
-    return _cost(cubes)
+def _cost(chosen: Sequence[int], literals: dict[int, int]) -> tuple[int, int]:
+    return (len(chosen), sum(literals[i] for i in chosen))
 
 
 def essential_sop(function: BooleanFunction) -> CoverResult:

@@ -30,10 +30,9 @@ from collections.abc import Iterator
 from dataclasses import dataclass
 from typing import Optional
 
-
-def popcount(x: int) -> int:
-    """Number of set bits in a non-negative integer."""
-    return x.bit_count()
+from .bitset import coverage_mask as _coverage_mask
+from .bitset import iter_bits
+from .bitset import popcount  # re-exported: this was the helper's home
 
 
 @dataclass(frozen=True, order=True)
@@ -148,15 +147,19 @@ class Cube:
 
     def minterms(self) -> Iterator[int]:
         """Yield every minterm of the cube in increasing order."""
-        free_positions = [
-            i for i in range(self.width) if not self.mask >> i & 1
-        ]
-        for combo in range(1 << len(free_positions)):
-            minterm = self.value
-            for j, pos in enumerate(free_positions):
-                if combo >> j & 1:
-                    minterm |= 1 << pos
-            yield minterm
+        return iter_bits(self.coverage_mask())
+
+    def coverage_mask(self) -> int:
+        """Packed bitset of every minterm the cube covers.
+
+        Bit ``m`` of the returned int is 1 exactly when
+        :meth:`contains(m) <contains>` holds; the mask is ``2**width`` bits
+        wide and is built in O(width) big-int shifts
+        (:func:`repro.logic.bitset.coverage_mask`).  This is the engine
+        primitive behind the rewritten covering hot paths: coverage tests
+        become word-parallel ``&``/``|`` instead of per-minterm loops.
+        """
+        return _coverage_mask(self.width, self.mask, self.value)
 
     # ------------------------------------------------------------------
     # Algebra

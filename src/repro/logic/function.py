@@ -3,9 +3,11 @@
 SEANCE works on small spaces (a handful of inputs plus a handful of state
 variables), so functions are stored extensionally: an *on-set* and a
 *don't-care set* of minterm integers over named variables.  The off-set is
-implied.  This keeps every downstream algorithm (Quine-McCluskey, covering,
-hazard checks) simple and obviously correct, which matters more here than
-scaling to wide functions.
+implied.  The public API exposes the sets as frozensets; the covering hot
+paths work on the packed big-int bitsets (:attr:`BooleanFunction.on_mask`
+and friends, lazily derived and cached), so coverage relations are
+O(words) int algebra rather than per-minterm set loops
+(:mod:`repro.logic.bitset`).
 
 Variable ``i`` of :attr:`BooleanFunction.names` corresponds to bit ``i`` of
 a minterm integer (least-significant bit is variable 0), matching
@@ -17,11 +19,13 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+from .bitset import iter_bits, mask_of
 from .cube import Cube
 
 #: Functions wider than this raise, because the extensional representation
 #: would materialise 2**width minterms.  All paper benchmarks are <= 10
-#: variables; the limit leaves generous headroom.
+#: variables; the packed-bitset engine keeps the limit usable in practice
+#: (``benchmarks/bench_logic.py`` exercises the headroom).
 MAX_WIDTH = 22
 
 
@@ -94,15 +98,20 @@ class BooleanFunction:
         stays *on* (the cubes assert it).
         """
         names = tuple(names)
-        on: set[int] = set()
+        on_bits = 0
         for cube in on_cubes:
             cls._check_cube_width(cube, names)
-            on.update(cube.minterms())
-        dc: set[int] = set()
+            on_bits |= cube.coverage_mask()
+        dc_bits = 0
         for cube in dc_cubes:
             cls._check_cube_width(cube, names)
-            dc.update(m for m in cube.minterms() if m not in on)
-        return cls(names, frozenset(on), frozenset(dc))
+            dc_bits |= cube.coverage_mask()
+        dc_bits &= ~on_bits
+        return cls(
+            names,
+            frozenset(iter_bits(on_bits)),
+            frozenset(iter_bits(dc_bits)),
+        )
 
     @staticmethod
     def _check_cube_width(cube: Cube, names: tuple[str, ...]) -> None:
@@ -124,10 +133,41 @@ class BooleanFunction:
         """Size of the Boolean space, ``2 ** width``."""
         return 1 << self.width
 
+    # ------------------------------------------------------------------
+    # Packed-bitset views (lazily derived from the frozensets, cached)
+    # ------------------------------------------------------------------
+    @property
+    def on_mask(self) -> int:
+        """The on-set as a packed bitset int (bit ``m`` set iff ``m`` on)."""
+        cached = self.__dict__.get("_on_mask")
+        if cached is None:
+            cached = mask_of(self.on)
+            object.__setattr__(self, "_on_mask", cached)
+        return cached
+
+    @property
+    def dc_mask(self) -> int:
+        """The don't-care set as a packed bitset int."""
+        cached = self.__dict__.get("_dc_mask")
+        if cached is None:
+            cached = mask_of(self.dc)
+            object.__setattr__(self, "_dc_mask", cached)
+        return cached
+
+    @property
+    def care_mask(self) -> int:
+        """``on_mask | dc_mask`` as a packed bitset int."""
+        return self.on_mask | self.dc_mask
+
+    @property
+    def off_mask(self) -> int:
+        """The implied off-set as a packed bitset int."""
+        return ((1 << self.space) - 1) & ~self.on_mask & ~self.dc_mask
+
     @property
     def off(self) -> frozenset[int]:
         """The implied off-set (minterms that are neither on nor dc)."""
-        return frozenset(range(self.space)) - self.on - self.dc
+        return frozenset(iter_bits(self.off_mask))
 
     def value(self, minterm: int) -> int | None:
         """Function value at ``minterm``: 1, 0, or ``None`` for don't-care."""
@@ -172,29 +212,31 @@ class BooleanFunction:
     def is_implicant(self, cube: Cube) -> bool:
         """True when ``cube`` never covers an off-set minterm."""
         self._check_cube_width(cube, self.names)
-        care_off = self.off
-        return not any(m in care_off for m in cube.minterms())
+        return cube.coverage_mask() & self.off_mask == 0
 
     def is_cover(self, cubes: Iterable[Cube]) -> bool:
         """True when ``cubes`` covers the on-set and avoids the off-set."""
-        cubes = list(cubes)
-        for cube in cubes:
-            if not self.is_implicant(cube):
-                return False
-        covered: set[int] = set()
-        for cube in cubes:
-            covered.update(cube.minterms())
-        return self.on <= covered
-
-    def cover_equals_on_care_set(self, cubes: Iterable[Cube]) -> bool:
-        """True when the cover agrees with the function on every care point."""
-        covered: set[int] = set()
+        covered = 0
+        off_mask = self.off_mask
         for cube in cubes:
             self._check_cube_width(cube, self.names)
-            covered.update(cube.minterms())
-        if not self.on <= covered:
-            return False
-        return not covered & self.off
+            coverage = cube.coverage_mask()
+            if coverage & off_mask:
+                return False
+            covered |= coverage
+        return self.on_mask & ~covered == 0
+
+    def cover_equals_on_care_set(self, cubes: Iterable[Cube]) -> bool:
+        """True when the cover agrees with the function on every care point.
+
+        With packed sets this is one mask equality: the covered minterms,
+        restricted to the care set, must be exactly the on-set.
+        """
+        covered = 0
+        for cube in cubes:
+            self._check_cube_width(cube, self.names)
+            covered |= cube.coverage_mask()
+        return covered & ~self.dc_mask == self.on_mask
 
     # ------------------------------------------------------------------
     # Algebra

@@ -1,4 +1,4 @@
-"""Quine-McCluskey prime-implicant generation.
+"""Quine-McCluskey prime-implicant generation on packed bitsets.
 
 SEANCE's Output Determination stage (paper Section 5.2) and the hazard
 factoring stage (Section 5.3 / Figure 5) both rely on classic
@@ -9,19 +9,24 @@ implicants" to make it free of logic hazards under single-bit changes.
 This module provides the prime-generation half; cover selection lives in
 :mod:`repro.logic.cover`.
 
-The implementation is the standard tabulation: implicants are grouped by
-the popcount of their value bits, adjacent groups are merged pairwise, and
-implicants that never merged are prime.  Don't-care minterms participate in
-merging but do not need to be covered.  Complexity is exponential in the
-variable count, which is fine for the paper's problem sizes (and is capped
-by :data:`repro.logic.function.MAX_WIDTH`).
+The tabulation runs entirely on packed integers: an implicant is a
+``(mask, value)`` pair of ints, one level is a ``mask -> set of values``
+table bucketed by value popcount, and the adjacency merge of ``a`` and
+``b = a | bit`` is two int ops.  No :class:`~repro.logic.cube.Cube` is
+allocated until the surviving primes are materialised at the end, which
+removes the per-minterm object churn that used to dominate wide
+functions (see ``benchmarks/bench_logic.py``; the original per-Cube
+tabulation is retained in :mod:`repro.logic._reference`).  Complexity is
+still exponential in the variable count, which is capped by
+:data:`repro.logic.function.MAX_WIDTH`.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
 
-from .cube import Cube, popcount
+from .bitset import mask_of
+from .cube import Cube
 from .function import BooleanFunction
 
 
@@ -52,46 +57,68 @@ def prime_implicants(
     care = on | dc
     if not care:
         return []
-    full_space = 1 << width
-    if care == set(range(full_space)):
+    for m in care:
+        if m < 0 or m >> width:
+            raise ValueError(f"minterm {m} outside {width}-variable space")
+    full = (1 << width) - 1
+    if len(care) == full + 1:
         return [Cube.universe(width)]
 
-    current: set[Cube] = {Cube.from_minterm(m, width) for m in care}
-    primes: set[Cube] = set()
+    # Level k holds the implicants with k free variables, keyed by their
+    # bound-variable mask; every value in ``current[mask]`` satisfies
+    # ``value & ~mask == 0``.
+    current: dict[int, set[int]] = {full: care}
+    primes: list[tuple[int, int]] = []
     while current:
-        groups: dict[tuple[int, int], list[Cube]] = {}
-        for cube in current:
-            groups.setdefault((cube.mask, popcount(cube.value)), []).append(cube)
-        merged_from: set[Cube] = set()
-        next_level: set[Cube] = set()
-        for (mask, ones), cubes in groups.items():
-            partner_group = groups.get((mask, ones + 1), [])
-            for a in cubes:
-                for b in partner_group:
-                    merged = a.merge(b)
-                    if merged is not None:
-                        next_level.add(merged)
-                        merged_from.add(a)
-                        merged_from.add(b)
-        primes.update(current - merged_from)
+        next_level: dict[int, set[int]] = {}
+        for mask, values in current.items():
+            by_ones: dict[int, set[int]] = {}
+            for v in values:
+                by_ones.setdefault(v.bit_count(), set()).add(v)
+            merged: set[int] = set()
+            for ones, group in by_ones.items():
+                partners = by_ones.get(ones + 1)
+                if not partners:
+                    continue
+                for v in group:
+                    # Adjacent partners differ in exactly one bound
+                    # variable where v holds 0: probe v | bit for every
+                    # zero position of v under the mask.
+                    rest = mask & ~v
+                    while rest:
+                        bit = rest & -rest
+                        rest ^= bit
+                        w = v | bit
+                        if w in partners:
+                            merged.add(v)
+                            merged.add(w)
+                            next_level.setdefault(mask ^ bit, set()).add(v)
+            for v in values:
+                if v not in merged:
+                    primes.append((mask, v))
         current = next_level
-    return sorted(primes)
+    primes.sort()
+    return [Cube(width, mask, value) for mask, value in primes]
 
 
-def useful_primes(primes: Iterable[Cube], on: Iterable[int]) -> list[Cube]:
+def useful_primes(
+    primes: Iterable[Cube], on: Iterable[int] | int
+) -> list[Cube]:
     """Primes that cover at least one required (on-set) minterm.
 
     A hazard-free "all prime implicants" cover in the sense of Unger/
     Eichelberger needs every prime that intersects the on-set; primes lying
     wholly in the don't-care set add gates without covering anything and
     are dropped.
+
+    ``on`` may be an iterable of minterms or an already-packed on-set
+    bitset int (callers with a :class:`BooleanFunction` at hand pass
+    :attr:`~repro.logic.function.BooleanFunction.on_mask` so the packing
+    happens once per function).  Each prime is kept on a single
+    ``coverage & on_mask != 0`` big-int test.
     """
-    on = set(on)
-    kept = []
-    for prime in primes:
-        if any(m in on for m in prime.minterms()):
-            kept.append(prime)
-    return kept
+    on_mask = on if isinstance(on, int) else mask_of(on)
+    return [p for p in primes if p.coverage_mask() & on_mask]
 
 
 def primes_of(function: BooleanFunction) -> list[Cube]:
@@ -106,4 +133,4 @@ def all_primes_cover(function: BooleanFunction) -> list[Cube]:
     static or dynamic hazard for any *single-bit* input change (the
     technique the paper calls "adding consensus gates", Section 2.1).
     """
-    return useful_primes(primes_of(function), function.on)
+    return useful_primes(primes_of(function), function.on_mask)

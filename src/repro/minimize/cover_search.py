@@ -105,27 +105,48 @@ def find_minimum_closed_cover(
 
     best = list(upper_family)
 
+    # Bitset plumbing: state k of ``table.states`` is bit k, a compatible
+    # is one incidence int, and the per-state candidate options (sorted
+    # largest-first with a deterministic name tie-break) are precomputed
+    # once instead of rescanned at every search node.
     states = list(table.states)
+    state_bit = {s: 1 << k for k, s in enumerate(states)}
+    full = (1 << len(states)) - 1
 
-    def search(family: list[frozenset[str]], covered: set[str]) -> None:
+    def members_mask(members: frozenset[str]) -> int:
+        bits = 0
+        for s in members:
+            bits |= state_bit[s]
+        return bits
+
+    candidate_masks = [members_mask(c) for c in candidates]
+    ranked = sorted(
+        range(len(candidates)),
+        key=lambda i: (-len(candidates[i]), sorted(candidates[i])),
+    )
+    options_for_state = [
+        [i for i in ranked if candidate_masks[i] >> k & 1]
+        for k in range(len(states))
+    ]
+
+    def search(family: list[frozenset[str]], covered: int) -> None:
         nonlocal best
         if len(family) >= len(best):
             return
-        uncovered = [s for s in states if s not in covered]
-        if not uncovered:
+        if covered == full:
             closed_family = _close_greedily(table, family)
             if len(closed_family) < len(best):
                 best = closed_family
             return
         if len(family) + 1 >= len(best):
             return
-        target = uncovered[0]
-        options = [c for c in candidates if target in c]
-        options.sort(key=lambda c: (-len(c), sorted(c)))
-        for option in options:
-            search(family + [option], covered | option)
+        # First uncovered state in table order (lowest clear bit).
+        missing = ~covered & full
+        target = (missing & -missing).bit_length() - 1
+        for i in options_for_state[target]:
+            search(family + [candidates[i]], covered | candidate_masks[i])
 
-    search([], set())
+    search([], 0)
     return ClosedCover(tuple(_canonical(best)), exact=True)
 
 

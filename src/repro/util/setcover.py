@@ -1,4 +1,4 @@
-"""Generic minimum set cover with exact branch-and-bound.
+"""Generic minimum set cover with exact branch-and-bound, on packed bitsets.
 
 Several SEANCE stages reduce to set covering — choosing prime implicants,
 choosing merged dichotomies for the Tracey state assignment — over
@@ -6,6 +6,14 @@ universes of at most a few dozen elements.  This module provides one
 careful implementation: iterated essential extraction, dominated-candidate
 elimination, exact branch-and-bound on the cyclic core, and a greedy
 fallback above a size threshold.
+
+Internally every element is numbered (in ``repr``-sorted order, which is
+also the deterministic scan order of the original set-based solver, kept
+in :mod:`repro.logic._reference`), each candidate becomes one incidence
+bitset int, and the element-to-covering-candidates map is built in a
+single pass up front.  Dominance is the subset test ``a | b == b``,
+essential extraction walks a precomputed covered-exactly-once list, and
+the branch-and-bound memoises on the remaining-universe bitset.
 """
 
 from __future__ import annotations
@@ -14,9 +22,20 @@ from collections.abc import Hashable, Sequence
 from dataclasses import dataclass
 
 from ..errors import CoveringError
+from ..logic.bitset import iter_bits
 
 #: Above this many candidates in the cyclic core the solver goes greedy.
-EXACT_LIMIT = 30
+#: The bitset rewrite (O(words) dominance/coverage ops plus a memoised
+#: search) raised this from the original 30.
+EXACT_LIMIT = 48
+
+#: Above this many live candidates the quadratic dominated-candidate
+#: elimination is skipped: it exists to shrink the exact search (which
+#: such instances never take — they are far past :data:`EXACT_LIMIT`),
+#: and Tracey covering problems can reach tens of thousands of merged
+#: dichotomies, where the all-pairs subset scan dominates the whole
+#: synthesis run.
+DOMINANCE_LIMIT = 2000
 
 
 @dataclass(frozen=True)
@@ -41,57 +60,88 @@ def minimum_set_cover(
     universe = set(universe)
     if not universe:
         return SetCoverResult((), True)
-    total: set = set()
+    # Number the elements in repr-sorted order; element k of ``order`` is
+    # bit k of every incidence bitset below.
+    order = sorted(universe, key=repr)
+    index = {element: k for k, element in enumerate(order)}
+    n = len(order)
+    full = (1 << n) - 1
+
+    masks: list[int] = []
     for candidate in candidates:
-        total |= candidate
-    if not universe <= total:
-        missing = sorted(universe - total, key=repr)
+        bits = 0
+        for element in candidate:
+            k = index.get(element)
+            if k is not None:
+                bits |= 1 << k
+        masks.append(bits)
+
+    total = 0
+    for bits in masks:
+        total |= bits
+    if total != full:
+        missing = sorted(
+            (order[k] for k in iter_bits(full & ~total)), key=repr
+        )
         raise CoveringError(f"elements cannot be covered: {missing}")
 
-    remaining = set(universe)
+    # Element -> covering-candidates incidence, computed once up front:
+    # per element a count and (for the uniquely covered) the sole coverer.
+    covering_count = [0] * n
+    sole_coverer = [-1] * n
+    for i, bits in enumerate(masks):
+        for k in iter_bits(bits):
+            covering_count[k] += 1
+            sole_coverer[k] = i
+    forced_order = [k for k in range(n) if covering_count[k] == 1]
+
+    remaining = full
     chosen: list[int] = []
+    chosen_set: set[int] = set()
 
     # Iterated essential extraction: an element covered by exactly one
-    # candidate forces that candidate.
+    # candidate forces that candidate.  Coverage counts are static, so the
+    # scan resumes where it left off instead of rescanning every
+    # candidate for every element each round.
+    cursor = 0
     while remaining:
         forced = None
-        for element in sorted(remaining, key=repr):
-            covering = [
-                i
-                for i, cand in enumerate(candidates)
-                if element in cand
-            ]
-            if len(covering) == 1:
-                forced = covering[0]
+        while cursor < len(forced_order):
+            k = forced_order[cursor]
+            if remaining >> k & 1:
+                forced = sole_coverer[k]
                 break
+            cursor += 1
         if forced is None:
             break
-        if forced not in chosen:
+        if forced not in chosen_set:
             chosen.append(forced)
-        remaining -= candidates[forced]
+            chosen_set.add(forced)
+        remaining &= ~masks[forced]
 
     if not remaining:
         return SetCoverResult(tuple(sorted(chosen)), True)
 
     live = [
         i
-        for i, cand in enumerate(candidates)
-        if i not in chosen and cand & remaining
+        for i in range(len(candidates))
+        if i not in chosen_set and masks[i] & remaining
     ]
     # Dominance: drop candidates whose useful contribution is a subset of
     # another's (ties keep the lower index).
-    useful = {i: frozenset(candidates[i] & remaining) for i in live}
-    undominated = []
-    for i in live:
-        dominated = any(
-            (useful[i] < useful[j])
-            or (useful[i] == useful[j] and j < i)
-            for j in live
-            if j != i
-        )
-        if not dominated:
-            undominated.append(i)
-    live = undominated
+    useful = {i: masks[i] & remaining for i in live}
+    if len(live) <= DOMINANCE_LIMIT:
+        undominated = []
+        for i in live:
+            ui = useful[i]
+            dominated = any(
+                ui | useful[j] == useful[j] and (ui != useful[j] or j < i)
+                for j in live
+                if j != i
+            )
+            if not dominated:
+                undominated.append(i)
+        live = undominated
 
     use_exact = exact if exact is not None else len(live) <= EXACT_LIMIT
     if use_exact:
@@ -102,26 +152,43 @@ def minimum_set_cover(
 
 
 def _greedy(
-    remaining: set, live: list[int], useful: dict[int, frozenset]
+    remaining: int, live: list[int], useful: dict[int, int]
 ) -> list[int]:
     chosen = []
-    remaining = set(remaining)
     while remaining:
-        best = max(live, key=lambda i: (len(useful[i] & remaining), -i))
+        best = max(
+            live, key=lambda i: ((useful[i] & remaining).bit_count(), -i)
+        )
         gain = useful[best] & remaining
         if not gain:
             raise CoveringError("greedy set cover stalled (internal error)")
         chosen.append(best)
-        remaining -= gain
+        remaining &= ~gain
     return chosen
 
 
 def _branch_and_bound(
-    remaining: set, live: list[int], useful: dict[int, frozenset]
+    remaining: int, live: list[int], useful: dict[int, int]
 ) -> list[int]:
     best = _greedy(remaining, live, useful)
 
-    def search(uncovered: frozenset, chosen: list[int]) -> None:
+    # Static most-constrained order: the number of live candidates
+    # covering an element never changes during the search, and the
+    # repr-order element numbering makes the (count, repr) tie-break of
+    # the original solver equal to (count, bit index).
+    counts: dict[int, int] = {}
+    for i in live:
+        for k in iter_bits(useful[i]):
+            counts[k] = counts.get(k, 0) + 1
+    order = sorted(counts, key=lambda k: (counts[k], k))
+
+    # Memo on the remaining-universe bitset: a state revisited with at
+    # least as many candidates already chosen cannot improve the
+    # incumbent (its first exploration either updated it or was pruned
+    # against an incumbent no worse than the final one).
+    explored: dict[int, int] = {}
+
+    def search(uncovered: int, chosen: list[int]) -> None:
         nonlocal best
         if not uncovered:
             if len(chosen) < len(best):
@@ -129,21 +196,18 @@ def _branch_and_bound(
             return
         if len(chosen) + 1 >= len(best):
             return
-        target = min(
-            uncovered,
-            key=lambda e: (
-                sum(1 for i in live if e in useful[i]),
-                repr(e),
-            ),
-        )
-        options = [i for i in live if target in useful[i]]
-        options.sort(key=lambda i: (-len(useful[i] & uncovered), i))
+        if explored.get(uncovered, len(live) + 1) <= len(chosen):
+            return
+        explored[uncovered] = len(chosen)
+        target = next(k for k in order if uncovered >> k & 1)
+        options = [i for i in live if useful[i] >> target & 1]
+        options.sort(key=lambda i: (-(useful[i] & uncovered).bit_count(), i))
         for option in options:
             if option in chosen:
                 continue
             chosen.append(option)
-            search(uncovered - useful[option], chosen)
+            search(uncovered & ~useful[option], chosen)
             chosen.pop()
 
-    search(frozenset(remaining), [])
+    search(remaining, [])
     return sorted(best)

@@ -139,3 +139,10 @@ class TestEssentialSop:
         f = BooleanFunction(("a", "b"), on=frozenset({0b11}), dc=frozenset({0b01}))
         result = essential_sop(f)
         assert result.cubes == (Cube.from_string("1-"),)
+
+
+class TestCandidateValidation:
+    def test_wrong_width_candidate_rejected(self):
+        f = BooleanFunction(("a", "b", "c"), frozenset({0, 1, 2, 3}))
+        with pytest.raises(ValueError):
+            minimal_cover(f, primes=[Cube.universe(2)])

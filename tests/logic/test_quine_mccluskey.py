@@ -133,3 +133,19 @@ class TestAllPrimesCover:
                     assert any(
                         p.contains(m) and p.contains(other) for p in cover
                     ), f"minterm pair {m},{other} not jointly covered"
+
+
+class TestInputValidation:
+    def test_out_of_range_minterm_rejected(self):
+        with pytest.raises(ValueError):
+            prime_implicants({0, 5}, set(), 2)
+
+    def test_out_of_range_minterm_rejected_even_when_count_fills_space(self):
+        # {0,1,2,5} has 2**2 members but is not the full 2-variable space;
+        # the full-space shortcut must not fire on cardinality alone.
+        with pytest.raises(ValueError):
+            prime_implicants({0, 1, 2, 5}, set(), 2)
+
+    def test_negative_minterm_rejected(self):
+        with pytest.raises(ValueError):
+            prime_implicants({-1}, set(), 2)
