@@ -35,6 +35,12 @@ from ..pipeline.registry import (
     substitute,
 )
 from ..pipeline.spec import CacheSpec, PipelineSpec
+from ..sim.campaign import (
+    DELAY_MODELS,
+    CampaignCell,
+    CampaignResult,
+    ValidationCampaign,
+)
 from .loaders import load_table
 from .session import Session, batch, load, synthesize
 
@@ -42,7 +48,10 @@ __all__ = [
     "BatchItem",
     "BatchRunner",
     "CacheSpec",
+    "CampaignCell",
+    "CampaignResult",
     "DEFAULT_PIPELINE",
+    "DELAY_MODELS",
     "FlowTable",
     "PassEvent",
     "PassManager",
@@ -52,6 +61,7 @@ __all__ = [
     "StageCache",
     "SynthesisOptions",
     "SynthesisResult",
+    "ValidationCampaign",
     "batch",
     "create_pass",
     "load",

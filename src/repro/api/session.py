@@ -112,6 +112,42 @@ class Session:
         manager = self._spec.build_manager(cache=self._cache)
         return manager.run_with_report(self._table, self._spec.options)
 
+    def validate(
+        self,
+        sweep: int = 3,
+        steps: int = 30,
+        delay_models: tuple[str, ...] = ("loop-safe",),
+        seed: int = 0,
+        use_fsv: bool = True,
+        jobs: int = 1,
+        engine: str = "compiled",
+    ):
+        """Synthesise, build the FANTOM machine, run a validation campaign.
+
+        The session's spec and warm cache drive the synthesis, then a
+        :class:`~repro.sim.campaign.ValidationCampaign` sweeps ``sweep``
+        seeded random walks under each named delay model (see
+        :data:`~repro.sim.campaign.DELAY_MODELS`).  Returns the
+        deterministic :class:`~repro.sim.campaign.CampaignResult`::
+
+            report = api.load("hazard_demo").validate(
+                sweep=50, delay_models=("loop-safe", "corner"))
+            assert report.all_clean
+        """
+        from ..netlist.fantom import build_fantom
+        from ..sim.campaign import ValidationCampaign
+
+        machine = build_fantom(self.run(), use_fsv=use_fsv)
+        campaign = ValidationCampaign(
+            sweep=sweep,
+            steps=steps,
+            delay_models=delay_models,
+            base_seed=seed,
+            jobs=jobs,
+            engine=engine,
+        )
+        return campaign.run_machines([machine])
+
     def __repr__(self) -> str:
         return (
             f"Session({self._table.name!r}, passes={list(self._spec.passes)}, "

@@ -48,8 +48,6 @@ from .errors import ReproError
 from .netlist.fantom import build_fantom
 from .pipeline import BatchRunner, PipelineSpec, StageCache
 from .pipeline.registry import DEFAULT_PIPELINE, base_name, registered_passes
-from .sim.delays import loop_safe_random, skewed_random
-from .sim.harness import synthesize_and_validate
 
 
 def _load_table(spec: str):
@@ -123,17 +121,25 @@ def cmd_table1(args: argparse.Namespace) -> int:
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
-    table = _load_table(args.spec)
-    factory = skewed_random if args.skewed else loop_safe_random
-    summary = synthesize_and_validate(
-        table,
-        use_fsv=not args.no_fsv,
+    from .sim.campaign import ValidationCampaign
+
+    tables = [_load_table(spec) for spec in args.specs]
+    requested = list(args.delay_models or [])
+    if args.skewed:  # alias for --delay-model skewed; composes with it
+        requested.append("skewed")
+    models = tuple(dict.fromkeys(requested)) or ("loop-safe",)
+    campaign = ValidationCampaign(
+        sweep=args.sweep if args.sweep is not None else args.seeds,
         steps=args.steps,
-        seeds=tuple(range(args.seeds)),
-        delays_factory=factory,
+        delay_models=models,
+        base_seed=args.seed,
+        use_fsv=not args.no_fsv,
+        jobs=args.jobs,
+        engine=args.engine,
     )
-    print(summary.describe())
-    if summary.all_clean:
+    report = campaign.run(tables)
+    print(report.describe())
+    if report.all_clean:
         print("machine is clean: states, outputs and SOC all verified")
         return 0
     print("machine FAILED validation")
@@ -321,15 +327,59 @@ def build_parser() -> argparse.ArgumentParser:
     table1.set_defaults(func=cmd_table1)
 
     val = sub.add_parser(
-        "validate", help="simulate the machine against its flow table"
+        "validate",
+        help="simulate machines against their flow tables "
+        "(Monte-Carlo delay-sweep campaign)",
     )
-    val.add_argument("spec", help="KISS2 file or benchmark name")
-    val.add_argument("--steps", type=int, default=25)
-    val.add_argument("--seeds", type=int, default=3)
+    val.add_argument(
+        "specs",
+        nargs="+",
+        help="KISS2 files or benchmark names",
+    )
+    val.add_argument("--steps", type=int, default=25,
+                     help="hand-shake cycles per walk (default 25)")
+    val.add_argument(
+        "--sweep",
+        type=int,
+        default=None,
+        help="seeded walks per (machine, delay model); replaces --seeds",
+    )
+    val.add_argument("--seeds", type=int, default=3,
+                     help=argparse.SUPPRESS)  # legacy alias of --sweep
+    val.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="first walk seed (runs are reproducible from the seed range)",
+    )
+    val.add_argument(
+        "--delay-model",
+        dest="delay_models",
+        action="append",
+        metavar="MODEL",
+        default=None,
+        help="delay model to sweep (repeatable): unit, loop-safe, "
+        "skewed, hostile, corner (default loop-safe)",
+    )
+    val.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for synthesis and validation cells",
+    )
+    val.add_argument(
+        "--engine",
+        choices=["compiled", "reference"],
+        default="compiled",
+        help="simulation kernel (reference = the retained seed "
+        "interpreter, for benchmarking)",
+    )
     val.add_argument(
         "--skewed",
         action="store_true",
-        help="use hostile input-skew delays",
+        help="use hostile input-skew delays (alias for "
+        "--delay-model skewed)",
     )
     val.add_argument(
         "--no-fsv",

@@ -148,6 +148,19 @@ class FlowTable:
         if reset_state is not None and reset_state not in state_set:
             raise FlowTableError(f"unknown reset state {reset_state!r}")
         self._reset_state = reset_state
+        #: shared blank cell — ``entry()`` is the innermost call of every
+        #: interpreter step, and rebuilding the blank per miss dominates
+        #: its cost.
+        self._blank = Entry(None, (None,) * len(self._outputs))
+
+    def __getattr__(self, name):
+        # Tables unpickled from a stage cache written before ``_blank``
+        # existed lack the attribute; rebuild it on first touch.
+        if name == "_blank":
+            blank = Entry(None, (None,) * len(self._outputs))
+            self.__dict__["_blank"] = blank
+            return blank
+        raise AttributeError(name)
 
     # ------------------------------------------------------------------
     # Shape
@@ -230,8 +243,7 @@ class FlowTable:
         self._check_state(state)
         if not 0 <= column < self.num_columns:
             raise FlowTableError(f"column {column} out of range")
-        blank = Entry(None, (None,) * self.num_outputs)
-        return self._entries.get((state, column), blank)
+        return self._entries.get((state, column), self._blank)
 
     def next_state(self, state: str, column: int) -> str | None:
         return self.entry(state, column).next_state

@@ -90,7 +90,7 @@ def reduce_flow_table(
             if not successors:
                 continue
             target_index = _pick_successor_class(
-                classes, members, successors
+                table, column, classes, members, successors
             )
             target_members = classes[target_index]
             outputs = _merge_outputs(table, members, column)
@@ -122,6 +122,8 @@ def reduce_flow_table(
 
 
 def _pick_successor_class(
+    table: FlowTable,
+    column: int,
     classes: list[frozenset[str]],
     current: frozenset[str],
     successors: frozenset[str],
@@ -129,8 +131,12 @@ def _pick_successor_class(
     """Pick the chosen class to receive a successor set.
 
     Preference order: the current class itself (keeps stable entries
-    stable), then the smallest containing class (tightest merge), ties
-    broken lexicographically for determinism.
+    stable; when ``successors <= current`` the current class is stable in
+    the column by construction), then classes *stable in this column*
+    (their own successor set folds back into themselves — the target of
+    an unstable entry must be stable or the reduced table leaves normal
+    mode), then the smallest class (tightest merge), ties broken
+    lexicographically for determinism.
     """
     containing = [
         i for i, members in enumerate(classes) if successors <= members
@@ -143,8 +149,14 @@ def _pick_successor_class(
     for i in containing:
         if classes[i] == current:
             return i
+    stable = [
+        i
+        for i in containing
+        if class_successors(table, classes[i], column) <= classes[i]
+    ]
     return min(
-        containing, key=lambda i: (len(classes[i]), sorted(classes[i]))
+        stable or containing,
+        key=lambda i: (len(classes[i]), sorted(classes[i])),
     )
 
 

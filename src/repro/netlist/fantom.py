@@ -77,7 +77,15 @@ class FantomMachine:
         gates to a fixpoint.  The fixpoint must confirm the seeds (the
         reset point is stable, so the feedback equations reproduce it);
         anything else indicates a synthesis bug and raises.
+
+        The sweep is pure in the machine, so the result is memoised —
+        a validation campaign builds one fresh simulator per
+        (seed, delay-model) cell over the same machine.  Callers get a
+        copy and may mutate it freely.
         """
+        cached = self.extra.get("_initial_values")
+        if cached is not None:
+            return dict(cached)
         table = self.result.table
         spec = self.result.spec
         column = self.reset_column()
@@ -125,7 +133,8 @@ class FantomMachine:
                 "VOM does not assert at the reset point "
                 f"(SSD={values[self.ssd]}, fsv={values.get(self.fsv)})"
             )
-        return values
+        self.extra["_initial_values"] = values
+        return dict(values)
 
 
 def build_fantom(

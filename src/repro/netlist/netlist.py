@@ -27,6 +27,10 @@ class Netlist:
         self.dffs: list[Dff] = []
         self._drivers: dict[str, str] = {}
         self._gate_names: set[str] = set()
+        #: structural revision counter; bumped by every mutation so the
+        #: memoised compiled form knows when it is stale.
+        self._revision = 0
+        self._compiled: tuple[int, object] | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -37,6 +41,7 @@ class Netlist:
         if net not in self.primary_inputs:
             self.primary_inputs.append(net)
             self._drivers[net] = f"input:{net}"
+            self._revision += 1
         return net
 
     def mark_output(self, net: str) -> str:
@@ -62,6 +67,7 @@ class Netlist:
         self.gates.append(gate)
         self._gate_names.add(name)
         self._drivers[output] = name
+        self._revision += 1
         return gate
 
     def add_dff(
@@ -82,6 +88,7 @@ class Netlist:
         self.dffs.append(dff)
         self._gate_names.add(name)
         self._drivers[q] = name
+        self._revision += 1
         return dff
 
     # ------------------------------------------------------------------
@@ -114,6 +121,26 @@ class Netlist:
         return len(self.dffs)
 
     # ------------------------------------------------------------------
+    def compile(self):
+        """The flat integer-indexed program of this netlist.
+
+        Memoised per structural revision, so repeated simulations of the
+        same machine (a validation campaign's seeds × delay models)
+        lower it exactly once.  See
+        :class:`~repro.netlist.compiled.CompiledNetlist`.
+        """
+        from .compiled import compile_netlist
+
+        if self._compiled is None or self._compiled[0] != self._revision:
+            self._compiled = (
+                self._revision,
+                compile_netlist(
+                    self.name, self.gates, self.dffs, self.primary_inputs
+                ),
+            )
+        return self._compiled[1]
+
+    # ------------------------------------------------------------------
     def validate(self) -> None:
         """Raise :class:`NetlistError` listing every structural problem."""
         problems = []
@@ -123,6 +150,18 @@ class Netlist:
         for net in self.primary_outputs:
             if net not in self.nets():
                 problems.append(f"declared output {net!r} does not exist")
+        for gate in self.gates:
+            if gate.output in gate.inputs:
+                # A gate reading its own output is a zero-element
+                # combinational loop: it either latches arbitrarily or
+                # oscillates at its own delay, and unlike the G latch
+                # (whose loop passes through another gate) no delay
+                # model can stabilise it.  The simulator would only
+                # notice at run time, as an event-budget blowup.
+                problems.append(
+                    f"gate {gate.name!r} drives net {gate.output!r} and "
+                    f"lists it among its own inputs (direct self-loop)"
+                )
         if problems:
             raise NetlistError(
                 f"netlist {self.name!r} invalid:\n  " + "\n  ".join(problems)

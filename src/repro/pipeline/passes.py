@@ -390,6 +390,85 @@ class JointFactorPass(_ForcedModeFactorPass):
     reduce_mode = "joint"
 
 
+# ----------------------------------------------------------------------
+# Dynamic validation as a pipeline stage.
+# ----------------------------------------------------------------------
+@register_pass("verify")
+class VerifyPass:
+    """Dynamic validation gate: simulate the synthesised machine.
+
+    Not part of the paper's Figure-3 pipeline (hence absent from
+    ``DEFAULT_PIPELINE``); append it to a spec's pass list to make every
+    synthesis run prove its machine dynamically::
+
+        spec = PipelineSpec().with_passes(*DEFAULT_PIPELINE, "verify")
+
+    The pass assembles the gate-level FANTOM machine from the pipeline
+    artifacts and runs a small :class:`~repro.sim.campaign.
+    ValidationCampaign` (``SWEEP`` seeded walks under each of
+    ``MODELS``) on the compiled simulation kernel.  A dirty machine
+    raises :class:`~repro.errors.ValidationError`, failing the run; a
+    clean one stores the :class:`~repro.sim.campaign.CampaignResult`
+    as the ``validation`` artifact.
+    """
+
+    name = "verify"
+    requires = (
+        "reduction",
+        "assignment",
+        "spec",
+        "analysis",
+        "fsv",
+        "next_state",
+        "outputs",
+        "ssd",
+    )
+    provides = ("validation",)
+    cacheable = True
+
+    #: Campaign shape: small enough for an inline gate, covering the
+    #: deterministic baseline (unit) and the Section-4.3 worst-case
+    #: boundary (corner).  The loop-safe random model is deliberately
+    #: absent: the whole built-in suite is clean under these models,
+    #: while ``lion9`` has a pre-existing loop-safe anomaly (see
+    #: ROADMAP) that would make the gate unusable on a paper benchmark.
+    #: Use ``Session.validate()`` / ``seance validate`` for wider
+    #: sweeps.
+    SWEEP = 2
+    STEPS = 12
+    MODELS = ("unit", "corner")
+
+    def run(self, ctx: PipelineContext) -> None:
+        from ..core.result import SynthesisResult
+        from ..errors import ValidationError
+        from ..netlist.fantom import build_fantom
+        from ..sim.campaign import ValidationCampaign
+
+        result = SynthesisResult(
+            source=ctx.table,
+            reduction=ctx.get("reduction"),
+            assignment=ctx.get("assignment"),
+            spec=ctx.get("spec"),
+            analysis=ctx.get("analysis"),
+            fsv=ctx.get("fsv"),
+            next_state=ctx.get("next_state"),
+            outputs=ctx.get("outputs"),
+            ssd=ctx.get("ssd"),
+            stage_seconds={},
+        )
+        machine = build_fantom(result, use_fsv=ctx.options.hazard_correction)
+        campaign = ValidationCampaign(
+            sweep=self.SWEEP, steps=self.STEPS, delay_models=self.MODELS
+        )
+        report = campaign.run_machines([machine])
+        if not report.all_clean:
+            raise ValidationError(
+                f"machine {ctx.table.name!r} failed dynamic validation:\n"
+                f"{report.describe()}"
+            )
+        ctx.set("validation", report)
+
+
 def default_passes() -> tuple[Pass, ...]:
     """The paper's Figure-3 pipeline, in order (from the registry)."""
     return resolve_passes(DEFAULT_PIPELINE)

@@ -1,6 +1,16 @@
-"""Event-driven simulation: delays, simulator, oracle, 4-phase harness."""
+"""Event-driven simulation: delays, compiled simulator, oracle, 4-phase
+harness, and Monte-Carlo validation campaigns."""
 
+from ._reference import ReferenceSimulator
+from .campaign import (
+    DELAY_MODELS,
+    CampaignCell,
+    CampaignResult,
+    ValidationCampaign,
+    delay_model,
+)
 from .delays import (
+    CornerDelay,
     DelayModel,
     RandomDelay,
     UnitDelay,
@@ -13,6 +23,7 @@ from .harness import (
     random_legal_walk,
     synthesize_and_validate,
     validate_against_reference,
+    validate_walk,
 )
 from .monitors import CycleReport, ValidationSummary, count_changes
 from .reference import FlowTableInterpreter, ReferenceStep
@@ -20,17 +31,24 @@ from .simulator import NetChange, Simulator
 from .vcd import trace_to_vcd, write_vcd
 
 __all__ = [
+    "CampaignCell",
+    "CampaignResult",
+    "CornerDelay",
     "CycleReport",
+    "DELAY_MODELS",
     "DelayModel",
     "FantomHarness",
     "FlowTableInterpreter",
     "NetChange",
     "RandomDelay",
+    "ReferenceSimulator",
     "ReferenceStep",
     "Simulator",
     "UnitDelay",
+    "ValidationCampaign",
     "ValidationSummary",
     "count_changes",
+    "delay_model",
     "hostile_random",
     "loop_safe_random",
     "random_legal_walk",
@@ -38,5 +56,6 @@ __all__ = [
     "synthesize_and_validate",
     "trace_to_vcd",
     "validate_against_reference",
+    "validate_walk",
     "write_vcd",
 ]

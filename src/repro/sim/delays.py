@@ -115,6 +115,60 @@ def skewed_random(seed: int) -> RandomDelay:
     )
 
 
+class CornerDelay(DelayModel):
+    """The deterministic worst-case corner of the loop-safe regime.
+
+    Random delay sweeps sample the interior of the paper's Section-4.3
+    timing region; this model pins every instance to the *boundary*:
+
+    * every combinational gate takes exactly ``gate_floor`` — the loop
+      (one gate minimum) is as fast as the loop-delay assumption allows,
+      so the protection margin between input skew and state feedback is
+      minimal;
+    * flip-flop clock-to-Q alternates between the two extremes of the
+      loop-safe band by bank position, so *adjacent* bits see the
+      maximum pairwise skew — the widest intermediate-vector window per
+      input change.  ``phase`` flips which bits are fast and which are
+      slow, so a sweep over phases visits both polarities of every
+      corner.
+
+    The defaults keep the paper's "maximum line delay less than minimum
+    loop delay" assumption satisfied with the tightest sensible margin:
+    skew window ``ff_extremes[1] - ff_extremes[0]`` = 0.8 against a 1.0
+    loop floor.  Bank position is parsed from the instance name
+    (``FFX3`` → 3), not from call order, so both event kernels and any
+    evaluation order assign identical silicon.
+    """
+
+    def __init__(
+        self,
+        phase: int = 0,
+        gate_floor: float = 1.0,
+        ff_extremes: tuple[float, float] = (0.2, 1.0),
+    ):
+        if gate_floor <= ff_extremes[1] - ff_extremes[0]:
+            raise ValueError(
+                "corner violates the loop-delay assumption: skew window "
+                f"{ff_extremes[1] - ff_extremes[0]} >= loop floor {gate_floor}"
+            )
+        if min(ff_extremes) <= 0 or gate_floor <= 0:
+            raise ValueError("delays must be strictly positive")
+        self.phase = phase
+        self.gate_floor = gate_floor
+        self.ff_extremes = ff_extremes
+
+    def gate_delay(self, gate: Gate) -> float:
+        if gate.delay is not None:
+            return gate.delay
+        return self.gate_floor
+
+    def clk_to_q(self, dff: Dff) -> float:
+        if dff.clk_to_q is not None:
+            return dff.clk_to_q
+        position = int("".join(ch for ch in dff.name if ch.isdigit()) or 0)
+        return self.ff_extremes[(position + self.phase) % 2]
+
+
 def hostile_random(seed: int) -> RandomDelay:
     """Maximum-stress model: input skew up to several gate delays.
 

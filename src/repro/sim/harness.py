@@ -22,17 +22,28 @@ aggregate.
 from __future__ import annotations
 
 import random
+from bisect import bisect_left, bisect_right
+from operator import attrgetter
 
 from ..errors import SimulationError
 from ..netlist.fantom import FantomMachine
 from .delays import DelayModel, loop_safe_random
-from .monitors import CycleReport, ValidationSummary, count_changes
+from .monitors import CycleReport, ValidationSummary
 from .reference import FlowTableInterpreter
 from .simulator import Simulator
 
+_change_time = attrgetter("time")
+
 
 class FantomHarness:
-    """Owns one machine instance, one simulator, and the hand-shake."""
+    """Owns one machine instance, one simulator, and the hand-shake.
+
+    ``simulator_factory`` selects the event kernel — the compiled
+    :class:`~repro.sim.simulator.Simulator` by default, or the retained
+    :class:`~repro.sim._reference.ReferenceSimulator` for equivalence
+    pinning and benchmarking (both take the same constructor arguments
+    and expose the same driving surface).
+    """
 
     #: Environment think-time between observing an edge and reacting.
     ENV_DELAY = 2.0
@@ -43,9 +54,10 @@ class FantomHarness:
         self,
         machine: FantomMachine,
         delays: DelayModel | None = None,
+        simulator_factory=Simulator,
     ):
         self.machine = machine
-        self.simulator = Simulator(
+        self.simulator = simulator_factory(
             machine.netlist,
             delays=delays,
             initial_values=machine.initial_values(),
@@ -53,6 +65,11 @@ class FantomHarness:
         self.simulator.watch(
             machine.vom, machine.g, *machine.output_nets
         )
+        self._read_state = self.simulator.values_reader(machine.state_nets)
+        self._read_outputs = self.simulator.values_reader(
+            machine.output_nets
+        )
+        self._output_net_list = list(machine.output_nets)
         self.cycle_count = 0
 
     # ------------------------------------------------------------------
@@ -62,27 +79,22 @@ class FantomHarness:
 
     def state_code(self) -> int:
         code = 0
-        for n, net in enumerate(self.machine.state_nets):
-            code |= self.simulator.value(net) << n
+        for n, bit in enumerate(self._read_state()):
+            code |= bit << n
         return code
 
     def observed_state(self) -> str | None:
         return self.machine.result.spec.encoding.state_of(self.state_code())
 
     def outputs(self) -> tuple[int, ...]:
-        return tuple(
-            self.simulator.value(net) for net in self.machine.output_nets
-        )
+        return self._read_outputs()
 
     # ------------------------------------------------------------------
     def _wait_for(self, net: str, value: int) -> None:
         if self.simulator.value(net) == value:
             return
         deadline = self.now + self.WAIT_BUDGET
-        self.simulator.run(
-            until=deadline,
-            stop_when=lambda sim: sim.value(net) == value,
-        )
+        self.simulator.run(until=deadline, stop_net=net, stop_value=value)
         if self.simulator.value(net) != value:
             raise SimulationError(
                 f"timeout waiting for {net}={value} "
@@ -102,7 +114,12 @@ class FantomHarness:
 
         start = self.now
         for i, net in enumerate(machine.external_inputs):
-            sim.schedule(net, column >> i & 1, at=start + self.ENV_DELAY)
+            bit = column >> i & 1
+            # The pins are quiet here (the queue just drained), so a
+            # pin already at its target level needs no event — walks
+            # re-apply like-successive columns constantly.
+            if sim.value(net) != bit:
+                sim.schedule(net, bit, at=start + self.ENV_DELAY)
         sim.schedule(machine.vi, 1, at=start + 2 * self.ENV_DELAY)
         self._wait_for(machine.vom, 0)
         sim.schedule(machine.vi, 0, at=self.now + self.ENV_DELAY)
@@ -120,19 +137,30 @@ class FantomHarness:
         expected = reference.apply(column)
         observed_state, observed_outputs = self.apply(column)
         window_end = self.now
-        changes = count_changes(
-            self.simulator.trace,
-            list(self.machine.output_nets),
-            window_start,
-            window_end,
-        )
-        vom_rises = sum(
-            1
-            for change in self.simulator.trace
-            if change.net == self.machine.vom
-            and change.value == 1
-            and window_start < change.time <= window_end
-        )
+        # The trace is appended in event order, so it is sorted by time;
+        # bisect the cycle's window out and score it in one pass instead
+        # of rescanning the whole run's trace every cycle (the campaign
+        # runs thousands of them).  Output changes count over
+        # [start, end), VOM rises over (start, end] — the original
+        # judgement windows exactly.
+        trace = self.simulator.trace
+        vom = self.machine.vom
+        changes = dict.fromkeys(self._output_net_list, 0)
+        vom_rises = 0
+        for change in trace[
+            bisect_left(trace, window_start, key=_change_time)
+            : bisect_right(trace, window_end, key=_change_time)
+        ]:
+            net = change.net
+            if net in changes:
+                if window_start <= change.time < window_end:
+                    changes[net] += 1
+            elif (
+                net == vom
+                and change.value == 1
+                and window_start < change.time
+            ):
+                vom_rises += 1
         return CycleReport(
             index=index,
             column=column,
@@ -146,7 +174,11 @@ class FantomHarness:
 
 
 def random_legal_walk(
-    table, steps: int, seed: int, favour_mic: bool = True
+    table,
+    steps: int,
+    seed: int | None = None,
+    favour_mic: bool = True,
+    rng: random.Random | None = None,
 ) -> list[int]:
     """A random sequence of legal input columns for ``table``.
 
@@ -155,8 +187,18 @@ def random_legal_walk(
     multiple-input changes when available so the hazard machinery gets
     exercised.  Like-successive inputs (re-applying the resting column)
     are included.
+
+    Randomness is explicit: pass ``seed`` (a private
+    ``random.Random(seed)`` is built) or thread an existing ``rng``.
+    The global ``random`` module is never touched, so every walk is
+    reproducible from its arguments alone.
     """
-    rng = random.Random(seed)
+    if rng is None:
+        if seed is None:
+            raise SimulationError(
+                "random_legal_walk needs a seed or an explicit rng"
+            )
+        rng = random.Random(seed)
     interpreter = FlowTableInterpreter(table)
     current_column = interpreter.stable_column()
     walk: list[int] = []
@@ -221,6 +263,7 @@ def validate_against_reference(
     steps: int = 30,
     seeds: tuple[int, ...] = (0, 1, 2),
     delays_factory=loop_safe_random,
+    simulator_factory=Simulator,
 ) -> ValidationSummary:
     """Random-walk validation of a machine against its flow table.
 
@@ -228,29 +271,58 @@ def validate_against_reference(
     a random legal walk; every cycle is scored.  The returned summary is
     the material of the hazard-ablation benchmark: a FANTOM machine must
     come back all-clean, the fsv-less machine must not (on hazardous
-    workloads).
+    workloads).  Each seed fully determines its walk and its silicon, so
+    a reported failure is replayable from ``(machine, steps, seed)``.
     """
     table = machine.result.table
     summary = ValidationSummary()
     for seed in seeds:
-        harness = FantomHarness(machine, delays=delays_factory(seed))
-        reference = FlowTableInterpreter(table)
-        walk = random_legal_walk(table, steps, seed)
-        for index, column in enumerate(walk):
-            try:
-                report = harness.scored_apply(column, reference, index)
-            except SimulationError:
-                report = CycleReport(
-                    index=index,
-                    column=column,
-                    expected_state=reference.state,
-                    observed_state=None,
-                    expected_outputs=(),
-                    observed_outputs=(),
-                    output_changes={},
-                    vom_rises=0,
-                )
-                summary.add(report)
-                break
+        walk = random_legal_walk(table, steps, rng=random.Random(seed))
+        validate_walk(
+            machine,
+            walk,
+            delays=delays_factory(seed),
+            simulator_factory=simulator_factory,
+            into=summary,
+        )
+    return summary
+
+
+def validate_walk(
+    machine: FantomMachine,
+    walk: list[int],
+    delays: DelayModel | None = None,
+    simulator_factory=Simulator,
+    into: ValidationSummary | None = None,
+) -> ValidationSummary:
+    """Score one precomputed column walk on fresh silicon.
+
+    The per-seed body of :func:`validate_against_reference`, split out so
+    a :class:`~repro.sim.campaign.ValidationCampaign` can reuse one walk
+    across many delay models (the walk depends only on the table and the
+    seed).  A :class:`~repro.errors.SimulationError` mid-walk is recorded
+    as a failed cycle and ends the walk, exactly as before.
+    """
+    summary = into if into is not None else ValidationSummary()
+    harness = FantomHarness(
+        machine, delays=delays, simulator_factory=simulator_factory
+    )
+    reference = FlowTableInterpreter(machine.result.table)
+    for index, column in enumerate(walk):
+        try:
+            report = harness.scored_apply(column, reference, index)
+        except SimulationError:
+            report = CycleReport(
+                index=index,
+                column=column,
+                expected_state=reference.state,
+                observed_state=None,
+                expected_outputs=(),
+                observed_outputs=(),
+                output_changes={},
+                vom_rises=0,
+            )
             summary.add(report)
+            break
+        summary.add(report)
     return summary

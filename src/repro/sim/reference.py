@@ -33,6 +33,8 @@ class FlowTableInterpreter:
         self.state = state or table.reset_state or table.states[0]
         if self.state not in table.states:
             raise SimulationError(f"unknown start state {self.state!r}")
+        self._legal: dict[str, list[int]] = {}
+        self._steps: dict[tuple[str, int], ReferenceStep] = {}
 
     def stable_column(self) -> int:
         columns = self.table.stable_columns(self.state)
@@ -43,23 +45,43 @@ class FlowTableInterpreter:
         return columns[0]
 
     def legal_columns(self) -> list[int]:
-        """Columns with a specified entry from the current state."""
-        return [
-            column
-            for column in self.table.columns
-            if self.table.is_specified(self.state, column)
-        ]
+        """Columns with a specified entry from the current state.
+
+        Cached per state — the walk generators ask once per step, and
+        the table is immutable.
+        """
+        columns = self._legal.get(self.state)
+        if columns is None:
+            columns = [
+                column
+                for column in self.table.columns
+                if self.table.is_specified(self.state, column)
+            ]
+            self._legal[self.state] = columns
+        return columns
 
     def apply(self, column: int) -> ReferenceStep:
         """Apply one (total) input vector and settle.
 
         Normal mode settles in at most one hop; chains are followed
-        defensively, with oscillation detected.
+        defensively, with oscillation detected.  The table's cell store
+        is read directly (one dict probe per hop), and settled steps are
+        memoised per (state, column) — the table is immutable and the
+        settled point is a pure function of the pair, while ``apply``
+        runs once per hand-shake cycle of every validation-campaign
+        cell.
         """
+        cached = self._steps.get((self.state, column))
+        if cached is not None:
+            self.state = cached.state
+            return cached
+        start = self.state
+        entries = self.table._entries
         seen = {self.state}
         current = self.state
         while True:
-            nxt = self.table.next_state(current, column)
+            cell = entries.get((current, column))
+            nxt = cell.next_state if cell is not None else None
             if nxt is None:
                 raise SimulationError(
                     f"unspecified entry ({current!r}, "
@@ -76,8 +98,11 @@ class FlowTableInterpreter:
             seen.add(nxt)
             current = nxt
         self.state = current
-        outputs = self.table.output_vector(current, column)
-        return ReferenceStep(column=column, state=current, outputs=outputs)
+        step = ReferenceStep(
+            column=column, state=current, outputs=cell.outputs
+        )
+        self._steps[(start, column)] = step
+        return step
 
     def run(self, columns: list[int]) -> list[ReferenceStep]:
         return [self.apply(column) for column in columns]

@@ -226,3 +226,38 @@ class TestReduce:
                 member_of.setdefault(m, cls)
         for s, column in table.stable_points():
             assert reduced.is_stable(member_of[s], column)
+
+    def test_unstable_entry_targets_a_stable_class(self):
+        # Regression: the successor-class pick must prefer a class that
+        # is *stable in the column* over a lexicographically smaller
+        # unstable one, or the reduced table leaves normal mode.  Here
+        # {s}'s column-0 successor set {t} fits {t,u} (unstable: u -> w),
+        # {t,v} (stable) and {t,w} (stable); the naive smallest/lex pick
+        # is the unstable {t,u}.
+        from repro.flowtable.validation import check_normal_mode
+        from repro.minimize.cover_search import ClosedCover
+
+        b = FlowTableBuilder(inputs=["x1"], outputs=["z"])
+        b.add("s", "0", "t", "0")
+        b.stable("t", "0", "0")
+        b.add("u", "0", "w", "0")
+        b.add("v", "0", "t", "0")
+        b.stable("w", "0", "0")
+        for state in ("s", "t", "u", "v", "w"):
+            b.stable(state, "1", "0")
+        table = b.build(name="pick_stable", check=False)
+
+        cover = ClosedCover(
+            classes=(
+                frozenset({"s"}),
+                frozenset({"t", "u"}),
+                frozenset({"t", "v"}),
+                frozenset({"t", "w"}),
+            ),
+            exact=True,
+        )
+        result = reduce_flow_table(table, cover=cover)
+        reduced = result.table
+        assert check_normal_mode(reduced) == []
+        # the unstable row ({s}, column 0) points at a stable class
+        assert reduced.next_state("s", 0) == "t+v"

@@ -1,0 +1,96 @@
+"""Unit tests for the compiled netlist program."""
+
+import pytest
+
+from repro.netlist.compiled import CompiledNetlist, count_truth_table
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+
+
+def small_netlist():
+    nl = Netlist("small")
+    nl.add_input("a")
+    nl.add_input("b")
+    nl.add_gate("g1", GateType.AND, ("a", "b"), "x")
+    nl.add_gate("g2", GateType.NOR, ("x",), "y")
+    nl.add_dff("ff", d="y", q="q", clock="a")
+    return nl
+
+
+class TestCountTruthTables:
+    @pytest.mark.parametrize("arity", [1, 2, 3, 5, 8])
+    def test_tables_match_gate_semantics(self, arity):
+        for gate_type in (GateType.AND, GateType.OR, GateType.NOR):
+            tt = count_truth_table(gate_type, arity)
+            for ones in range(arity + 1):
+                inputs = [1] * ones + [0] * (arity - ones)
+                assert tt >> ones & 1 == gate_type.evaluate(inputs), (
+                    gate_type,
+                    arity,
+                    ones,
+                )
+
+    def test_buf_and_constants(self):
+        assert count_truth_table(GateType.BUF, 1) == 0b10
+        assert count_truth_table(GateType.CONST0, 0) == 0
+        assert count_truth_table(GateType.CONST1, 0) == 1
+
+    def test_wide_or_stays_small(self):
+        # the count-indexed table is arity+1 bits, not 2**arity
+        tt = count_truth_table(GateType.OR, 40)
+        assert tt.bit_length() == 41
+
+
+class TestCompile:
+    def test_net_ids_dense_and_deterministic(self):
+        prog = small_netlist().compile()
+        assert sorted(prog.net_ids.values()) == list(range(prog.num_nets))
+        assert prog.net_names[prog.net_ids["x"]] == "x"
+        # first-mention order: primary inputs first
+        assert prog.net_names[:2] == ("a", "b")
+        # identical construction sequence -> identical numbering
+        assert small_netlist().compile().net_ids == prog.net_ids
+
+    def test_gate_arrays_parallel(self):
+        prog = small_netlist().compile()
+        assert prog.num_gates == 2
+        g1 = prog.gate_names.index("g1")
+        assert prog.gate_inputs[g1] == (
+            prog.net_ids["a"],
+            prog.net_ids["b"],
+        )
+        assert prog.gate_output[g1] == prog.net_ids["x"]
+        assert prog.evaluate_gate(g1, 2) == 1
+        assert prog.evaluate_gate(g1, 1) == 0
+
+    def test_fanout_adjacency(self):
+        prog = small_netlist().compile()
+        a = prog.net_ids["a"]
+        g1 = prog.gate_names.index("g1")
+        assert prog.fan_gates[a] == (g1,)
+        assert prog.fan_dffs[a] == (0,)  # ff is clocked by a
+        x = prog.net_ids["x"]
+        assert prog.fan_gates[x] == (prog.gate_names.index("g2"),)
+
+    def test_duplicate_input_multiplicity(self):
+        nl = Netlist("dup")
+        nl.add_input("a")
+        nl.add_gate("g", GateType.AND, ("a", "a"), "x")
+        prog = nl.compile()
+        a = prog.net_ids["a"]
+        assert prog.fan_gates[a] == (0, 0)  # one entry per occurrence
+        assert prog.fan_counts[a] == ((0, 2),)
+
+    def test_compile_memoised_until_mutation(self):
+        nl = small_netlist()
+        first = nl.compile()
+        assert nl.compile() is first
+        nl.add_gate("g3", GateType.BUF, ("q",), "z")
+        second = nl.compile()
+        assert second is not first
+        assert second.num_gates == 3
+
+    def test_repr(self):
+        prog = small_netlist().compile()
+        assert isinstance(prog, CompiledNetlist)
+        assert "small" in repr(prog)

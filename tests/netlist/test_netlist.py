@@ -95,6 +95,25 @@ class TestNetlist:
         nl.add_gate("and1", GateType.AND, ("VI", "hold"), "G")
         nl.validate()  # cycles are fine
 
+    def test_validate_rejects_direct_self_loop(self):
+        # a gate reading its own output was only caught at sim time
+        # (event-budget blowup); validate() must name it structurally.
+        nl = Netlist("selfloop")
+        nl.add_input("a")
+        nl.add_gate("bad", GateType.NOR, ("a", "q"), "q")
+        with pytest.raises(NetlistError) as err:
+            nl.validate()
+        message = str(err.value)
+        assert "bad" in message
+        assert "self-loop" in message
+
+    def test_validate_rejects_self_loop_buffer(self):
+        nl = Netlist("selfbuf")
+        nl.add_gate("hold", GateType.BUF, ("q",), "q")
+        with pytest.raises(NetlistError) as err:
+            nl.validate()
+        assert "self-loop" in str(err.value)
+
 
 class TestCompileExpression:
     def evaluate_netlist(self, nl, inputs):

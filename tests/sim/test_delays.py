@@ -1,0 +1,109 @@
+"""Distribution and bounds tests for the delay models."""
+
+import pytest
+
+from repro.netlist.gates import Dff, Gate, GateType
+from repro.sim.delays import (
+    CornerDelay,
+    RandomDelay,
+    hostile_random,
+    loop_safe_random,
+    skewed_random,
+)
+
+
+def gates(n):
+    return [Gate(f"g{i}", GateType.AND, ("a", "b"), f"o{i}") for i in range(n)]
+
+
+def dffs(n):
+    return [Dff(f"FFX{i}", d="d", q=f"q{i}", clock="G") for i in range(n)]
+
+
+class TestLoopSafeRandom:
+    def test_bounds_hold_over_many_instances(self):
+        model = loop_safe_random(0)
+        for gate in gates(300):
+            assert 1.5 <= model.gate_delay(gate) <= 2.5
+        for dff in dffs(300):
+            assert 0.2 <= model.clk_to_q(dff) <= 1.0
+
+    def test_loop_delay_assumption(self):
+        """Max input-path skew stays below the minimum loop delay."""
+        for seed in range(20):
+            model = loop_safe_random(seed)
+            qs = [model.clk_to_q(dff) for dff in dffs(40)]
+            skew = max(qs) - min(qs)
+            min_gate = min(model.gate_delay(g) for g in gates(40))
+            assert skew < min_gate
+
+    def test_distribution_spreads_over_the_range(self):
+        """Draws cover the range, not a corner of it (uniformity smoke:
+        each third of the gate range gets a healthy share)."""
+        model = loop_safe_random(1)
+        draws = [model.gate_delay(g) for g in gates(600)]
+        lo = sum(1 for d in draws if d < 1.5 + 1.0 / 3)
+        mid = sum(1 for d in draws if 1.5 + 1.0 / 3 <= d < 1.5 + 2.0 / 3)
+        hi = sum(1 for d in draws if d >= 1.5 + 2.0 / 3)
+        for share in (lo, mid, hi):
+            assert share > 600 * 0.2
+
+    def test_same_seed_same_silicon_different_seed_differs(self):
+        a = [loop_safe_random(7).gate_delay(g) for g in gates(20)]
+        b = [loop_safe_random(7).gate_delay(g) for g in gates(20)]
+        c = [loop_safe_random(8).gate_delay(g) for g in gates(20)]
+        assert a == b
+        assert a != c
+
+    def test_skewed_and_hostile_bounds(self):
+        skewed = skewed_random(0)
+        hostile = hostile_random(0)
+        for dff in dffs(100):
+            assert 0.2 <= skewed.clk_to_q(dff) <= 2.0
+            assert 0.2 <= hostile.clk_to_q(dff) <= 3.0
+
+    def test_positive_delay_required(self):
+        with pytest.raises(ValueError):
+            RandomDelay(seed=0, gate_range=(0.0, 1.0))
+
+
+class TestCornerDelay:
+    def test_gates_pinned_to_floor(self):
+        model = CornerDelay()
+        assert {model.gate_delay(g) for g in gates(10)} == {1.0}
+
+    def test_adjacent_bits_get_opposite_extremes(self):
+        model = CornerDelay()
+        bank = dffs(6)
+        values = [model.clk_to_q(dff) for dff in bank]
+        assert set(values) == {0.2, 1.0}
+        for left, right in zip(values, values[1:]):
+            assert left != right
+
+    def test_phase_flips_polarity(self):
+        bank = dffs(4)
+        even = [CornerDelay(phase=0).clk_to_q(dff) for dff in bank]
+        odd = [CornerDelay(phase=1).clk_to_q(dff) for dff in bank]
+        flip = {0.2: 1.0, 1.0: 0.2}
+        assert odd == [flip[value] for value in even]
+
+    def test_assignment_is_name_keyed_not_call_order_keyed(self):
+        bank = dffs(5)
+        forward = [CornerDelay().clk_to_q(dff) for dff in bank]
+        backward = [CornerDelay().clk_to_q(dff) for dff in reversed(bank)]
+        assert forward == list(reversed(backward))
+
+    def test_explicit_overrides_win(self):
+        model = CornerDelay()
+        assert model.gate_delay(
+            Gate("g", GateType.AND, ("a",), "o", delay=9.0)
+        ) == 9.0
+        assert model.clk_to_q(
+            Dff("FFX1", d="d", q="q", clock="G", clk_to_q=4.0)
+        ) == 4.0
+
+    def test_loop_delay_assumption_enforced(self):
+        with pytest.raises(ValueError):
+            CornerDelay(gate_floor=0.5)  # 0.8 skew window >= 0.5 loop
+        with pytest.raises(ValueError):
+            CornerDelay(ff_extremes=(0.0, 0.5))

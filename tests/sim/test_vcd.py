@@ -58,6 +58,59 @@ class TestTraceToVcd:
         assert path.read_text().startswith("$date")
 
 
+class TestGolden:
+    def test_full_document_pinned(self):
+        """The exact VCD text — header, declarations, dump, change
+        records — for a small trace; any formatting drift is a consumer
+        (GTKWave) compatibility change and must be deliberate."""
+        text = trace_to_vcd(
+            sample_trace(),
+            ["G", "fsv"],
+            initial_values={"fsv": 1},
+            module="machine",
+            timescale="10ps",
+            resolution=4,
+        )
+        assert text == (
+            "$date repro simulation $end\n"
+            "$version repro FANTOM simulator $end\n"
+            "$timescale 10ps $end\n"
+            "$scope module machine $end\n"
+            "$var wire 1 ! G $end\n"
+            '$var wire 1 " fsv $end\n'
+            "$upscope $end\n"
+            "$enddefinitions $end\n"
+            "$dumpvars\n"
+            "0!\n"
+            '1"\n'
+            "$end\n"
+            "#2\n"
+            "1!\n"
+            "#5\n"
+            '1"\n'
+            "#12\n"
+            '0"\n'
+        )
+
+    def test_simulator_trace_to_golden_vcd(self, tmp_path):
+        """End to end: compiled-simulator trace through the exporter."""
+        from repro.netlist.gates import GateType
+        from repro.netlist.netlist import Netlist
+        from repro.sim.delays import UnitDelay
+        from repro.sim.simulator import Simulator
+
+        nl = Netlist("pair")
+        nl.add_input("a")
+        nl.add_gate("inv", GateType.NOR, ("a",), "b")
+        sim = Simulator(nl, UnitDelay(), initial_values={"a": 0, "b": 1})
+        sim.watch("a", "b")
+        sim.schedule("a", 1, at=1.0)
+        sim.run(until=5.0)
+        text = trace_to_vcd(sim.trace, ["a", "b"], initial_values={"b": 1})
+        assert "#100\n1!" in text  # a rises at t=1.0 (resolution 100)
+        assert '#200\n0"' in text  # b falls one unit later
+
+
 class TestEndToEnd:
     def test_machine_waveform_exports(self, tmp_path):
         from repro.bench import benchmark

@@ -9,7 +9,10 @@ API_ALL_SNAPSHOT = [
     "BatchItem",
     "BatchRunner",
     "CacheSpec",
+    "CampaignCell",
+    "CampaignResult",
     "DEFAULT_PIPELINE",
+    "DELAY_MODELS",
     "FlowTable",
     "PassEvent",
     "PassManager",
@@ -19,6 +22,7 @@ API_ALL_SNAPSHOT = [
     "StageCache",
     "SynthesisOptions",
     "SynthesisResult",
+    "ValidationCampaign",
     "batch",
     "create_pass",
     "load",
@@ -46,6 +50,7 @@ REGISTRY_SNAPSHOT = {
     "factor": "factor",
     "factor:split": "factor",
     "factor:joint": "factor",
+    "verify": "verify",
 }
 
 
