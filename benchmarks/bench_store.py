@@ -1,0 +1,255 @@
+"""Result-store workload: warm-store short-circuit over the paper suite.
+
+ISSUE 5 built a content-addressed result archive
+(:mod:`repro.store`) under ``seance synth``/``batch``/``validate``:
+repeat invocations with a warm store must short-circuit synthesis and
+simulation entirely.  This workload measures that end to end and
+records the numbers to ``BENCH_store.json``:
+
+    PYTHONPATH=src python benchmarks/bench_store.py
+
+Two phases per workload, same inputs:
+
+* **cold** — a fresh store directory: every result computed and
+  archived (so the cold time *includes* the archiving overhead the
+  store adds to a first run);
+* **warm** — the same invocation again: every result must come back
+  from the store with **zero synthesis passes** (asserted via the
+  :class:`~repro.pipeline.manager.PassEvent` telemetry — an empty
+  events tuple per item, ``store_hit`` everywhere) and **zero simulated
+  cells** (``store_hits == len(cells)``), byte-identical to the cold
+  stream under the canonical projection.
+
+Workloads: the paper-suite batch matrix (paper options × unprotected
+ablation — 2×N synthesis runs) and a validation campaign (2 seeds ×
+unit/loop-safe/corner × 40-step walks over the Table-1 machines).
+
+CI runs ``--check``: a reduced re-measurement that fails when the warm
+run stops short-circuiting (any pass executed), the warm speedup
+collapses below ``CHECK_SPEEDUP_FLOOR``, or the warm-path cost
+regresses more than 2x against the committed baseline.
+"""
+
+import argparse
+import json
+import shutil
+import sys
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.bench import TABLE1_BENCHMARKS, benchmark
+from repro.pipeline.batch import BatchRunner
+from repro.pipeline.options import SynthesisOptions
+from repro.sim.campaign import ValidationCampaign
+from repro.store import (
+    ResultStore,
+    canonical_batch_payload,
+    canonical_campaign_payload,
+    canonical_json,
+)
+
+#: Campaign workload shape.
+SWEEP = 2
+STEPS = 40
+MODELS = ("unit", "loop-safe", "corner")
+
+#: Acceptance floor: the warm store must cut the combined workload by
+#: at least this factor (synthesis + simulation vs JSON reads).
+MIN_WARM_SPEEDUP = 5.0
+#: Reduced-workload floor for the CI gate (shared runners are noisy).
+CHECK_SPEEDUP_FLOOR = 2.0
+
+
+def batch_workload(names, store):
+    tables = [benchmark(name) for name in names]
+    runner = BatchRunner(store=store)
+    return runner.run_matrix(
+        tables,
+        [SynthesisOptions(), SynthesisOptions(hazard_correction=False)],
+    )
+
+
+def campaign_workload(names, store, steps):
+    campaign = ValidationCampaign(
+        sweep=SWEEP, steps=steps, delay_models=MODELS, store=store
+    )
+    return campaign.run([benchmark(name) for name in names])
+
+
+def assert_short_circuit(items, report):
+    """The warm run's contract: nothing computed, everything replayed."""
+    assert all(item.store_hit for item in items), "warm batch miss"
+    assert all(
+        item.events == () for item in items
+    ), "a synthesis pass executed on the warm run"
+    assert report.store_hits == len(report.cells), "warm campaign miss"
+
+
+def measure(names, rounds, steps, store_dir):
+    def run_all(store):
+        items = batch_workload(names, store)
+        report = campaign_workload(names, store, steps)
+        return items, report
+
+    # Cold: best-of over *fresh* stores (archiving overhead included).
+    cold_seconds = float("inf")
+    cold_outcome = None
+    for _ in range(rounds):
+        shutil.rmtree(store_dir, ignore_errors=True)
+        store = ResultStore(store_dir)
+        start = time.perf_counter()
+        cold_outcome = run_all(store)
+        cold_seconds = min(cold_seconds, time.perf_counter() - start)
+
+    # Warm: best-of against the last cold store's contents.
+    warm_seconds = float("inf")
+    warm_outcome = None
+    for _ in range(rounds):
+        store = ResultStore(store_dir)
+        start = time.perf_counter()
+        warm_outcome = run_all(store)
+        warm_seconds = min(warm_seconds, time.perf_counter() - start)
+
+    items, report = warm_outcome
+    assert_short_circuit(items, report)
+    cold_items, cold_report = cold_outcome
+    assert canonical_json(
+        canonical_batch_payload(items)
+    ) == canonical_json(canonical_batch_payload(cold_items)), (
+        "warm batch stream diverged from cold"
+    )
+    assert canonical_json(
+        canonical_campaign_payload(report)
+    ) == canonical_json(canonical_campaign_payload(cold_report)), (
+        "warm campaign stream diverged from cold"
+    )
+    return {
+        "machines": list(names),
+        "batch_runs": len(items),
+        "campaign_cells": len(report.cells),
+        "campaign_cycles": report.total_cycles,
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+        "speedup": round(cold_seconds / warm_seconds, 2),
+    }
+
+
+def generate(args):
+    print(
+        f"result-store workload over the paper suite "
+        f"({len(TABLE1_BENCHMARKS)} machines x 2 option sets; campaign "
+        f"{SWEEP} seeds x {len(MODELS)} models x {args.steps} steps):"
+    )
+    stats = measure(
+        TABLE1_BENCHMARKS, args.rounds, args.steps,
+        Path(args.store_dir),
+    )
+    print(
+        f"  cold={stats['cold_seconds'] * 1000:.1f}ms "
+        f"warm={stats['warm_seconds'] * 1000:.1f}ms "
+        f"speedup={stats['speedup']}x "
+        f"({stats['batch_runs']} synthesis runs, "
+        f"{stats['campaign_cells']} campaign cells short-circuited)"
+    )
+    stats.update(
+        {
+            "sweep": SWEEP,
+            "steps": args.steps,
+            "delay_models": list(MODELS),
+            "rounds": args.rounds,
+            "generated_by": "benchmarks/bench_store.py",
+        }
+    )
+    return stats
+
+
+def check(args) -> int:
+    """CI smoke: reduced workload against the committed baseline."""
+    baseline = json.loads(Path(args.out).read_text())
+    names = ("traffic", "lion", "hazard_demo")
+    steps = 15
+    print(
+        f"check: reduced store workload ({len(names)} machines, "
+        f"{steps}-step campaign):"
+    )
+    stats = measure(names, args.rounds, steps, Path(args.store_dir))
+    print(
+        f"check: cold={stats['cold_seconds'] * 1000:.1f}ms "
+        f"warm={stats['warm_seconds'] * 1000:.1f}ms "
+        f"speedup={stats['speedup']}x"
+    )
+    if stats["speedup"] < CHECK_SPEEDUP_FLOOR:
+        print(
+            f"FAIL: warm-store speedup collapsed below "
+            f"{CHECK_SPEEDUP_FLOOR}x"
+        )
+        return 1
+    # Budget the warm path against the committed baseline, scaled by
+    # workload size (runs + cells), 2x plus an absolute jitter floor.
+    scale = (stats["batch_runs"] + stats["campaign_cells"]) / (
+        baseline["batch_runs"] + baseline["campaign_cells"]
+    )
+    budget = max(
+        2.0 * baseline["warm_seconds"] * scale,
+        baseline["warm_seconds"] * scale + 0.5,
+    )
+    print(
+        f"check: warm {stats['warm_seconds']:.3f}s vs scaled baseline "
+        f"{baseline['warm_seconds'] * scale:.3f}s (budget {budget:.3f}s)"
+    )
+    if stats["warm_seconds"] > budget:
+        print("FAIL: warm-store path regressed more than 2x")
+        return 1
+    print("ok")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="reduced perf-regression check against the committed baseline",
+    )
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--steps", type=int, default=STEPS)
+    parser.add_argument(
+        "--store-dir",
+        default=".bench-result-store",
+        help="scratch store directory (recreated per cold round)",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_store.json"
+        ),
+    )
+    args = parser.parse_args()
+
+    try:
+        if args.check:
+            return check(args)
+        stats = generate(args)
+        if stats["speedup"] < MIN_WARM_SPEEDUP:
+            # Refuse before writing: a degraded run must not replace
+            # the committed baseline the --check gate budgets against.
+            print(
+                f"FAIL: warm-store speedup {stats['speedup']}x is below "
+                f"the {MIN_WARM_SPEEDUP}x acceptance floor; baseline "
+                f"not written"
+            )
+            return 1
+        out = Path(args.out)
+        out.write_text(json.dumps(stats, indent=2) + "\n")
+        print(f"wrote {out}")
+        return 0
+    finally:
+        shutil.rmtree(args.store_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

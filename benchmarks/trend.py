@@ -1,0 +1,141 @@
+"""Collect and merge per-commit perf/telemetry rows for CI trending.
+
+The perf gates (``bench_logic --check``, ``bench_sim --check``,
+``bench_store --check``) are pass/fail; trending needs the measured
+numbers preserved per commit.  This tool has two modes:
+
+``--collect``
+    Read the committed ``BENCH_*.json`` baselines plus the current
+    run's ``batch-telemetry.json`` (``seance batch --json`` output) and
+    emit **one row** — headline scalars only — stamped with ``--sha``.
+    CI uploads the row as a per-commit artifact
+    (``telemetry-trend-<sha>``).
+
+``--merge ROW...``
+    Merge any number of collected rows (downloaded artifacts) and print
+    them as a chronology-ordered table, one line per commit — the
+    cross-commit trend of engine seconds, campaign speedups, store
+    short-circuit factors, and per-pass synthesis time.
+
+Keeping collection in-repo (rather than ad-hoc CI shell) pins the row
+schema: a field rename in a BENCH file breaks this script in CI, not a
+dashboard three weeks later.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: source file -> (row field, path into the JSON document)
+HEADLINES = {
+    "BENCH_pipeline.json": [
+        ("pipeline_suite_seconds", ("serial_seconds",)),
+        ("pipeline_cache_speedup", ("cache_speedup",)),
+    ],
+    "BENCH_logic.json": [
+        ("logic_suite_seconds", ("suite_seconds",)),
+        ("logic_wide_speedup_min", ("wide_speedup_min",)),
+    ],
+    "BENCH_sim.json": [
+        ("sim_campaign_seconds", ("compiled_seconds",)),
+        ("sim_campaign_speedup", ("campaign_speedup",)),
+    ],
+    "BENCH_store.json": [
+        ("store_warm_seconds", ("warm_seconds",)),
+        ("store_speedup", ("speedup",)),
+    ],
+}
+
+
+def _dig(document, path):
+    value = document
+    for part in path:
+        if not isinstance(value, dict) or part not in value:
+            return None
+        value = value[part]
+    return value
+
+
+def collect(args) -> int:
+    row = {"sha": args.sha}
+    for name, fields in HEADLINES.items():
+        path = ROOT / name
+        if not path.is_file():
+            continue
+        document = json.loads(path.read_text())
+        for field, keys in fields:
+            value = _dig(document, keys)
+            if value is not None:
+                row[field] = value
+    telemetry = Path(args.batch_telemetry)
+    if telemetry.is_file():
+        items = json.loads(telemetry.read_text())
+        per_pass: dict[str, float] = {}
+        for item in items:
+            for event in item.get("passes", []):
+                per_pass[event["name"]] = (
+                    per_pass.get(event["name"], 0.0) + event["seconds"]
+                )
+        row["batch_pass_seconds"] = {
+            name: round(seconds, 6)
+            for name, seconds in sorted(per_pass.items())
+        }
+        row["batch_store_hits"] = sum(
+            1 for item in items if item.get("store_hit")
+        )
+    Path(args.out).write_text(json.dumps(row, indent=2) + "\n")
+    print(f"wrote {args.out} ({len(row) - 1} field(s))")
+    return 0
+
+
+def merge(args) -> int:
+    rows = [json.loads(Path(path).read_text()) for path in args.rows]
+    fields = sorted(
+        {
+            field
+            for row in rows
+            for field in row
+            if field not in ("sha", "batch_pass_seconds")
+        }
+    )
+    header = ["sha"] + fields
+    print("  ".join(f"{name:>24s}" for name in header))
+    for row in rows:
+        cells = [str(row.get("sha", "?"))[:12]]
+        for field in fields:
+            value = row.get(field)
+            cells.append("-" if value is None else f"{value}")
+        print("  ".join(f"{cell:>24s}" for cell in cells))
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--collect", action="store_true",
+        help="emit one per-commit telemetry row",
+    )
+    mode.add_argument(
+        "--merge",
+        dest="rows",
+        nargs="+",
+        metavar="ROW.json",
+        help="merge collected rows into a cross-commit trend table",
+    )
+    parser.add_argument("--sha", default="local", help="commit id stamp")
+    parser.add_argument(
+        "--batch-telemetry",
+        default="batch-telemetry.json",
+        help="a `seance batch --json` capture to fold in",
+    )
+    parser.add_argument("--out", default="telemetry-trend.json")
+    args = parser.parse_args()
+    return collect(args) if args.collect else merge(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,13 @@ synthesis lives here, under names rather than live objects:
 * **Serialise** results: :class:`SynthesisResult` round-trips through
   ``to_dict``/``from_dict`` byte-identically — the wire format for
   sharded batch runs and remote stage stores.
+* **Archive and shard** with the content-addressed
+  :class:`ResultStore` (``store=`` on :func:`load`/:func:`synthesize`/
+  :func:`batch`, ``Session.with_store``): warm keys short-circuit
+  synthesis and simulation entirely, and
+  :class:`ShardedBatch`/:class:`ShardedCampaign` split a batch matrix
+  or campaign cell grid across machines by the same content hashes
+  (``seance shard run``/``merge``).
 
 The older entry points (``repro.core.seance``, direct
 ``PassManager(...)`` construction) remain as shims over this module.
@@ -35,6 +42,7 @@ from ..pipeline.registry import (
     substitute,
 )
 from ..pipeline.spec import CacheSpec, PipelineSpec
+from ..store import ResultStore, ShardedBatch, ShardedCampaign
 from ..sim.campaign import (
     DELAY_MODELS,
     CampaignCell,
@@ -57,7 +65,10 @@ __all__ = [
     "PassManager",
     "PipelineReport",
     "PipelineSpec",
+    "ResultStore",
     "Session",
+    "ShardedBatch",
+    "ShardedCampaign",
     "StageCache",
     "SynthesisOptions",
     "SynthesisResult",

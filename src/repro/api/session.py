@@ -26,19 +26,23 @@ from .loaders import load_table
 
 
 class Session:
-    """An immutable (table, spec, cache) triple with fluent builders."""
+    """An immutable (table, spec, cache, store) tuple with fluent builders."""
 
     def __init__(
         self,
         table: FlowTable,
         spec: PipelineSpec | None = None,
         cache: StageCache | None | type(...) = ...,
+        store=None,
     ):
+        from ..store.store import open_store
+
         self._table = table
         self._spec = spec if spec is not None else PipelineSpec()
         # ``...`` means "build what the spec configures"; an explicit
         # cache (or None) overrides the spec's cache config.
         self._cache = self._spec.cache.build() if cache is ... else cache
+        self._store = open_store(store)
 
     # ------------------------------------------------------------------
     @property
@@ -53,15 +57,27 @@ class Session:
     def cache(self) -> StageCache | None:
         return self._cache
 
+    @property
+    def store(self):
+        """The attached :class:`~repro.store.ResultStore`, or None."""
+        return self._store
+
     # ------------------------------------------------------------------
     # Builders (each returns a new Session sharing this one's cache)
     # ------------------------------------------------------------------
     def _derive(self, spec: PipelineSpec) -> "Session":
-        return Session(self._table, spec, cache=self._cache)
+        return Session(
+            self._table, spec, cache=self._cache, store=self._store
+        )
 
     def with_table(self, source, name: str | None = None) -> "Session":
         """Same configuration, different machine."""
-        return Session(load_table(source, name), self._spec, cache=self._cache)
+        return Session(
+            load_table(source, name),
+            self._spec,
+            cache=self._cache,
+            store=self._store,
+        )
 
     def with_spec(self, spec: PipelineSpec) -> "Session":
         """Replace the whole spec.
@@ -70,7 +86,7 @@ class Session:
         the current cache object is kept warm.
         """
         if spec.cache != self._spec.cache:
-            return Session(self._table, spec)
+            return Session(self._table, spec, store=self._store)
         return self._derive(spec)
 
     def with_options(
@@ -97,7 +113,17 @@ class Session:
         if isinstance(cache, (str, os.PathLike)):
             # Through CacheSpec.build for the domain-error wrapping.
             cache = CacheSpec(path=os.fspath(cache)).build()
-        return Session(self._table, self._spec, cache=cache)
+        return Session(
+            self._table, self._spec, cache=cache, store=self._store
+        )
+
+    def with_store(self, store) -> "Session":
+        """Attach a content-addressed result store: an existing
+        :class:`~repro.store.ResultStore`, a directory path, a
+        :class:`~repro.store.StoreBackend`, or None to detach."""
+        return Session(
+            self._table, self._spec, cache=self._cache, store=store
+        )
 
     # ------------------------------------------------------------------
     # Execution
@@ -108,9 +134,29 @@ class Session:
         return result
 
     def run_with_report(self) -> tuple[SynthesisResult, PipelineReport]:
-        """Like :meth:`run`, plus the per-pass :class:`PipelineReport`."""
+        """Like :meth:`run`, plus the per-pass :class:`PipelineReport`.
+
+        With a store attached, a warm ``(table, spec)`` key
+        short-circuits the whole pipeline: the stored result is
+        returned under a report with ``store_hit=True`` and **no pass
+        events** — zero synthesis passes executed.  A stored
+        deterministic failure re-raises as the original domain error.
+        """
+        if self._store is not None:
+            stored = self._store.get_synthesis(self._table, self._spec)
+            if stored is not None:
+                if not stored.ok:
+                    stored.raise_error()
+                return stored.result, PipelineReport(
+                    table_name=self._table.name, store_hit=True
+                )
         manager = self._spec.build_manager(cache=self._cache)
-        return manager.run_with_report(self._table, self._spec.options)
+        result, report = manager.run_with_report(
+            self._table, self._spec.options
+        )
+        if self._store is not None:
+            self._store.put_synthesis(self._table, self._spec, result)
+        return result, report
 
     def validate(
         self,
@@ -143,15 +189,19 @@ class Session:
             steps=steps,
             delay_models=delay_models,
             base_seed=seed,
+            use_fsv=use_fsv,
             jobs=jobs,
+            spec=self._spec,
             engine=engine,
+            store=self._store,
         )
         return campaign.run_machines([machine])
 
     def __repr__(self) -> str:
         return (
             f"Session({self._table.name!r}, passes={list(self._spec.passes)}, "
-            f"cache={'on' if self._cache is not None else 'off'})"
+            f"cache={'on' if self._cache is not None else 'off'}, "
+            f"store={'on' if self._store is not None else 'off'})"
         )
 
 
@@ -159,10 +209,10 @@ class Session:
 # Module-level one-shots
 # ----------------------------------------------------------------------
 def load(source, name: str | None = None,
-         spec: PipelineSpec | None = None) -> Session:
+         spec: PipelineSpec | None = None, store=None) -> Session:
     """Open a session on any table source (see
     :func:`repro.api.loaders.load_table` for the accepted forms)."""
-    return Session(load_table(source, name), spec)
+    return Session(load_table(source, name), spec, store=store)
 
 
 def synthesize(
@@ -171,6 +221,7 @@ def synthesize(
     *,
     spec: PipelineSpec | None = None,
     cache: StageCache | None = None,
+    store=None,
 ) -> SynthesisResult:
     """One-shot synthesis of any table source.
 
@@ -187,6 +238,7 @@ def synthesize(
         load_table(source),
         spec if spec is not None else PipelineSpec(),
         cache=cache,
+        store=store,
     )
     if options is not None:
         session = session.with_options(options)
@@ -200,6 +252,7 @@ def batch(
     options: SynthesisOptions | None = None,
     jobs: int | None = 1,
     cache: StageCache | None = None,
+    store=None,
 ):
     """Synthesise many sources with an ordered, deterministic stream.
 
@@ -215,5 +268,7 @@ def batch(
         spec = spec.with_options(options)
         options = None
     tables = [load_table(source) for source in sources]
-    runner = BatchRunner(options=options, jobs=jobs, cache=cache, spec=spec)
+    runner = BatchRunner(
+        options=options, jobs=jobs, cache=cache, spec=spec, store=store
+    )
     return runner.run(tables)

@@ -28,6 +28,22 @@ reproducible from a spec file alone.
     includes the per-pass telemetry (wall clock + cache hits) of every
     run.  ``--spec``/``--pass`` work as in ``synth``.
 
+``seance shard plan|run|merge``
+    Split a batch matrix (default) or a validation campaign
+    (``--campaign``) into N deterministic shards by content hash, run
+    one shard's work units into a shared ``--store`` directory
+    (``seance shard run --shard i/N --store DIR``), and reassemble the
+    ordered result stream byte-identically to a single-process run
+    (``seance shard merge``).  Shards can run on different machines
+    against a shared store; the merge fails loudly, naming the owning
+    shard of every missing unit.
+
+``--store DIR`` (on ``synth``, ``batch``, ``validate``)
+    Content-addressed result archive: repeat invocations with the same
+    (table, spec, workload) short-circuit synthesis and simulation
+    entirely — ``"store_hit"`` in the JSON telemetry, zero pipeline
+    passes executed.
+
 ``seance passes``
     List the registered pass names a spec or ``--pass`` can use.
 
@@ -52,6 +68,20 @@ from .pipeline.registry import DEFAULT_PIPELINE, base_name, registered_passes
 
 def _load_table(spec: str):
     return api.load_table(spec)
+
+
+def _open_store(args: argparse.Namespace):
+    """The ResultStore of a ``--store DIR`` flag (None when absent)."""
+    from .store import ResultStore
+
+    if not getattr(args, "store", None):
+        return None
+    try:
+        return ResultStore(args.store)
+    except OSError as error:
+        raise ReproError(
+            f"cannot use --store {args.store!r}: {error}"
+        ) from error
 
 
 def _build_spec(args: argparse.Namespace) -> PipelineSpec:
@@ -87,14 +117,17 @@ def cmd_synth(args: argparse.Namespace) -> int:
     if args.emit_spec:
         print(spec.to_json())
         return 0
-    session = api.load(args.spec, spec=spec)
-    result = session.run()
+    session = api.load(args.spec, spec=spec, store=_open_store(args))
+    result, report = session.run_with_report()
     if args.json:
         import json
 
         print(json.dumps(result.to_dict(), indent=2))
         return 0
     print(result.describe())
+    if report.store_hit:
+        print("  store      : served whole from the result store "
+              "(0 passes executed)")
     if args.hazards:
         print()
         print(result.analysis.describe(result.spec))
@@ -136,8 +169,19 @@ def cmd_validate(args: argparse.Namespace) -> int:
         use_fsv=not args.no_fsv,
         jobs=args.jobs,
         engine=args.engine,
+        store=_open_store(args),
     )
     report = campaign.run(tables)
+    if args.json:
+        import json
+
+        from .store import canonical_campaign_payload
+
+        payload = canonical_campaign_payload(report)
+        payload["all_clean"] = report.all_clean
+        payload["store_hits"] = report.store_hits
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if report.all_clean else 1
     print(report.describe())
     if report.all_clean:
         print("machine is clean: states, outputs and SOC all verified")
@@ -176,12 +220,18 @@ def cmd_batch(args: argparse.Namespace) -> int:
         raise ReproError(
             f"cannot use --cache-dir {args.cache_dir!r}: {error}"
         ) from error
-    runner = BatchRunner(spec=spec, jobs=args.jobs, cache=cache)
+    runner = BatchRunner(
+        spec=spec, jobs=args.jobs, cache=cache, store=_open_store(args)
+    )
 
     items = runner.run(tables)
     failures = [item for item in items if not item.ok]
 
-    if args.json:
+    if args.canonical:
+        from .store import canonical_batch_payload, canonical_json
+
+        print(canonical_json(canonical_batch_payload(items)))
+    elif args.json:
         import json
 
         payload = [
@@ -190,6 +240,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
                 "ok": item.ok,
                 "error": item.error,
                 "seconds": item.seconds,
+                "store_hit": item.store_hit,
                 "cached_stages": list(item.cache_hits),
                 "passes": [
                     {
@@ -221,9 +272,148 @@ def cmd_batch(args: argparse.Namespace) -> int:
             )
         wall = sum(item.seconds for item in items)
         mode = f"{runner.jobs} worker(s)"
+        hits = sum(1 for item in items if item.store_hit)
+        store_note = f", {hits} from warm store" if hits else ""
         print(
             f"{len(items)} machines, {len(failures)} failed, "
-            f"{wall * 1000:.1f}ms synthesis time, {mode}"
+            f"{wall * 1000:.1f}ms synthesis time, {mode}{store_note}"
+        )
+    return 1 if failures else 0
+
+
+# ----------------------------------------------------------------------
+# Sharded execution over the result store
+# ----------------------------------------------------------------------
+def _parse_shard(text: str) -> tuple[int, int]:
+    """``"i/N"`` → (i, N), validated."""
+    try:
+        index_text, count_text = text.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ReproError(
+            f"--shard wants i/N (e.g. 0/2), got {text!r}"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise ReproError(
+            f"--shard {text!r} out of range (need 0 <= i < N, N >= 1)"
+        )
+    return index, count
+
+
+def _shard_model(args: argparse.Namespace):
+    """The ShardedBatch/ShardedCampaign an invocation describes.
+
+    The work-unit list is re-derived from the command line, so ``run``
+    on one machine and ``merge`` on another agree on the plan as long
+    as they were given the same arguments — the plan itself never
+    travels.
+    """
+    specs = args.specs or list(benchmark_names())
+    tables = [_load_table(spec) for spec in specs]
+    if args.campaign:
+        from .sim.campaign import ValidationCampaign
+        from .store import ShardedCampaign
+
+        # --no-fsv selects the unprotected *machine* here (as in
+        # `seance validate`), not the hazard_correction spec override
+        # `seance batch` uses, so keep it away from _build_spec.
+        spec_args = argparse.Namespace(**{**vars(args), "no_fsv": False})
+        models = tuple(dict.fromkeys(args.delay_models or [])) or (
+            "loop-safe",
+        )
+        campaign = ValidationCampaign(
+            sweep=args.sweep,
+            steps=args.steps,
+            delay_models=models,
+            base_seed=args.seed,
+            use_fsv=not args.no_fsv,
+            spec=_build_spec(spec_args),
+            engine=args.engine,
+        )
+        return ShardedCampaign(tables, campaign)
+    from .store import ShardedBatch
+
+    return ShardedBatch(tables, spec=_build_spec(args))
+
+
+def cmd_shard_plan(args: argparse.Namespace) -> int:
+    plan = _shard_model(args).plan(args.shards)
+    print(plan.describe())
+    if args.verbose:
+        for unit in plan.units:
+            from .store.sharding import shard_of
+
+            print(
+                f"  [{shard_of(unit.key, plan.shards)}/{plan.shards}] "
+                f"{unit.label}  {unit.key.digest[:16]}"
+            )
+    return 0
+
+
+def cmd_shard_run(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        raise ReproError(f"--jobs must be >= 1, got {args.jobs}")
+    shard, shards = _parse_shard(args.shard)
+    store = _open_store(args)
+    model = _shard_model(args)
+    if args.campaign:
+        stats = model.run_shard(shard, shards, store, jobs=args.jobs)
+        print(
+            f"shard {shard}/{shards}: {stats['planned']} cell(s) planned, "
+            f"{stats['executed']} simulated, {stats['store_hits']} already "
+            f"stored, {stats['skipped']} skipped (synthesis failed)"
+        )
+        for name, error in stats["synthesis_failures"]:
+            print(f"  {name}: synthesis FAILED: {error}")
+        failed = bool(stats["synthesis_failures"])
+    else:
+        items = model.run_shard(shard, shards, store, jobs=args.jobs)
+        hits = sum(1 for item in items if item.store_hit)
+        failures = [item for item in items if not item.ok]
+        print(
+            f"shard {shard}/{shards}: {len(items)} unit(s), "
+            f"{hits} already stored, {len(failures)} failed"
+        )
+        for item in failures:
+            print(f"  {item.name}: FAILED: {item.error}")
+        failed = bool(failures)
+    print(store.describe())
+    # Mirror `seance batch`: a worker with failed units exits non-zero
+    # so distributed drivers see the failure at the shard, not only at
+    # the eventual merge.  (The failures are still archived; the merge
+    # reproduces them in-stream either way.)
+    return 1 if failed else 0
+
+
+def cmd_shard_merge(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    model = _shard_model(args)
+    if args.campaign:
+        from .store import canonical_campaign_payload, canonical_json
+
+        report = model.merge(store, shards=args.shards)
+        if args.json:
+            print(canonical_json(canonical_campaign_payload(report)))
+        else:
+            print(report.describe())
+        return 0 if report.all_clean else 1
+    from .store import canonical_batch_payload, canonical_json
+
+    items = model.merge(store, shards=args.shards)
+    failures = [item for item in items if not item.ok]
+    if args.json:
+        print(canonical_json(canonical_batch_payload(items)))
+    else:
+        print(f"{'Benchmark':14s} {'fsv':>4s} {'Y':>4s} {'Total':>6s}")
+        for item in items:
+            if not item.ok:
+                print(f"{item.name:14s} FAILED: {item.error}")
+                continue
+            _, fsv_d, y_d, total = item.result.table1_row()
+            print(f"{item.name:14s} {fsv_d:4d} {y_d:4d} {total:6d}")
+        print(
+            f"{len(items)} machines merged from the store, "
+            f"{len(failures)} failed"
         )
     return 1 if failures else 0
 
@@ -314,6 +504,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the synthesis report as JSON",
     )
+    synth.add_argument(
+        "--store",
+        metavar="DIR",
+        help="content-addressed result store: a warm (table, spec) key "
+        "is served without executing a single pass",
+    )
     _add_spec_arguments(synth)
     synth.add_argument(
         "--emit-spec",
@@ -386,6 +582,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ablate fsv (demonstrates the hazards)",
     )
+    val.add_argument(
+        "--store",
+        metavar="DIR",
+        help="content-addressed result store: warm (table, spec, cell) "
+        "keys short-circuit synthesis and simulation entirely",
+    )
+    val.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the canonical campaign payload (plus all_clean and "
+        "store_hits) as JSON",
+    )
     val.set_defaults(func=cmd_validate)
 
     export = sub.add_parser(
@@ -438,8 +646,141 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the full reports (incl. per-pass telemetry) as JSON",
     )
+    batch.add_argument(
+        "--canonical",
+        action="store_true",
+        help="emit the canonical (run-independent) JSON stream: no "
+        "timing or cache telemetry, byte-comparable across runs and "
+        "against `seance shard merge --json`",
+    )
+    batch.add_argument(
+        "--store",
+        metavar="DIR",
+        help="content-addressed result store: warm (table, spec) keys "
+        "are served without executing a single pass",
+    )
     _add_spec_arguments(batch)
     batch.set_defaults(func=cmd_batch)
+
+    shard = sub.add_parser(
+        "shard",
+        help="split a batch matrix or validation campaign into "
+        "deterministic content-hash shards over a result store",
+    )
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+
+    def _add_shard_arguments(p, store_required: bool) -> None:
+        p.add_argument(
+            "specs",
+            nargs="*",
+            help="KISS2 files or benchmark names (default: the whole "
+            "built-in suite)",
+        )
+        p.add_argument(
+            "--store",
+            metavar="DIR",
+            required=store_required,
+            help="shared result-store directory",
+        )
+        p.add_argument(
+            "--campaign",
+            action="store_true",
+            help="shard a validation-campaign cell grid instead of a "
+            "batch matrix",
+        )
+        p.add_argument(
+            "--no-minimize", action="store_true", help="skip Step 2"
+        )
+        p.add_argument(
+            "--no-fsv",
+            action="store_true",
+            help="batch: skip the hazard correction; campaign: sweep "
+            "the unprotected machines",
+        )
+        p.add_argument(
+            "--reduce-mode",
+            choices=["split", "joint"],
+            default=None,
+            help="Step-7 reduction style",
+        )
+        _add_spec_arguments(p)
+        p.add_argument(
+            "--sweep", type=int, default=3,
+            help="[campaign] walks per (machine, delay model)",
+        )
+        p.add_argument(
+            "--steps", type=int, default=25,
+            help="[campaign] hand-shake cycles per walk",
+        )
+        p.add_argument(
+            "--delay-model",
+            dest="delay_models",
+            action="append",
+            metavar="MODEL",
+            default=None,
+            help="[campaign] delay model to sweep (repeatable; "
+            "default loop-safe)",
+        )
+        p.add_argument(
+            "--seed", type=int, default=0,
+            help="[campaign] first walk seed",
+        )
+        p.add_argument(
+            "--engine",
+            choices=["compiled", "reference"],
+            default="compiled",
+            help="[campaign] simulation kernel",
+        )
+
+    splan = shard_sub.add_parser(
+        "plan", help="show the deterministic unit -> shard assignment"
+    )
+    _add_shard_arguments(splan, store_required=False)
+    splan.add_argument(
+        "-n", "--shards", type=int, default=2, help="shard count"
+    )
+    splan.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="list every work unit with its shard and key digest",
+    )
+    splan.set_defaults(func=cmd_shard_plan)
+
+    srun = shard_sub.add_parser(
+        "run",
+        help="execute one shard's work units into the shared store",
+    )
+    _add_shard_arguments(srun, store_required=True)
+    srun.add_argument(
+        "--shard",
+        required=True,
+        metavar="I/N",
+        help="which shard this worker is (e.g. 0/2) of how many",
+    )
+    srun.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes within this shard",
+    )
+    srun.set_defaults(func=cmd_shard_run)
+
+    smerge = shard_sub.add_parser(
+        "merge",
+        help="reassemble the full ordered result stream from the store "
+        "(byte-identical to a single-process run)",
+    )
+    _add_shard_arguments(smerge, store_required=True)
+    smerge.add_argument(
+        "-n", "--shards", type=int, default=1,
+        help="shard count (labels which shard owns any missing unit)",
+    )
+    smerge.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the canonical JSON stream (batch mode: diffable "
+        "against `seance batch --json --canonical`; campaign mode: "
+        "the bare canonical campaign payload, without the extra "
+        "all_clean/store_hits keys `seance validate --json` adds)",
+    )
+    smerge.set_defaults(func=cmd_shard_merge)
 
     passes = sub.add_parser(
         "passes", help="list the registered pipeline pass names"

@@ -42,6 +42,7 @@ from .outputs import OutputEquation
 from .ssd import SsdEquation
 
 __all__ = [
+    "canonical_result_dict",
     "expr_to_obj",
     "expr_from_obj",
     "table_to_dict",
@@ -60,6 +61,22 @@ __all__ = [
     "ssd_equation_to_dict",
     "ssd_equation_from_dict",
 ]
+
+
+# ----------------------------------------------------------------------
+# Canonical (run-independent) projection
+# ----------------------------------------------------------------------
+def canonical_result_dict(payload: dict) -> dict:
+    """A result's ``to_dict`` with run-dependent fields removed.
+
+    ``stage_seconds`` is wall-clock telemetry — two byte-identical
+    synthesis runs legitimately differ there — so every byte-identity
+    comparison in the repo (golden pins, serial-vs-parallel batch
+    parity, and now sharded-vs-single-process result streams) projects
+    it out.  Everything else in the dictionary is a pure function of
+    (table, spec) and survives the projection untouched.
+    """
+    return {k: v for k, v in payload.items() if k != "stage_seconds"}
 
 
 # ----------------------------------------------------------------------

@@ -74,6 +74,17 @@ class NetlistError(ReproError):
     """A netlist is malformed (dangling nets, duplicate drivers, bad gate)."""
 
 
+class StoreError(ReproError):
+    """The content-addressed result store cannot satisfy a request.
+
+    Raised by the shard merger when work units are missing from the
+    store (the message names each missing unit and the shard that owns
+    it, so the operator knows which worker to re-run).  Never raised
+    for corrupt or wrong-key blobs — those are verified away as misses
+    and recomputed.
+    """
+
+
 class ValidationError(ReproError):
     """Dynamic validation found a machine that diverges from its table.
 

@@ -18,6 +18,7 @@ error message and ``result=None``.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 from collections.abc import Iterable, Iterator, Sequence
@@ -39,7 +40,9 @@ class BatchItem:
     ``events`` is the per-pass telemetry of the run (name, wall-clock
     seconds, cache hit) — the :class:`~repro.pipeline.manager.PipelineReport`
     stream, flattened so it crosses process boundaries; ``seance batch
-    --json`` emits it verbatim.
+    --json`` emits it verbatim.  ``store_hit`` marks an item served
+    whole from a content-addressed :class:`~repro.store.ResultStore`
+    (no pass executed at all — ``events`` is empty).
     """
 
     index: int
@@ -49,6 +52,10 @@ class BatchItem:
     seconds: float
     cache_hits: tuple[str, ...] = ()
     events: tuple[PassEvent, ...] = ()
+    store_hit: bool = False
+    #: Domain exception class name of a failure (``"FlowTableError"``),
+    #: so a stored failure can re-raise as its original type.
+    error_type: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -81,7 +88,7 @@ def _synthesize_one(
     index: int,
     table: FlowTable,
     options: SynthesisOptions,
-) -> tuple[int, object | None, str | None, float, tuple]:
+) -> tuple[int, object | None, str | None, float, tuple, str | None]:
     """Worker body; module-level so ProcessPoolExecutor can pickle it."""
     start = time.perf_counter()
     manager = _WORKER_MANAGER or PassManager()
@@ -93,6 +100,7 @@ def _synthesize_one(
             None,
             time.perf_counter() - start,
             tuple(report.events),
+            None,
         )
     except ReproError as error:
         return (
@@ -101,6 +109,7 @@ def _synthesize_one(
             _error_message(error),
             time.perf_counter() - start,
             (),
+            type(error).__name__,
         )
 
 
@@ -124,6 +133,14 @@ class BatchRunner:
         A :class:`~repro.pipeline.spec.PipelineSpec` selecting the pass
         list (and options, and — unless ``cache`` is given — the cache
         config).  Defaults to the paper pipeline.
+    store:
+        A content-addressed :class:`~repro.store.ResultStore` (or a
+        directory path / backend to open one over).  Tables whose
+        ``(table, spec)`` key is already stored are served whole —
+        zero synthesis passes, ``item.store_hit`` set — and every
+        freshly computed result (including deterministic synthesis
+        failures) is written back, so repeat batches short-circuit
+        entirely and shard workers publish through the same object.
     """
 
     def __init__(
@@ -132,6 +149,7 @@ class BatchRunner:
         jobs: int | None = None,
         cache: StageCache | None = None,
         spec: PipelineSpec | None = None,
+        store=None,
     ):
         if spec is not None and options is not None:
             raise ValueError(
@@ -150,6 +168,9 @@ class BatchRunner:
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
         self.cache = cache if cache is not None else self.spec.cache.build()
+        from ..store.store import open_store
+
+        self.store = open_store(store)
 
     # ------------------------------------------------------------------
     def iter_results(
@@ -187,8 +208,74 @@ class BatchRunner:
             )
         )
 
+    def run_pairs(
+        self, pairs: Sequence[tuple[FlowTable, SynthesisOptions]]
+    ) -> list[BatchItem]:
+        """Run explicit ``(table, options)`` pairs, in order.
+
+        The shard worker's entry point: a
+        :class:`~repro.store.ShardedBatch` hands each shard its own
+        slice of the matrix and the shared store does the rest.
+        """
+        return list(self._iter_pairs(pairs))
+
     # ------------------------------------------------------------------
+    def _unit_spec(self, options: SynthesisOptions) -> PipelineSpec:
+        """The spec whose fingerprint names one pair's computation."""
+        if options == self.spec.options:
+            return self.spec
+        return self.spec.with_options(options)
+
     def _iter_pairs(
+        self, pairs: Sequence[tuple[FlowTable, SynthesisOptions]]
+    ) -> Iterator[BatchItem]:
+        if self.store is None:
+            yield from self._iter_computed(pairs)
+            return
+        # Resolve the whole stream against the store first: hits are
+        # served without touching a worker, misses keep their relative
+        # order and run through the normal serial/parallel machinery,
+        # and every computed outcome is written back as it streams out.
+        hits: dict[int, BatchItem] = {}
+        miss_pairs: list[tuple[FlowTable, SynthesisOptions]] = []
+        for index, (table, options) in enumerate(pairs):
+            stored = self.store.get_synthesis(
+                table, self._unit_spec(options)
+            )
+            if stored is None:
+                miss_pairs.append((table, options))
+            else:
+                hits[index] = BatchItem(
+                    index=index,
+                    name=table.name,
+                    result=stored.result,
+                    error=stored.error,
+                    seconds=0.0,
+                    store_hit=True,
+                    error_type=stored.error_type,
+                )
+        computed = self._iter_computed(miss_pairs)
+        for index, (table, options) in enumerate(pairs):
+            if index in hits:
+                yield hits[index]
+                continue
+            item = dataclasses.replace(next(computed), index=index)
+            if item.ok:
+                self.store.put_synthesis(
+                    table, self._unit_spec(options), item.result
+                )
+            elif not item.error.startswith("worker failed:"):
+                # Domain failures are deterministic outcomes worth
+                # remembering; a dead worker (OOM kill) is not.
+                self.store.put_synthesis_error(
+                    table,
+                    self._unit_spec(options),
+                    item.error,
+                    error_type=item.error_type,
+                )
+            yield item
+
+    def _iter_computed(
         self, pairs: Sequence[tuple[FlowTable, SynthesisOptions]]
     ) -> Iterator[BatchItem]:
         if self.jobs == 1 or len(pairs) <= 1:
@@ -220,6 +307,7 @@ class BatchRunner:
                     result=None,
                     error=_error_message(error),
                     seconds=time.perf_counter() - start,
+                    error_type=type(error).__name__,
                 )
 
     def _iter_parallel(
@@ -251,7 +339,14 @@ class BatchRunner:
                 zip(pairs, futures)
             ):
                 try:
-                    index, result, error, seconds, events = future.result()
+                    (
+                        index,
+                        result,
+                        error,
+                        seconds,
+                        events,
+                        error_type,
+                    ) = future.result()
                 except Exception as error:  # noqa: BLE001
                     # A dead worker (OOM kill, unpicklable artifact)
                     # must not take the rest of the batch with it.
@@ -274,6 +369,7 @@ class BatchRunner:
                         e.name for e in events if e.cache_hit
                     ),
                     events=tuple(events),
+                    error_type=error_type,
                 )
         finally:
             # Normal exhaustion: every future is done, this returns at

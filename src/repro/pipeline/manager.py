@@ -59,10 +59,16 @@ class PassEvent:
 
 @dataclass
 class PipelineReport:
-    """Per-pass instrumentation of one `PassManager.run`."""
+    """Per-pass instrumentation of one `PassManager.run`.
+
+    ``store_hit`` marks a run served whole from a content-addressed
+    :class:`~repro.store.ResultStore`: no pass executed, so ``events``
+    is empty — the telemetry contract warm-store acceptance tests pin.
+    """
 
     table_name: str
     events: list[PassEvent] = field(default_factory=list)
+    store_hit: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -74,6 +80,8 @@ class PipelineReport:
 
     def describe(self) -> str:
         lines = [f"pipeline run of {self.table_name!r}:"]
+        if self.store_hit:
+            lines.append("  (served whole from the result store)")
         for event in self.events:
             marker = "cached" if event.cache_hit else "ran"
             lines.append(

@@ -125,13 +125,18 @@ def _resolve_engine(engine: str):
 
 @dataclass(frozen=True)
 class CampaignCell:
-    """One (machine, delay model, seed) validation run."""
+    """One (machine, delay model, seed) validation run.
+
+    ``store_hit`` marks a cell replayed from a content-addressed
+    :class:`~repro.store.ResultStore` instead of simulated.
+    """
 
     table: str
     model: str
     seed: int
     summary: ValidationSummary
     seconds: float
+    store_hit: bool = False
 
     @property
     def clean(self) -> bool:
@@ -167,6 +172,11 @@ class CampaignResult:
     def all_clean(self) -> bool:
         return not self.failures and not self.errors
 
+    @property
+    def store_hits(self) -> int:
+        """Cells replayed from a warm result store, not simulated."""
+        return sum(1 for cell in self.cells if cell.store_hit)
+
     def merged(self) -> ValidationSummary:
         """Every cycle of every cell, in the deterministic cell order."""
         summary = ValidationSummary()
@@ -191,6 +201,11 @@ class CampaignResult:
             f"({self.sweep} seeds x {len(self.models)} models), "
             f"{self.total_cycles} cycles"
         ]
+        if self.store_hits:
+            lines[0] += (
+                f" [{self.store_hits}/{len(self.cells)} cells from "
+                f"warm store]"
+            )
         for model, summary in self.by_model().items():
             status = "clean" if summary.all_clean else "FAILED"
             lines.append(f"  {model:10s} {summary.describe()}  [{status}]")
@@ -264,6 +279,16 @@ class ValidationCampaign:
     engine:
         ``"compiled"`` (default) or ``"reference"`` — the retained seed
         kernel, for benchmarking and distrust.
+    store:
+        A content-addressed :class:`~repro.store.ResultStore` (or a
+        path/backend to open one over).  The synthesis phase routes
+        through a store-backed :class:`~repro.pipeline.batch.BatchRunner`,
+        and every cell whose ``(table, spec, model, seed, steps, engine,
+        fsv)`` key is stored is replayed instead of simulated
+        (``cell.store_hit``); fresh cells are written back.  Cell keys
+        derive from each machine's *source* table and ``uses_fsv`` flag,
+        so ``run_machines`` consumers must hand over machines built
+        under this campaign's ``spec``.
     """
 
     def __init__(
@@ -276,6 +301,7 @@ class ValidationCampaign:
         jobs: int = 1,
         spec=None,
         engine: str = "compiled",
+        store=None,
     ):
         if sweep < 1:
             raise SimulationError(f"sweep must be >= 1, got {sweep}")
@@ -298,6 +324,9 @@ class ValidationCampaign:
         self.jobs = jobs
         self.spec = spec
         self.engine = engine
+        from ..store.store import open_store
+
+        self.store = open_store(store)
 
     # ------------------------------------------------------------------
     @property
@@ -308,7 +337,9 @@ class ValidationCampaign:
         """Synthesise ``tables`` (through the BatchRunner), then sweep."""
         from ..pipeline.batch import BatchRunner
 
-        runner = BatchRunner(spec=self.spec, jobs=self.jobs)
+        runner = BatchRunner(
+            spec=self.spec, jobs=self.jobs, store=self.store
+        )
         result = CampaignResult(
             models=self.delay_models, sweep=self.sweep, steps=self.steps
         )
@@ -349,10 +380,47 @@ class ValidationCampaign:
                     cells.append((machine_index, model, seed, walks[seed]))
         return cells
 
+    def _cell_keys(self, machines, cells):
+        """Store keys per cell (None when no store is attached).
+
+        Keyed on each machine's *source* table and its ``uses_fsv``
+        flag — properties of the machine actually simulated — plus this
+        campaign's (spec, steps, engine) workload parameters.
+        """
+        if self.store is None:
+            return [None] * len(cells)
+        from ..pipeline.spec import PipelineSpec
+        from ..store.keys import validation_key
+
+        spec = self.spec if self.spec is not None else PipelineSpec()
+        return [
+            validation_key(
+                machines[mi].result.source,
+                spec,
+                model=model,
+                seed=seed,
+                steps=self.steps,
+                engine=self.engine,
+                use_fsv=machines[mi].uses_fsv,
+            )
+            for mi, model, seed, _walk in cells
+        ]
+
     def _sweep_machines(self, machines, result: CampaignResult):
         cells = self._cells(machines)
-        if self.jobs > 1 and len(cells) > 1:
-            outcomes = self._sweep_parallel(machines, cells)
+        keys = self._cell_keys(machines, cells)
+        replayed: dict[int, ValidationSummary] = {}
+        if self.store is not None:
+            for i, key in enumerate(keys):
+                summary = self.store.get_validation(key)
+                if summary is not None:
+                    replayed[i] = summary
+        pending = [i for i in range(len(cells)) if i not in replayed]
+
+        if self.jobs > 1 and len(pending) > 1:
+            outcomes = self._sweep_parallel(
+                machines, [cells[i] for i in pending]
+            )
         else:
             # One delay model instance per (model, seed) for the whole
             # sweep: the built-in models draw by instance *name*, so a
@@ -360,7 +428,8 @@ class ValidationCampaign:
             # would, without re-deriving them per machine.
             models: dict[tuple[str, int], object] = {}
             outcomes = []
-            for i, (mi, model, seed, walk) in enumerate(cells):
+            for i in pending:
+                mi, model, seed, walk = cells[i]
                 key = (model, seed)
                 delays = models.get(key)
                 if delays is None:
@@ -377,11 +446,20 @@ class ValidationCampaign:
                 outcomes.append(
                     (i, summary, time.perf_counter() - start)
                 )
-        for (machine_index, model, seed, _walk), (
-            _index,
-            summary,
-            seconds,
-        ) in zip(cells, outcomes):
+        computed = {
+            cell_index: (summary, seconds)
+            for cell_index, (_i, summary, seconds) in zip(
+                pending, outcomes
+            )
+        }
+        for i, (machine_index, model, seed, _walk) in enumerate(cells):
+            if i in replayed:
+                summary, seconds, hit = replayed[i], 0.0, True
+            else:
+                summary, seconds = computed[i]
+                hit = False
+                if self.store is not None:
+                    self.store.put_validation(keys[i], summary)
             result.cells.append(
                 CampaignCell(
                     table=machines[machine_index].result.table.name,
@@ -389,6 +467,7 @@ class ValidationCampaign:
                     seed=seed,
                     summary=summary,
                     seconds=seconds,
+                    store_hit=hit,
                 )
             )
         return result

@@ -57,6 +57,39 @@ class CycleReport:
             and self.vom_rises == 1
         )
 
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON wire form; :meth:`from_dict` round-trips it exactly.
+
+        ``output_changes`` keeps its insertion order (the machine's
+        output-net order), so serialisation is deterministic and two
+        identical cycles emit identical bytes — the property the
+        sharded result store's byte-identity contract rests on.
+        """
+        return {
+            "index": self.index,
+            "column": self.column,
+            "expected_state": self.expected_state,
+            "observed_state": self.observed_state,
+            "expected_outputs": list(self.expected_outputs),
+            "observed_outputs": list(self.observed_outputs),
+            "output_changes": dict(self.output_changes),
+            "vom_rises": self.vom_rises,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CycleReport":
+        return cls(
+            index=payload["index"],
+            column=payload["column"],
+            expected_state=payload["expected_state"],
+            observed_state=payload["observed_state"],
+            expected_outputs=tuple(payload["expected_outputs"]),
+            observed_outputs=tuple(payload["observed_outputs"]),
+            output_changes=dict(payload["output_changes"]),
+            vom_rises=payload["vom_rises"],
+        )
+
 
 @dataclass
 class ValidationSummary:
@@ -98,6 +131,18 @@ class ValidationSummary:
             f"{self.output_errors} output errors, "
             f"{self.soc_violations} SOC violations"
         )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON wire form (cycle stream, in order)."""
+        return {"cycles": [cycle.to_dict() for cycle in self.cycles]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ValidationSummary":
+        summary = cls()
+        for cycle in payload["cycles"]:
+            summary.add(CycleReport.from_dict(cycle))
+        return summary
 
 
 def count_changes(

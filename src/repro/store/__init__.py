@@ -1,0 +1,50 @@
+"""``repro.store`` — the content-addressed result archive.
+
+Results are addressed by *(table fingerprint × spec fingerprint ×
+workload key)*, stored as verified JSON envelopes over a pluggable blob
+backend (:class:`DirectoryBackend` locally; an object store drops in by
+implementing :class:`StoreBackend`), and partitioned across machines by
+the same content hashes (:class:`ShardedBatch`/:class:`ShardedCampaign`,
+``seance shard run``/``merge``).  A warm store short-circuits repeat
+``seance synth``/``batch``/``validate`` runs entirely — zero synthesis
+passes, zero simulated cycles — and a corrupt, truncated, or poisoned
+blob is always recomputed, never trusted.
+"""
+
+from .backend import DirectoryBackend, MemoryBackend, StoreBackend
+from .canonical import (
+    canonical_batch_payload,
+    canonical_campaign_payload,
+    canonical_json,
+)
+from .keys import (
+    STORE_FORMAT_VERSION,
+    StoreKey,
+    synthesis_key,
+    table_digest,
+    validation_key,
+)
+from .sharding import ShardedBatch, ShardedCampaign, ShardPlan, WorkUnit, shard_of
+from .store import ResultStore, StoredSynthesis, open_store
+
+__all__ = [
+    "DirectoryBackend",
+    "MemoryBackend",
+    "ResultStore",
+    "STORE_FORMAT_VERSION",
+    "ShardPlan",
+    "ShardedBatch",
+    "ShardedCampaign",
+    "StoreBackend",
+    "StoreKey",
+    "StoredSynthesis",
+    "WorkUnit",
+    "canonical_batch_payload",
+    "canonical_campaign_payload",
+    "canonical_json",
+    "open_store",
+    "shard_of",
+    "synthesis_key",
+    "table_digest",
+    "validation_key",
+]

@@ -1,0 +1,121 @@
+"""Pluggable blob backends for the content-addressed result store.
+
+A backend is a flat namespace of named byte blobs — deliberately the
+smallest surface an object store offers (GET / PUT-if-complete / LIST),
+so the :class:`~repro.store.store.ResultStore` above it is
+location-independent: the shipping :class:`DirectoryBackend` keeps JSON
+blobs in a local directory, and an S3/GCS/memcache backend drops in by
+implementing the same three methods.  Correctness never depends on the
+backend: the store verifies every blob's envelope against the requested
+key after reading, so a backend that loses, truncates, or cross-wires
+blobs degrades to recomputation, not to wrong results.
+
+Write atomicity contract: :meth:`StoreBackend.write` must publish a blob
+either completely or not at all — a reader may see the old blob or the
+new blob, never a torn one.  :class:`DirectoryBackend` implements this
+with the same tmp-file + ``rename`` idiom the stage cache uses, which
+also makes concurrent writers of one name safe on POSIX filesystems:
+the last rename wins with a complete file (and, because blob names are
+content hashes, every racer is writing identical bytes anyway).
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterator
+from pathlib import Path
+
+
+class StoreBackend:
+    """Minimal blob-store protocol (see the module docstring)."""
+
+    def read(self, name: str) -> bytes | None:
+        """The blob's bytes, or None when absent/unreadable."""
+        raise NotImplementedError
+
+    def write(self, name: str, data: bytes) -> None:
+        """Publish ``data`` under ``name`` atomically."""
+        raise NotImplementedError
+
+    def names(self) -> Iterator[str]:
+        """Every blob name currently present (no order guarantee)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class MemoryBackend(StoreBackend):
+    """Dict-backed backend: tests and single-process warm reuse."""
+
+    def __init__(self) -> None:
+        self._blobs: dict[str, bytes] = {}
+
+    def read(self, name: str) -> bytes | None:
+        return self._blobs.get(name)
+
+    def write(self, name: str, data: bytes) -> None:
+        self._blobs[name] = bytes(data)
+
+    def names(self) -> Iterator[str]:
+        yield from list(self._blobs)
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+
+class DirectoryBackend(StoreBackend):
+    """A local directory of blobs — ``seance --store DIR``.
+
+    Blob names may contain ``/`` (the store uses ``kind/digest.json``),
+    which maps to subdirectories; everything else must be a safe path
+    component.  Reads treat any OS error as absence; writes go through a
+    per-process tmp file and an atomic rename.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self._root = Path(path)
+        self._root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def path(self) -> Path:
+        return self._root
+
+    def _blob_path(self, name: str) -> Path:
+        parts = name.split("/")
+        if any(part in ("", ".", "..") for part in parts):
+            raise ValueError(f"unsafe blob name {name!r}")
+        return self._root.joinpath(*parts)
+
+    def read(self, name: str) -> bytes | None:
+        try:
+            return self._blob_path(name).read_bytes()
+        except OSError:
+            return None
+
+    def write(self, name: str, data: bytes) -> None:
+        target = self._blob_path(name)
+        tmp = target.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_bytes(data)
+            tmp.replace(target)
+        except OSError:
+            # Unwritable store: degrade to recompute-next-time rather
+            # than failing the run that produced the result.
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def names(self) -> Iterator[str]:
+        if not self._root.is_dir():
+            return
+        for path in sorted(self._root.rglob("*")):
+            if path.is_file() and not path.name.startswith("."):
+                if ".tmp." in path.name:
+                    continue
+                yield path.relative_to(self._root).as_posix()
+
+    def describe(self) -> str:
+        return f"DirectoryBackend({str(self._root)!r})"

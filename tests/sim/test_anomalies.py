@@ -1,0 +1,195 @@
+"""The two pre-existing campaign anomalies, pinned as expected failures.
+
+ROADMAP (PR 4 follow-ons) flagged two validation anomalies, present at
+the seed and engine-independent (both kernels agree).  ISSUE 5 asked
+for them to be investigated and either fixed or pinned.  Investigation
+findings (PR 5):
+
+``train11`` under ``hostile`` — **expected failure by design, not a
+synthesis bug.**  The hostile model draws flip-flop clock-to-Q from
+[0.2, 3.0] against a combinational floor of 0.5: an input-skew window
+of 2.8 versus a 0.5 minimum loop delay, which *deliberately* violates
+the paper's Section-3 loop-delay assumption ("maximum line delay less
+than minimum loop delay") — that is the model's documented purpose.
+Under seed 2's silicon the ``Z`` output logic has not settled when
+``VOM`` re-asserts and latches ``FFZ``, so three cycles latch a stale
+output bit (state trajectory and SOC remain correct, the hand-shake
+completes normally).  FANTOM's *state* construction is delay-
+independent, and indeed no state error ever appears; the output-latch
+timing is exactly the margin the loop-delay assumption exists to
+protect.  Verdict: documented expected-failure fixture.
+
+``lion9`` under ``loop-safe`` (seeds 0-2) — **a genuine anomaly, still
+open; pinned.**  Static analysis (reproduced in
+``test_lion9_static_soundness`` below) shows the synthesised logic is
+sound: every stable total state has ``fsv = 0`` and ``Y = code``, and
+every specified transition reaches its destination fixpoint — so this
+is not a wrong-cover synthesis bug.  Dynamically, under seed 0's
+loop-safe silicon, the multiple-input-change transition ``p1 --col 2-->
+p3`` reaches the *correct* state but the fsv/G hand-shake feedback path
+then enters a sustained oscillation (every net in the loop toggling,
+``VOM`` re-dropping after its re-assert) and the netlist never
+quiesces: the harness times out and the walk aborts at cycle 1.  Seeds
+1 and 2 are clean.  The oscillation survives both event kernels, so it
+is a property of the synthesised netlist + that silicon, not of a
+simulator — most plausibly an essential-hazard interaction in the
+G-latch/fsv loop that the paper's G-latch budget does not cover.
+Verdict: pinned as an expected-failure fixture until the dynamic
+mechanism is fully characterised (see ROADMAP).
+
+These tests assert the **exact failing cell sets** so that (a) any
+regression that widens the failures is caught immediately, and (b) a
+genuine fix shows up as these pins failing — at which point they should
+be updated deliberately, with the fix documented.
+"""
+
+from repro.bench import benchmark
+from repro.sim.campaign import ValidationCampaign
+
+#: (table, delay model) -> exact set of failing (seed, cycle-index)
+#: points under sweep=3 (seeds 0-2), steps=30, the ROADMAP's reported
+#: configuration.
+LION9_FAILING_CELLS = {(0, 1)}
+TRAIN11_FAILING_CELLS = {(2, 1), (2, 4), (2, 25)}
+
+
+def failing_points(report):
+    return {
+        (cell.seed, cycle.index)
+        for cell in report.cells
+        for cycle in cell.summary.cycles
+        if not cycle.clean
+    }
+
+
+class TestLion9LoopSafeAnomaly:
+    def run_campaign(self, **kwargs):
+        campaign = ValidationCampaign(
+            sweep=3, steps=30, delay_models=("loop-safe",), **kwargs
+        )
+        return campaign.run([benchmark("lion9")])
+
+    def test_exact_failing_cell_set(self):
+        report = self.run_campaign()
+        assert failing_points(report) == LION9_FAILING_CELLS
+        # Exactly one dirty cell: seed 0.  Its walk aborts at cycle 1
+        # (simulation timeout -> observed_state None), so the cell
+        # records 2 of its 30 cycles; seeds 1 and 2 complete cleanly.
+        dirty = [cell for cell in report.cells if not cell.clean]
+        assert [(c.model, c.seed) for c in dirty] == [("loop-safe", 0)]
+        assert dirty[0].summary.total == 2
+        failure = dirty[0].summary.cycles[-1]
+        assert failure.column == 2
+        assert failure.expected_state == "p3"
+        assert failure.observed_state is None  # timeout, not mis-decode
+        clean = [cell for cell in report.cells if cell.clean]
+        assert [cell.summary.total for cell in clean] == [30, 30]
+
+    def test_engine_independent(self):
+        """Both kernels agree — the anomaly is the netlist's, not a
+        simulator artifact (sweep reduced to the failing seed)."""
+        compiled = ValidationCampaign(
+            sweep=1, steps=3, delay_models=("loop-safe",),
+            engine="compiled",
+        ).run([benchmark("lion9")])
+        reference = ValidationCampaign(
+            sweep=1, steps=3, delay_models=("loop-safe",),
+            engine="reference",
+        ).run([benchmark("lion9")])
+        assert not compiled.all_clean
+        assert not reference.all_clean
+        assert [c.summary.cycles for c in compiled.cells] == [
+            c.summary.cycles for c in reference.cells
+        ]
+
+
+class TestLion9StaticSoundness:
+    def test_every_stable_point_is_a_fixpoint(self):
+        """The investigation's static half: the synthesised equations
+        are settled at every stable total state and every transition
+        reaches its destination — the anomaly is dynamic."""
+        from repro import api
+        from repro.logic.expr import And, Const, Lit, Nor, Or
+
+        result = api.synthesize("lion9")
+        table = result.reduction.table
+        encoding = result.assignment.encoding
+
+        def evaluate(expr, env):
+            if isinstance(expr, Const):
+                return expr.bit
+            if isinstance(expr, Lit):
+                value = env[expr.name]
+                return 1 - value if expr.negated else value
+            values = [evaluate(child, env) for child in expr.children]
+            if isinstance(expr, And):
+                return int(all(values))
+            if isinstance(expr, Or):
+                return int(any(values))
+            assert isinstance(expr, Nor)
+            return int(not any(values))
+
+        def environment(column, state):
+            env = {}
+            for i, name in enumerate(table.inputs):
+                env[name] = column >> i & 1
+            code = encoding.codes[state]
+            for n, variable in enumerate(encoding.variables):
+                env[variable] = code >> n & 1
+            return env
+
+        for (state, column), entry in sorted(table.entry_map().items()):
+            if entry.next_state != state:
+                continue
+            env = environment(column, state)
+            fsv = evaluate(result.fsv.expr, env)
+            assert fsv == 0, f"fsv=1 at stable ({state}, {column})"
+            env["fsv"] = fsv
+            code = encoding.codes[state]
+            for n, equation in enumerate(result.next_state):
+                assert evaluate(equation.expr, env) == (code >> n & 1), (
+                    f"Y{n} unstable at stable ({state}, {column})"
+                )
+
+
+class TestTrain11HostileAnomaly:
+    def test_exact_failing_cell_set(self):
+        report = ValidationCampaign(
+            sweep=3, steps=30, delay_models=("hostile",)
+        ).run([benchmark("train11")])
+        assert failing_points(report) == TRAIN11_FAILING_CELLS
+        dirty = [cell for cell in report.cells if not cell.clean]
+        assert [(c.model, c.seed) for c in dirty] == [("hostile", 2)]
+        for cycle in dirty[0].summary.cycles:
+            if cycle.clean:
+                continue
+            # Output-latch staleness only: the state trajectory, SOC
+            # discipline and hand-shake all remain correct — the
+            # signature of the (deliberate) loop-delay violation, not
+            # of a synthesis defect.
+            assert cycle.column == 3
+            assert cycle.state_correct
+            assert cycle.soc_respected
+            assert cycle.vom_rises == 1
+            assert cycle.expected_outputs == (1,)
+            assert cycle.observed_outputs == (0,)
+
+    def test_hostile_model_violates_the_loop_delay_assumption(self):
+        """The model's skew window exceeds its loop floor by design —
+        the failure regime is outside the paper's guarantee."""
+        from repro.sim.delays import hostile_random, loop_safe_random
+
+        hostile = hostile_random(0)
+        skew_window = hostile.ff_range[1] - hostile.ff_range[0]
+        assert skew_window > hostile.gate_range[0]  # violated
+        safe = loop_safe_random(0)
+        safe_window = safe.ff_range[1] - safe.ff_range[0]
+        assert safe_window < safe.gate_range[0]  # honoured
+
+    def test_train11_clean_under_loop_safe(self):
+        """Inside the assumption, train11 is clean — localising the
+        hostile failure to the violated margin."""
+        report = ValidationCampaign(
+            sweep=3, steps=30, delay_models=("loop-safe",)
+        ).run([benchmark("train11")])
+        assert report.all_clean

@@ -259,3 +259,135 @@ class TestExport:
         assert main(["export", "hazard_demo", "--no-fsv"]) == 0
         out = capsys.readouterr().out
         assert "assign fsv = 1'b0;" in out
+
+
+class TestStoreFlags:
+    def test_batch_store_hit_in_json_telemetry(self, tmp_path, capsys):
+        import json
+
+        store = str(tmp_path / "rs")
+        assert main(["batch", "lion", "--store", store, "--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert [item["store_hit"] for item in cold] == [False]
+        assert cold[0]["passes"]
+        assert main(["batch", "lion", "--store", store, "--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert [item["store_hit"] for item in warm] == [True]
+        # zero synthesis passes on the warm run (PassEvent telemetry)
+        assert warm[0]["passes"] == []
+
+    def test_batch_canonical_is_run_independent(self, tmp_path, capsys):
+        assert main(["batch", "lion", "traffic", "--canonical"]) == 0
+        first = capsys.readouterr().out
+        assert main(["batch", "lion", "traffic", "--canonical"]) == 0
+        assert capsys.readouterr().out == first
+        assert "seconds" not in first
+
+    def test_synth_store_short_circuit_note(self, tmp_path, capsys):
+        store = str(tmp_path / "rs")
+        assert main(["synth", "lion", "--store", store]) == 0
+        assert "result store" not in capsys.readouterr().out
+        assert main(["synth", "lion", "--store", store]) == 0
+        assert "served whole from the result store" in (
+            capsys.readouterr().out
+        )
+
+    def test_validate_store_and_json(self, tmp_path, capsys):
+        import json
+
+        store = str(tmp_path / "rs")
+        args = [
+            "validate", "hazard_demo", "--sweep", "1", "--steps", "5",
+            "--delay-model", "unit", "--store", store, "--json",
+        ]
+        assert main(args) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["all_clean"] and cold["store_hits"] == 0
+        assert main(args) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["store_hits"] == len(warm["cells"]) == 1
+        assert warm["cells"] == cold["cells"]
+
+
+class TestShard:
+    def test_plan_partitions_the_suite(self, capsys):
+        assert main(["shard", "plan", "lion", "traffic", "-n", "2",
+                     "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "2 work units over 2 shard(s)" in out
+        assert "lion" in out and "traffic" in out
+
+    def test_run_and_merge_match_single_process_batch(
+        self, tmp_path, capsys
+    ):
+        store = str(tmp_path / "rs")
+        names = ["lion", "traffic", "hazard_demo"]
+        for shard in ("0/2", "1/2"):
+            assert main(
+                ["shard", "run", "--shard", shard, "--store", store]
+                + names
+            ) == 0
+            capsys.readouterr()
+        assert main(
+            ["shard", "merge", "--store", store, "-n", "2", "--json"]
+            + names
+        ) == 0
+        merged = capsys.readouterr().out
+        assert main(["batch", "--json", "--canonical"] + names) == 0
+        assert merged == capsys.readouterr().out
+
+    def test_merge_with_missing_units_fails_loudly(
+        self, tmp_path, capsys
+    ):
+        store = str(tmp_path / "rs")
+        assert main(
+            ["shard", "run", "--shard", "0/2", "--store", store, "lion",
+             "traffic"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["shard", "merge", "--store", store, "-n", "2", "lion",
+             "traffic"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "missing" in err and "shard 1/2" in err
+
+    def test_campaign_mode_run_merge(self, tmp_path, capsys):
+        store = str(tmp_path / "rs")
+        args = ["--campaign", "--store", store, "hazard_demo",
+                "--sweep", "1", "--steps", "5", "--delay-model", "unit"]
+        assert main(["shard", "run", "--shard", "0/1"] + args) == 0
+        capsys.readouterr()
+        assert main(["shard", "merge", "-n", "1"] + args) == 0
+        out = capsys.readouterr().out
+        assert "validation campaign" in out
+
+    def test_bad_shard_spec_rejected(self, tmp_path, capsys):
+        store = str(tmp_path / "rs")
+        assert main(["shard", "run", "--shard", "2/2", "--store", store,
+                     "lion"]) == 2
+        assert "out of range" in capsys.readouterr().err
+        assert main(["shard", "run", "--shard", "nope", "--store", store,
+                     "lion"]) == 2
+
+    def test_shard_run_exits_nonzero_on_failed_units(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        from repro.flowtable.table import FlowTable
+
+        bad = tmp_path / "bad.json"
+        # A structurally valid flow-table JSON that fails pipeline
+        # validation (state b unreachable: not strongly connected).
+        bad.write_text(json.dumps({
+            "inputs": ["x"], "outputs": ["z"], "states": ["a", "b"],
+            "reset": "a", "name": "broken",
+            "entries": [["a", 0, "a", [0]], ["b", 1, "b", [1]]],
+        }))
+        store = str(tmp_path / "rs")
+        code = main(["shard", "run", "--shard", "0/1", "--store", store,
+                     "lion", str(bad)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAILED" in out

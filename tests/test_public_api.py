@@ -18,7 +18,10 @@ API_ALL_SNAPSHOT = [
     "PassManager",
     "PipelineReport",
     "PipelineSpec",
+    "ResultStore",
     "Session",
+    "ShardedBatch",
+    "ShardedCampaign",
     "StageCache",
     "SynthesisOptions",
     "SynthesisResult",
