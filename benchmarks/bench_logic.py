@@ -50,9 +50,14 @@ from repro.logic.quine_mccluskey import prime_implicants, useful_primes
 #: pure function of (SEED, width/positions), so reruns are reproducible.
 SEED = 20260729
 
-#: Widths measured engine-vs-reference, and engine-only beyond.
+#: Widths measured engine-vs-reference, and engine-only beyond.  The
+#: engine-only tail crosses :data:`~repro.logic.bitset.DENSE_WIDTH_LIMIT`
+#: (22): above it the engine switches from one dense 2^width-bit int per
+#: coverage mask to the sparse chunked representation
+#: (:class:`~repro.logic.bitset.ChunkedMask`), which is what lifts
+#: ``MAX_WIDTH`` to 26.
 WIDTHS_BOTH = (8, 10, 12, 14, 16)
-WIDTHS_ENGINE_ONLY = (18, 20, MAX_WIDTH)
+WIDTHS_ENGINE_ONLY = (18, 20, 22, 24, MAX_WIDTH)
 
 #: Acceptance floor (ISSUE 3): at width >= 16 the bitset engine must be
 #: at least this much faster than the retained reference engine.

@@ -31,6 +31,16 @@ CI runs ``--check``: a reduced re-measurement that fails when the
 compiled campaign regresses more than 2x against the committed
 ``BENCH_sim.json`` baseline or the speedup collapses below
 ``CHECK_SPEEDUP_FLOOR``x.
+
+The **ring tier** (ISSUE 6) measures the bucket-ring kernel
+(:class:`repro.sim.ring.RingSimulator` — batched same-timestamp fronts,
+run-segment replay with lazy queue materialisation) against the
+compiled kernel on the campaign-scale regime it targets: unit-delay
+Monte-Carlo sweeps with long walks on the two largest paper machines,
+>10\N{SUPERSCRIPT SIX} kernel events per campaign.  Cell outcomes are
+asserted identical before a timing is accepted; the acceptance floor is
+``MIN_RING_SPEEDUP``x and the reduced ``--check`` gate fails below
+``CHECK_RING_FLOOR``x.
 """
 
 import argparse
@@ -72,6 +82,20 @@ MODELS = ("unit", "loop-safe", "hostile", "corner")
 MIN_CAMPAIGN_SPEEDUP = 5.0
 #: Reduced-workload floor for the CI gate (shared runners are noisy).
 CHECK_SPEEDUP_FLOOR = 3.0
+
+#: Ring-tier workload (ISSUE 6): unit-delay campaign sweeps with
+#: campaign-length walks on the two largest paper machines — the regime
+#: where event-kernel load (not harness overhead) dominates and the
+#: bucket-ring's front batching and segment replay engage.  At ~115
+#: kernel events per hand-shake cycle this is >10^6 events per campaign.
+RING_MACHINES = ("lion9", "train11")
+RING_SWEEP = 5
+RING_STEPS = 1000
+#: Acceptance floor (ISSUE 6): ring vs compiled on the ring-tier
+#: workload.
+MIN_RING_SPEEDUP = 3.0
+#: Reduced-workload floor for the CI gate.
+CHECK_RING_FLOOR = 2.0
 
 
 # ----------------------------------------------------------------------
@@ -294,6 +318,67 @@ def measure(names, rounds):
     return rows, total_compiled, total_seed, total_cycles
 
 
+def _count_cell_events(machine, steps):
+    """Kernel events of one compiled unit-delay cell (outside timing)."""
+    from repro.sim.delays import UnitDelay
+    from repro.sim.harness import random_legal_walk, validate_walk
+    from repro.sim.simulator import Simulator
+
+    sims = []
+
+    def factory(*a, **kw):
+        sim = Simulator(*a, **kw)
+        sims.append(sim)
+        return sim
+
+    walk = random_legal_walk(machine.result.table, steps, seed=0)
+    validate_walk(machine, walk, delays=UnitDelay(), simulator_factory=factory)
+    return sum(sim.events_processed for sim in sims)
+
+
+def ring_tier(rounds, steps=RING_STEPS, sweep=RING_SWEEP):
+    """Ring vs compiled kernel on the unit-delay campaign workload."""
+    machines = [
+        build_fantom(synthesize(benchmark(name))) for name in RING_MACHINES
+    ]
+
+    def campaign(engine):
+        return ValidationCampaign(
+            sweep=sweep,
+            steps=steps,
+            delay_models=("unit",),
+            engine=engine,
+        ).run_machines(machines)
+
+    ring_s, ring_report = _best_of(lambda: campaign("ring"), rounds)
+    compiled_s, compiled_report = _best_of(
+        lambda: campaign("compiled"), rounds
+    )
+    assert [cell.summary.cycles for cell in ring_report.cells] == [
+        cell.summary.cycles for cell in compiled_report.cells
+    ], "ring and compiled campaign outcomes diverged"
+    events = sweep * sum(
+        _count_cell_events(machine, steps) for machine in machines
+    )
+    speedup = compiled_s / ring_s
+    print(
+        f"  ring tier ({'+'.join(RING_MACHINES)}, {sweep} seeds x "
+        f"{steps} steps, ~{events:,} events): "
+        f"ring={ring_s * 1000:.1f}ms compiled={compiled_s * 1000:.1f}ms "
+        f"speedup={speedup:.2f}x"
+    )
+    return {
+        "machines": list(RING_MACHINES),
+        "sweep": sweep,
+        "steps": steps,
+        "cycles": ring_report.total_cycles,
+        "compiled_kernel_events": events,
+        "ring_seconds": round(ring_s, 6),
+        "compiled_seconds": round(compiled_s, 6),
+        "ring_speedup": round(speedup, 2),
+    }
+
+
 def generate(args):
     print(
         f"validation campaign over the paper suite "
@@ -309,6 +394,7 @@ def generate(args):
         f"  total: compiled={total_compiled * 1000:.1f}ms "
         f"seed-stack={total_seed * 1000:.1f}ms speedup={speedup:.2f}x"
     )
+    ring = ring_tier(args.rounds)
     return {
         "sweep": SWEEP,
         "steps": STEPS,
@@ -319,6 +405,7 @@ def generate(args):
         "compiled_seconds": round(total_compiled, 6),
         "seed_stack_seconds": round(total_seed, 6),
         "campaign_speedup": round(speedup, 2),
+        "ring": ring,
         "generated_by": "benchmarks/bench_sim.py",
     }
 
@@ -355,6 +442,14 @@ def check(args) -> int:
     if total_compiled > budget:
         print("FAIL: compiled campaign regressed more than 2x")
         return 1
+
+    ring = ring_tier(args.rounds, steps=300, sweep=2)
+    if ring["ring_speedup"] < CHECK_RING_FLOOR:
+        print(
+            f"FAIL: ring-kernel speedup {ring['ring_speedup']}x collapsed "
+            f"below {CHECK_RING_FLOOR}x"
+        )
+        return 1
     print("ok")
     return 0
 
@@ -384,6 +479,13 @@ def main() -> int:
         print(
             f"FAIL: campaign speedup {stats['campaign_speedup']}x is below "
             f"the {MIN_CAMPAIGN_SPEEDUP}x acceptance floor; baseline not "
+            f"written"
+        )
+        return 1
+    if stats["ring"]["ring_speedup"] < MIN_RING_SPEEDUP:
+        print(
+            f"FAIL: ring-kernel speedup {stats['ring']['ring_speedup']}x is "
+            f"below the {MIN_RING_SPEEDUP}x acceptance floor; baseline not "
             f"written"
         )
         return 1

@@ -1,21 +1,32 @@
-"""Collect and merge per-commit perf/telemetry rows for CI trending.
+"""Collect, merge, and gate per-commit perf/telemetry rows for CI trending.
 
 The perf gates (``bench_logic --check``, ``bench_sim --check``,
 ``bench_store --check``) are pass/fail; trending needs the measured
-numbers preserved per commit.  This tool has two modes:
+numbers preserved per commit.  This tool has three modes:
 
 ``--collect``
     Read the committed ``BENCH_*.json`` baselines plus the current
     run's ``batch-telemetry.json`` (``seance batch --json`` output) and
-    emit **one row** — headline scalars only — stamped with ``--sha``.
-    CI uploads the row as a per-commit artifact
-    (``telemetry-trend-<sha>``).
+    ``bench-logic-check.json`` (the rows ``bench_logic --check``
+    measured on this runner) and emit **one row** stamped with
+    ``--sha``: headline scalars, per-width logic-engine seconds, and
+    per-pass batch seconds.  CI uploads the row as a per-commit
+    artifact (``telemetry-trend-<sha>``).
 
 ``--merge ROW...``
     Merge any number of collected rows (downloaded artifacts) and print
-    them as a chronology-ordered table, one line per commit — the
-    cross-commit trend of engine seconds, campaign speedups, store
-    short-circuit factors, and per-pass synthesis time.
+    them as a chronology-ordered table, one line per commit — followed
+    by per-width and per-pass sub-tables so "which pass/width
+    regressed" is a lookup, not a bisect.
+
+``--gate ROW...``
+    The scheduled trend gate.  Order the rows chronologically, take the
+    median of the newest ``--window`` (default 3) commits for every
+    ``*_seconds`` series — including each width and each pass — and
+    fail when any of them regressed more than ``--threshold`` (default
+    20%) against the median of the older rows.  The median makes one
+    noisy runner invisible: it takes a sustained drift, which is
+    exactly what the single-commit 2x ``--check`` gates cannot see.
 
 Keeping collection in-repo (rather than ad-hoc CI shell) pins the row
 schema: a field rename in a BENCH file breaks this script in CI, not a
@@ -24,6 +35,7 @@ dashboard three weeks later.
 
 import argparse
 import json
+import statistics
 import sys
 from pathlib import Path
 
@@ -42,12 +54,18 @@ HEADLINES = {
     "BENCH_sim.json": [
         ("sim_campaign_seconds", ("compiled_seconds",)),
         ("sim_campaign_speedup", ("campaign_speedup",)),
+        ("sim_ring_seconds", ("ring", "ring_seconds")),
+        ("sim_ring_speedup", ("ring", "ring_speedup")),
     ],
     "BENCH_store.json": [
         ("store_warm_seconds", ("warm_seconds",)),
         ("store_speedup", ("speedup",)),
     ],
 }
+
+#: Row fields holding {label: seconds} maps, rendered as sub-tables by
+#: ``--merge`` and gated per-label by ``--gate``.
+SERIES_FIELDS = ("logic_width_seconds", "batch_pass_seconds")
 
 
 def _dig(document, path):
@@ -59,8 +77,30 @@ def _dig(document, path):
     return value
 
 
+def _width_rows(args) -> dict[str, float]:
+    """Per-width engine seconds: prefer the rows ``bench_logic --check``
+    measured on *this* runner; fall back to the committed baseline."""
+    for path, key in (
+        (Path(args.logic_check), "widths"),
+        (ROOT / "BENCH_logic.json", "widths"),
+    ):
+        if not path.is_file():
+            continue
+        rows = json.loads(path.read_text()).get(key) or []
+        out = {
+            str(r["width"]): r["engine_seconds"]
+            for r in rows
+            if "engine_seconds" in r
+        }
+        if out:
+            return out
+    return {}
+
+
 def collect(args) -> int:
     row = {"sha": args.sha}
+    if args.order is not None:
+        row["order"] = args.order
     for name, fields in HEADLINES.items():
         path = ROOT / name
         if not path.is_file():
@@ -70,6 +110,9 @@ def collect(args) -> int:
             value = _dig(document, keys)
             if value is not None:
                 row[field] = value
+    widths = _width_rows(args)
+    if widths:
+        row["logic_width_seconds"] = widths
     telemetry = Path(args.batch_telemetry)
     if telemetry.is_file():
         items = json.loads(telemetry.read_text())
@@ -91,24 +134,143 @@ def collect(args) -> int:
     return 0
 
 
+def ordered_rows(paths) -> list[dict]:
+    """Load rows; sort by the ``order`` stamp when every row has one,
+    otherwise trust the argument order (oldest first)."""
+    rows = [json.loads(Path(path).read_text()) for path in paths]
+    if rows and all("order" in row for row in rows):
+        rows.sort(key=lambda row: row["order"])
+    return rows
+
+
+def _print_table(header: list[str], lines: list[list[str]]) -> None:
+    widths = [
+        max(len(str(cell)) for cell in column)
+        for column in zip(header, *lines)
+    ]
+    for cells in [header, *lines]:
+        print(
+            "  ".join(
+                f"{str(cell):>{width}s}"
+                for cell, width in zip(cells, widths)
+            )
+        )
+
+
+def _series_table(rows: list[dict], field: str, title: str) -> None:
+    labels = sorted(
+        {label for row in rows for label in row.get(field, {})},
+        key=lambda s: (len(s), s),
+    )
+    if not labels:
+        return
+    print(f"\n{title}:")
+    lines = []
+    for row in rows:
+        series = row.get(field, {})
+        lines.append(
+            [str(row.get("sha", "?"))[:12]]
+            + [
+                "-" if label not in series else f"{series[label]:.4f}"
+                for label in labels
+            ]
+        )
+    _print_table(["sha"] + labels, lines)
+
+
 def merge(args) -> int:
-    rows = [json.loads(Path(path).read_text()) for path in args.rows]
+    rows = ordered_rows(args.rows)
     fields = sorted(
         {
             field
             for row in rows
             for field in row
-            if field not in ("sha", "batch_pass_seconds")
+            if field not in ("sha", "order", *SERIES_FIELDS)
         }
     )
-    header = ["sha"] + fields
-    print("  ".join(f"{name:>24s}" for name in header))
+    lines = [
+        [str(row.get("sha", "?"))[:12]]
+        + [
+            "-" if row.get(field) is None else f"{row[field]}"
+            for field in fields
+        ]
+        for row in rows
+    ]
+    _print_table(["sha"] + fields, lines)
+    _series_table(rows, "logic_width_seconds", "logic engine seconds by width")
+    _series_table(rows, "batch_pass_seconds", "batch seconds by pass")
+    return 0
+
+
+def _gate_series(rows: list[dict]) -> dict[str, list[float]]:
+    """Every gated time series in the rows: scalar ``*_seconds`` fields
+    plus each labelled entry of the per-width/per-pass maps.  Rows that
+    miss a point simply contribute nothing to that series."""
+    series: dict[str, list[float]] = {}
     for row in rows:
-        cells = [str(row.get("sha", "?"))[:12]]
-        for field in fields:
-            value = row.get(field)
-            cells.append("-" if value is None else f"{value}")
-        print("  ".join(f"{cell:>24s}" for cell in cells))
+        for field, value in row.items():
+            if field in SERIES_FIELDS:
+                for label, seconds in value.items():
+                    series.setdefault(f"{field}[{label}]", []).append(
+                        float(seconds)
+                    )
+            elif field.endswith("_seconds") and isinstance(
+                value, (int, float)
+            ):
+                series.setdefault(field, []).append(float(value))
+    return series
+
+
+def gate_failures(
+    rows: list[dict], window: int = 3, threshold: float = 0.20
+) -> list[tuple[str, float, float]]:
+    """``(series, recent_median, baseline_median)`` for every time
+    series whose median over the newest ``window`` rows exceeds the
+    median of the older rows by more than ``threshold``.
+
+    Rows must be oldest-first.  Series without at least ``window``
+    recent points *and* one older point are skipped — a brand-new
+    benchmark tier cannot fail the gate until it has history.
+    """
+    failures = []
+    recent_rows, older_rows = rows[-window:], rows[:-window]
+    older = _gate_series(older_rows)
+    recent = _gate_series(recent_rows)
+    for name, points in sorted(recent.items()):
+        baseline = older.get(name, [])
+        if len(points) < window or not baseline:
+            continue
+        recent_median = statistics.median(points)
+        baseline_median = statistics.median(baseline)
+        if baseline_median > 0 and (
+            recent_median > baseline_median * (1.0 + threshold)
+        ):
+            failures.append((name, recent_median, baseline_median))
+    return failures
+
+
+def gate(args) -> int:
+    rows = ordered_rows(args.rows)
+    if len(rows) <= args.window:
+        print(
+            f"trend gate: only {len(rows)} row(s) for a window of "
+            f"{args.window} — nothing to compare yet, passing"
+        )
+        return 0
+    failures = gate_failures(rows, args.window, args.threshold)
+    print(
+        f"trend gate: {len(rows)} rows, window {args.window}, "
+        f"threshold {args.threshold:.0%}"
+    )
+    for name, recent_median, baseline_median in failures:
+        print(
+            f"FAIL: {name} median {recent_median:.4f}s over the last "
+            f"{args.window} commits vs {baseline_median:.4f}s before "
+            f"({recent_median / baseline_median - 1.0:+.0%})"
+        )
+    if failures:
+        return 1
+    print("ok: no sustained regression")
     return 0
 
 
@@ -126,14 +288,47 @@ def main() -> int:
         metavar="ROW.json",
         help="merge collected rows into a cross-commit trend table",
     )
+    mode.add_argument(
+        "--gate",
+        dest="gate_rows",
+        nargs="+",
+        metavar="ROW.json",
+        help="fail on a sustained median regression across rows",
+    )
     parser.add_argument("--sha", default="local", help="commit id stamp")
+    parser.add_argument(
+        "--order",
+        type=int,
+        default=None,
+        help="monotonic ordering stamp (e.g. the CI run number)",
+    )
     parser.add_argument(
         "--batch-telemetry",
         default="batch-telemetry.json",
         help="a `seance batch --json` capture to fold in",
     )
+    parser.add_argument(
+        "--logic-check",
+        default="bench-logic-check.json",
+        help="a `bench_logic --check` capture of per-width rows",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=3,
+        help="--gate: number of newest commits to take the median over",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="--gate: fractional regression that fails the gate",
+    )
     parser.add_argument("--out", default="telemetry-trend.json")
     args = parser.parse_args()
+    if args.gate_rows:
+        args.rows = args.gate_rows
+        return gate(args)
     return collect(args) if args.collect else merge(args)
 
 

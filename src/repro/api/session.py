@@ -166,14 +166,17 @@ class Session:
         seed: int = 0,
         use_fsv: bool = True,
         jobs: int = 1,
-        engine: str = "compiled",
+        engine: str | None = None,
     ):
         """Synthesise, build the FANTOM machine, run a validation campaign.
 
         The session's spec and warm cache drive the synthesis, then a
         :class:`~repro.sim.campaign.ValidationCampaign` sweeps ``sweep``
         seeded random walks under each named delay model (see
-        :data:`~repro.sim.campaign.DELAY_MODELS`).  Returns the
+        :data:`~repro.sim.campaign.DELAY_MODELS`).  ``engine`` selects
+        the kernel (``"compiled"``, ``"ring"``, ``"reference"``; the
+        default follows :func:`~repro.sim.campaign.default_engine`).
+        Returns the
         deterministic :class:`~repro.sim.campaign.CampaignResult`::
 
             report = api.load("hazard_demo").validate(

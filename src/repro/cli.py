@@ -566,10 +566,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     val.add_argument(
         "--engine",
-        choices=["compiled", "reference"],
-        default="compiled",
-        help="simulation kernel (reference = the retained seed "
-        "interpreter, for benchmarking)",
+        choices=["compiled", "ring", "reference"],
+        default=None,
+        help="simulation kernel (ring = batched integer-time event "
+        "kernel with segment replay; reference = the retained seed "
+        "interpreter, for benchmarking; default compiled, or "
+        "$REPRO_SIM_ENGINE)",
     )
     val.add_argument(
         "--skewed",
@@ -727,9 +729,10 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--engine",
-            choices=["compiled", "reference"],
-            default="compiled",
-            help="[campaign] simulation kernel",
+            choices=["compiled", "ring", "reference"],
+            default=None,
+            help="[campaign] simulation kernel (default compiled, or "
+            "$REPRO_SIM_ENGINE)",
         )
 
     splan = shard_sub.add_parser(

@@ -27,7 +27,13 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 from ..errors import CoveringError
-from .bitset import iter_bits, mask_of
+from .bitset import (
+    ChunkedMask,
+    andnot,
+    contains_member,
+    mask_of,
+    members_of,
+)
 from .cube import Cube, remove_contained
 from .function import BooleanFunction
 from .quine_mccluskey import primes_of, useful_primes
@@ -70,39 +76,49 @@ class CoverResult:
         return sum(cube.num_literals for cube in self.cubes)
 
 
-def _covered_once_mask(coverage: Sequence[int]) -> int:
+def _covered_once_mask(coverage: Sequence):
     """Bitset of the minterms covered by exactly one coverage mask."""
     once = 0
     more = 0
     for cov in coverage:
         more |= once & cov
         once |= cov
-    return once & ~more
+    return andnot(once, more)
 
 
-def _unique_coverer(coverage: Sequence[int], unique_mask: int) -> dict[int, int]:
+def _unique_coverer(coverage: Sequence, unique_mask) -> dict[int, int]:
     """Map each uniquely covered minterm to the index of its sole coverer."""
     coverer: dict[int, int] = {}
     for i, cov in enumerate(coverage):
         hits = cov & unique_mask
         if hits:
-            for m in iter_bits(hits):
+            for m in members_of(hits):
                 coverer[m] = i
     return coverer
 
 
+def _coverages(primes: Sequence[Cube], mask) -> list:
+    """Per-prime coverage masks in the representation ``mask`` uses."""
+    if isinstance(mask, ChunkedMask):
+        return [p.chunked_coverage(mask.chunk_bits) for p in primes]
+    return [p.coverage_mask() for p in primes]
+
+
 def essential_primes(
-    primes: Sequence[Cube], on: Iterable[int] | int
+    primes: Sequence[Cube], on: Iterable[int] | int | ChunkedMask
 ) -> list[Cube]:
     """Primes that are the unique cover of at least one on-set minterm."""
-    on_mask = on if isinstance(on, int) else mask_of(on)
+    if isinstance(on, (int, ChunkedMask)):
+        on_mask = on
+    else:
+        on_mask = mask_of(on)
     primes = list(primes)
-    coverage = [p.coverage_mask() for p in primes]
+    coverage = _coverages(primes, on_mask)
     unique = _covered_once_mask(coverage) & on_mask
     coverer = _unique_coverer(coverage, unique)
     essential: list[Cube] = []
     seen: set[int] = set()
-    for m in iter_bits(unique):
+    for m in members_of(unique):
         i = coverer[m]
         if i not in seen:
             seen.add(i)
@@ -137,16 +153,29 @@ def minimal_cover(
     if primes is None:
         primes = useful_primes(primes_of(function), function.on_mask)
     primes = list(primes)
-    off_mask = function.off_mask
     coverage = []
-    for prime in primes:
-        function._check_cube_width(prime, function.names)
-        cov = prime.coverage_mask()
-        if cov & off_mask:
-            raise CoveringError(
-                f"candidate {prime} intersects the off-set of the function"
-            )
-        coverage.append(cov)
+    if function.wide:
+        # Wide widths never materialise the off-set: a candidate avoids
+        # it exactly when its coverage stays inside the care set.
+        care_mask = function.care_mask
+        for prime in primes:
+            function._check_cube_width(prime, function.names)
+            cov = prime.chunked_coverage(care_mask.chunk_bits)
+            if not cov.is_subset(care_mask):
+                raise CoveringError(
+                    f"candidate {prime} intersects the off-set of the function"
+                )
+            coverage.append(cov)
+    else:
+        off_mask = function.off_mask
+        for prime in primes:
+            function._check_cube_width(prime, function.names)
+            cov = prime.coverage_mask()
+            if cov & off_mask:
+                raise CoveringError(
+                    f"candidate {prime} intersects the off-set of the function"
+                )
+            coverage.append(cov)
 
     remaining = function.on_mask
     if not remaining:
@@ -167,7 +196,7 @@ def minimal_cover(
     while True:
         found: list[int] = []
         found_set: set[int] = set()
-        for m in iter_bits(unique & remaining):
+        for m in members_of(unique & remaining):
             i = coverer[m]
             if i not in found_set:
                 found_set.add(i)
@@ -180,7 +209,7 @@ def minimal_cover(
             chosen_set.add(i)
             if i not in essential_idx:
                 essential_idx.append(i)
-            remaining &= ~coverage[i]
+            remaining = andnot(remaining, coverage[i])
         if not remaining:
             break
 
@@ -194,9 +223,10 @@ def minimal_cover(
         union = 0
         for i in candidates:
             union |= coverage[i]
-        if remaining & ~union:
+        uncoverable = andnot(remaining, union)
+        if uncoverable:
             raise CoveringError(
-                f"{(remaining & ~union).bit_count()} on-set minterms cannot "
+                f"{uncoverable.bit_count()} on-set minterms cannot "
                 f"be covered by the supplied candidate implicants"
             )
         use_exact = (
@@ -219,9 +249,14 @@ def minimal_cover(
 
 
 def any_cover_possible(
-    candidates: Sequence[Cube], minterms: Iterable[int] | int
+    candidates: Sequence[Cube], minterms: Iterable[int] | int | ChunkedMask
 ) -> bool:
     """True when the union of the candidates contains every minterm."""
+    if isinstance(minterms, ChunkedMask):
+        union = ChunkedMask.empty(minterms.chunk_bits)
+        for cube in candidates:
+            union = union | cube.chunked_coverage(minterms.chunk_bits)
+        return minterms.is_subset(union)
     wanted = minterms if isinstance(minterms, int) else mask_of(minterms)
     union = 0
     for cube in candidates:
@@ -231,9 +266,9 @@ def any_cover_possible(
 
 def _greedy(
     primes: Sequence[Cube],
-    coverage: Sequence[int],
+    coverage: Sequence,
     candidates: list[int],
-    remaining: int,
+    remaining,
 ) -> list[int]:
     """Greedy set cover: repeatedly take the cube covering the most."""
     chosen: list[int] = []
@@ -249,15 +284,15 @@ def _greedy(
         if not gain:
             raise CoveringError("greedy cover stalled (internal error)")
         chosen.append(best)
-        remaining &= ~gain
+        remaining = andnot(remaining, gain)
     return chosen
 
 
 def _branch_and_bound(
     primes: Sequence[Cube],
-    coverage: Sequence[int],
+    coverage: Sequence,
     candidates: list[int],
-    remaining: int,
+    remaining,
 ) -> list[int]:
     """Exact minimum completion of the cover (terms, then literals).
 
@@ -279,14 +314,14 @@ def _branch_and_bound(
     # minterm never changes during the search.
     counts: dict[int, int] = {}
     for i in candidates:
-        for m in iter_bits(cover_map[i]):
+        for m in members_of(cover_map[i]):
             counts[m] = counts.get(m, 0) + 1
     order = sorted(counts, key=lambda m: (counts[m], m))
 
     # Pareto prefixes per remaining-universe bitset (see docstring).
-    explored: dict[int, list[tuple[int, int]]] = {}
+    explored: dict = {}
 
-    def search(uncovered: int, chosen: list[int], chosen_lits: int) -> None:
+    def search(uncovered, chosen: list[int], chosen_lits: int) -> None:
         nonlocal best, best_cost
         if not uncovered:
             cost = (len(chosen), chosen_lits)
@@ -301,8 +336,10 @@ def _branch_and_bound(
             if terms <= len(chosen) and lits <= chosen_lits:
                 return
         prefixes.append((len(chosen), chosen_lits))
-        target = next(m for m in order if uncovered >> m & 1)
-        options = [i for i in candidates if cover_map[i] >> target & 1]
+        target = next(m for m in order if contains_member(uncovered, m))
+        options = [
+            i for i in candidates if contains_member(cover_map[i], target)
+        ]
         # Try larger cubes first: covers more, fewer literals.
         options.sort(
             key=lambda i: (cover_map[i] & uncovered).bit_count(), reverse=True
@@ -313,7 +350,7 @@ def _branch_and_bound(
             chosen.append(option)
             lits = chosen_lits + literals[option]
             if (len(chosen), lits) <= best_cost:
-                search(uncovered & ~cover_map[option], chosen, lits)
+                search(andnot(uncovered, cover_map[option]), chosen, lits)
             chosen.pop()
 
     search(remaining, [], 0)

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
-from .bitset import mask_of
+from .bitset import ChunkedMask, mask_of
 from .cube import Cube
 from .function import BooleanFunction
 
@@ -111,12 +111,19 @@ def useful_primes(
     wholly in the don't-care set add gates without covering anything and
     are dropped.
 
-    ``on`` may be an iterable of minterms or an already-packed on-set
-    bitset int (callers with a :class:`BooleanFunction` at hand pass
+    ``on`` may be an iterable of minterms, an already-packed on-set
+    bitset int, or a :class:`~repro.logic.bitset.ChunkedMask` for wide
+    functions (callers with a :class:`BooleanFunction` at hand pass
     :attr:`~repro.logic.function.BooleanFunction.on_mask` so the packing
     happens once per function).  Each prime is kept on a single
-    ``coverage & on_mask != 0`` big-int test.
+    ``coverage & on_mask != 0`` test — per-chunk in the wide case.
     """
+    if isinstance(on, ChunkedMask):
+        return [
+            p
+            for p in primes
+            if p.chunked_coverage(on.chunk_bits).intersects(on)
+        ]
     on_mask = on if isinstance(on, int) else mask_of(on)
     return [p for p in primes if p.coverage_mask() & on_mask]
 

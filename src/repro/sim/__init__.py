@@ -4,9 +4,11 @@ harness, and Monte-Carlo validation campaigns."""
 from ._reference import ReferenceSimulator
 from .campaign import (
     DELAY_MODELS,
+    ENGINES,
     CampaignCell,
     CampaignResult,
     ValidationCampaign,
+    default_engine,
     delay_model,
 )
 from .delays import (
@@ -27,6 +29,7 @@ from .harness import (
 )
 from .monitors import CycleReport, ValidationSummary, count_changes
 from .reference import FlowTableInterpreter, ReferenceStep
+from .ring import RingSimulator
 from .simulator import NetChange, Simulator
 from .vcd import trace_to_vcd, write_vcd
 
@@ -37,17 +40,20 @@ __all__ = [
     "CycleReport",
     "DELAY_MODELS",
     "DelayModel",
+    "ENGINES",
     "FantomHarness",
     "FlowTableInterpreter",
     "NetChange",
     "RandomDelay",
     "ReferenceSimulator",
     "ReferenceStep",
+    "RingSimulator",
     "Simulator",
     "UnitDelay",
     "ValidationCampaign",
     "ValidationSummary",
     "count_changes",
+    "default_engine",
     "delay_model",
     "hostile_random",
     "loop_safe_random",

@@ -55,6 +55,7 @@ from .delays import (
 )
 from .harness import random_legal_walk, validate_walk
 from .monitors import ValidationSummary
+from .ring import RingSimulator
 from .simulator import Simulator
 
 
@@ -90,13 +91,31 @@ DELAY_MODELS = {
 }
 
 #: Simulation kernels a campaign can drive, by name (picklable).
-ENGINES = {"compiled": Simulator}
+ENGINES = {"compiled": Simulator, "ring": RingSimulator}
 
 
 def _reference_engine():
     from ._reference import ReferenceSimulator
 
     return ReferenceSimulator
+
+
+def default_engine() -> str:
+    """The kernel used when no ``engine`` is given explicitly.
+
+    ``$REPRO_SIM_ENGINE`` overrides (validated; the documented escape
+    hatch is ``REPRO_SIM_ENGINE=compiled`` for environments without
+    numpy — the ring kernel itself degrades to scalar front evaluation
+    there, so either name works, but ``compiled`` avoids even the
+    optional import).  Defaults to ``"compiled"``.
+    """
+    import os
+
+    name = os.environ.get("REPRO_SIM_ENGINE")
+    if name:
+        _resolve_engine(name)
+        return name
+    return "compiled"
 
 
 def delay_model(name: str, seed: int, machine: FantomMachine):
@@ -277,8 +296,12 @@ class ValidationCampaign:
         :class:`~repro.pipeline.spec.PipelineSpec` for the synthesis
         phase (pass variants, options, stage cache).
     engine:
-        ``"compiled"`` (default) or ``"reference"`` — the retained seed
-        kernel, for benchmarking and distrust.
+        ``"compiled"`` (the default, via :func:`default_engine` /
+        ``$REPRO_SIM_ENGINE``), ``"ring"`` (the event-ring kernel of
+        :mod:`repro.sim.ring` — batched integer-time fronts with
+        run-segment replay, the fast path for unit-delay sweeps), or
+        ``"reference"`` — the retained seed kernel, for benchmarking
+        and distrust.  All three are pinned trace-equivalent.
     store:
         A content-addressed :class:`~repro.store.ResultStore` (or a
         path/backend to open one over).  The synthesis phase routes
@@ -300,9 +323,11 @@ class ValidationCampaign:
         use_fsv: bool = True,
         jobs: int = 1,
         spec=None,
-        engine: str = "compiled",
+        engine: str | None = None,
         store=None,
     ):
+        if engine is None:
+            engine = default_engine()
         if sweep < 1:
             raise SimulationError(f"sweep must be >= 1, got {sweep}")
         if steps < 1:

@@ -29,12 +29,14 @@ from ..logic.bitset import iter_bits
 #: search) raised this from the original 30.
 EXACT_LIMIT = 48
 
-#: Above this many live candidates the quadratic dominated-candidate
-#: elimination is skipped: it exists to shrink the exact search (which
-#: such instances never take — they are far past :data:`EXACT_LIMIT`),
-#: and Tracey covering problems can reach tens of thousands of merged
-#: dichotomies, where the all-pairs subset scan dominates the whole
-#: synthesis run.
+#: Above this many live candidates the dominated-candidate elimination
+#: switches from the direct all-pairs subset scan to the indexed
+#: :func:`_undominated_indexed` (same survivors, built on a
+#: rarest-element / popcount-ordered superset index).  Tracey covering
+#: problems can reach tens of thousands of merged dichotomies, where the
+#: quadratic scan used to dominate the whole synthesis run — and was
+#: simply skipped, leaving the greedy fallback to wade through every
+#: dominated candidate on each selection round.
 DOMINANCE_LIMIT = 2000
 
 
@@ -142,6 +144,8 @@ def minimum_set_cover(
             if not dominated:
                 undominated.append(i)
         live = undominated
+    else:
+        live = _undominated_indexed(live, useful)
 
     use_exact = exact if exact is not None else len(live) <= EXACT_LIMIT
     if use_exact:
@@ -149,6 +153,94 @@ def minimum_set_cover(
         return SetCoverResult(tuple(sorted(chosen + extra)), True)
     extra = _greedy(remaining, live, useful)
     return SetCoverResult(tuple(sorted(chosen + extra)), False)
+
+
+def _undominated_indexed(
+    live: list[int], useful: dict[int, int]
+) -> list[int]:
+    """Dominance elimination on a popcount-bucketed subset index.
+
+    Computes exactly the survivors of the all-pairs predicate
+    ``ui | uj == uj and (ui != uj or j < i)`` without the quadratic
+    scan.  Duplicate masks are collapsed to their lowest index first; a
+    distinct mask is then dominated iff some *strict* superset exists
+    among the other distinct masks.
+
+    Masks are processed in popcount buckets, largest first, so every
+    possible dominator of a mask is indexed before the mask is probed
+    (a strict superset has strictly larger popcount, and domination is
+    transitive, so indexing only the *surviving* masks of earlier
+    buckets is complete).  The index is one candidate-axis bitset per
+    universe element — bit ``t`` of ``bucket[k]`` says indexed mask
+    ``t`` contains element ``k`` — so "some indexed mask contains every
+    element of ``m``" is an AND-cascade over ``m``'s elements, walked
+    rarest element first and abandoned on the first empty
+    intersection, which for an undominated mask is almost immediate.
+    The bitsets live in bytearrays (O(1) bit appends when a bucket's
+    survivors are inserted) and are materialised as ints lazily per
+    probe generation.
+    """
+    # Lowest live index per distinct mask (``live`` ascends, so first
+    # wins); later duplicates are dominated by the equal-mask clause.
+    first: dict[int, int] = {}
+    for i in live:
+        first.setdefault(useful[i], i)
+    distinct = list(first)
+    nbytes = (len(distinct) + 7) // 8
+
+    freq: dict[int, int] = {}
+    for m in distinct:
+        for k in iter_bits(m):
+            freq[k] = freq.get(k, 0) + 1
+    by_size: dict[int, list[int]] = {}
+    for m in distinct:
+        by_size.setdefault(m.bit_count(), []).append(m)
+
+    arrays: dict[int, bytearray] = {}
+    ints: dict[int, int] = {}  # lazy int view of ``arrays``, per element
+    dominated: set[int] = set()
+    slot = 0
+    for size in sorted(by_size, reverse=True):
+        group = by_size[size]
+        if arrays:
+            for m in group:
+                elems = sorted(iter_bits(m), key=freq.__getitem__)
+                acc = None
+                for k in elems:
+                    arr = arrays.get(k)
+                    if arr is None:
+                        acc = 0
+                        break
+                    bucket = ints.get(k)
+                    if bucket is None:
+                        bucket = int.from_bytes(arr, "little")
+                        ints[k] = bucket
+                    acc = bucket if acc is None else acc & bucket
+                    if not acc:
+                        break
+                if acc:
+                    dominated.add(m)
+        touched: set[int] = set()
+        for m in group:
+            if m in dominated:
+                continue
+            byte, bit = slot >> 3, 1 << (slot & 7)
+            slot += 1
+            for k in iter_bits(m):
+                arr = arrays.get(k)
+                if arr is None:
+                    arr = bytearray(nbytes)
+                    arrays[k] = arr
+                arr[byte] |= bit
+                touched.add(k)
+        for k in touched:
+            ints.pop(k, None)
+
+    return [
+        i
+        for i in live
+        if first[useful[i]] == i and useful[i] not in dominated
+    ]
 
 
 def _greedy(

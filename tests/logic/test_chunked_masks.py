@@ -1,0 +1,242 @@
+"""The chunked coverage-mask representation is pinned to dense big ints.
+
+Every :class:`~repro.logic.bitset.ChunkedMask` operation the engine uses
+must agree bit-for-bit with the raw-int bitset algebra it replaces, and
+the whole wide synthesis path (primes, useful primes, minimum cover,
+hazard scan) must produce identical results when forced through the
+chunked representation at widths where the dense path is the oracle.
+Small ``chunk_bits`` values are used throughout so every mask genuinely
+spans many chunks.
+"""
+
+import random
+
+import pytest
+
+from repro.logic.bitset import (
+    CHUNK_BITS,
+    ChunkedMask,
+    chunked_coverage,
+    coverage_mask,
+    half_space,
+    iter_bits,
+    mask_of,
+)
+from repro.logic.cube import Cube
+
+CHUNK_SIZES = (2, 3, 5, 16)
+
+
+def dense_of(chunked: ChunkedMask) -> int:
+    return mask_of(chunked.members())
+
+
+def random_pair(rng: random.Random, width: int, chunk_bits: int):
+    space = 1 << width
+    a_bits = rng.getrandbits(space)
+    b_bits = rng.getrandbits(space)
+    a = ChunkedMask.from_minterms(iter_bits(a_bits), chunk_bits)
+    b = ChunkedMask.from_minterms(iter_bits(b_bits), chunk_bits)
+    return a_bits, b_bits, a, b
+
+
+class TestOperatorEquivalence:
+    def test_algebra_matches_dense(self):
+        rng = random.Random(0xC0FFEE)
+        for _ in range(120):
+            width = rng.randrange(4, 15)
+            chunk_bits = rng.choice(CHUNK_SIZES)
+            a_bits, b_bits, a, b = random_pair(rng, width, chunk_bits)
+            assert dense_of(a) == a_bits
+            assert a.bit_count() == a_bits.bit_count()
+            assert dense_of(a | b) == a_bits | b_bits
+            assert dense_of(a & b) == a_bits & b_bits
+            assert dense_of(a ^ b) == a_bits ^ b_bits
+            assert dense_of(a.andnot(b)) == a_bits & ~b_bits
+            assert dense_of(a & ~b) == a_bits & ~b_bits
+            assert a.is_subset(b) == (a_bits & ~b_bits == 0)
+            assert a.intersects(b) == bool(a_bits & b_bits)
+            assert (a == b) == (a_bits == b_bits)
+            for m in range(1 << width):
+                if rng.random() < 0.01:
+                    assert a.contains(m) == bool(a_bits >> m & 1)
+
+    def test_adjacent_pairs_matches_pair_shift(self):
+        # Both regimes: var below chunk_bits (within-chunk shift) and var
+        # at/above it (chunk-against-partner-chunk AND).
+        rng = random.Random(0xAD7ACE)
+        for _ in range(80):
+            width = rng.randrange(4, 13)
+            chunk_bits = rng.choice((2, 3, 5))
+            a_bits, _, a, _ = random_pair(rng, width, chunk_bits)
+            for var in range(width):
+                shift = 1 << var
+                dense = a_bits & (a_bits >> shift) & half_space(width, var)
+                assert dense_of(a.adjacent_pairs(var)) == dense, (
+                    width,
+                    chunk_bits,
+                    var,
+                )
+
+    def test_equal_masks_hash_equal(self):
+        rng = random.Random(7)
+        for _ in range(40):
+            members = rng.sample(range(1 << 12), rng.randrange(0, 64))
+            a = ChunkedMask.from_minterms(members, 4)
+            b = ChunkedMask.from_minterms(reversed(members), 4)
+            assert a == b
+            assert hash(a) == hash(b)
+
+    def test_members_increasing(self):
+        members = [0, 3, 17, 4000, 65535, 70000]
+        cm = ChunkedMask.from_minterms(reversed(members), CHUNK_BITS)
+        assert list(cm.members()) == members
+        assert cm.bit_count() == len(members)
+
+
+class TestIntSeedConventions:
+    """Dense accumulation loops seeded with ``covered = 0`` must work."""
+
+    def test_zero_seeds(self):
+        m = ChunkedMask.from_minterms([1, 70], 4)
+        assert (0 | m) == m
+        assert (m | 0) == m
+        assert (0 & m) == 0
+        assert (m & 0) == 0
+        assert (0 ^ m) == m
+        assert ChunkedMask.empty(4) == 0
+        assert not ChunkedMask.empty(4)
+        assert m != 0
+        assert bool(m)
+
+    def test_complement_is_restricted(self):
+        m = ChunkedMask.from_minterms([1, 70], 4)
+        assert (0 & ~m) == 0
+        assert ~~m == m
+        with pytest.raises(TypeError):
+            _ = 5 & ~m
+
+    def test_chunk_size_mismatch_raises(self):
+        a = ChunkedMask.from_minterms([1], 4)
+        b = ChunkedMask.from_minterms([1], 5)
+        with pytest.raises(ValueError):
+            _ = a | b
+        assert a != b
+
+
+class TestChunkedCoverage:
+    def test_matches_dense_coverage(self):
+        rng = random.Random(0xCBE)
+        for _ in range(200):
+            width = rng.randrange(1, 15)
+            chunk_bits = rng.choice(CHUNK_SIZES)
+            mask = rng.getrandbits(width)
+            value = rng.getrandbits(width) & mask
+            chunked = chunked_coverage(width, mask, value, chunk_bits)
+            assert dense_of(chunked) == coverage_mask(width, mask, value)
+
+    def test_cube_chunked_coverage_cached(self):
+        cube = Cube.from_string("1-0-1")
+        cov = cube.chunked_coverage(3)
+        assert cov is cube.chunked_coverage(3)
+        assert dense_of(cov) == cube.coverage_mask()
+        # Distinct chunk sizes are cached independently.
+        assert dense_of(cube.chunked_coverage(2)) == cube.coverage_mask()
+
+    def test_wide_cube_minterms_increasing(self):
+        cube = Cube.from_string("1" + "-" * 3 + "0" * 19 + "-")
+        assert cube.width == 24
+        minterms = list(cube.minterms())
+        assert minterms == sorted(minterms)
+        assert len(minterms) == 16
+        assert dense_of(cube.chunked_coverage()) == mask_of(minterms)
+
+
+def _forced_wide(monkeypatch, chunk_bits: int) -> None:
+    """Push every engine stage onto the chunked path at any width."""
+    import repro.hazards.logic_hazards as hz
+    import repro.logic.cube as cube_mod
+    import repro.logic.function as fn_mod
+
+    monkeypatch.setattr(fn_mod, "DENSE_WIDTH_LIMIT", 0)
+    monkeypatch.setattr(cube_mod, "DENSE_WIDTH_LIMIT", 0)
+    monkeypatch.setattr(hz, "DENSE_WIDTH_LIMIT", 0)
+    monkeypatch.setattr(fn_mod, "CHUNK_BITS", chunk_bits)
+    monkeypatch.setattr(hz, "CHUNK_BITS", chunk_bits)
+    # Cube.chunked_coverage binds CHUNK_BITS as a def-time default; force
+    # the test chunk size through a wrapper instead.
+    original = Cube.chunked_coverage
+
+    def forced(self, _ignored=None):
+        return original(self, chunk_bits)
+
+    monkeypatch.setattr(Cube, "chunked_coverage", forced)
+
+
+class TestWideWorkloadEquivalence:
+    """The full synthesis pipeline agrees between dense and chunked."""
+
+    def test_forced_wide_pipeline_matches_dense(self, monkeypatch):
+        from repro.hazards.logic_hazards import static_one_hazards
+        from repro.logic.cover import minimal_cover
+        from repro.logic.function import BooleanFunction
+        from repro.logic.quine_mccluskey import primes_of, useful_primes
+
+        rng = random.Random(0x51DE)
+        cases = []
+        for _ in range(25):
+            width = rng.randrange(3, 9)
+            space = 1 << width
+            on = frozenset(
+                m for m in range(space) if rng.random() < 0.25
+            )
+            dc = frozenset(
+                m
+                for m in range(space)
+                if m not in on and rng.random() < 0.1
+            )
+            names = tuple(f"v{i}" for i in range(width))
+            cases.append(BooleanFunction(names, on=on, dc=dc))
+
+        def workload(f):
+            primes = primes_of(f)
+            useful = useful_primes(primes, f.on_mask)
+            cover = minimal_cover(f, primes)
+            hazards = static_one_hazards(list(cover.cubes), f.width)
+            return primes, useful, cover.cubes, cover.exact, hazards
+
+        dense = [workload(f) for f in cases]
+
+        _forced_wide(monkeypatch, chunk_bits=4)
+        for f, expected in zip(cases, dense):
+            wide = BooleanFunction(f.names, on=f.on, dc=f.dc)
+            assert wide.wide
+            assert workload(wide) == expected
+
+    def test_real_wide_function_end_to_end(self):
+        """Width above DENSE_WIDTH_LIMIT runs the genuine chunked path."""
+        from repro.hazards.logic_hazards import static_one_hazards
+        from repro.logic.cover import minimal_cover
+        from repro.logic.function import BooleanFunction
+        from repro.logic.quine_mccluskey import primes_of
+
+        width = 23
+        names = tuple(f"v{i}" for i in range(width))
+        rng = random.Random(99)
+        base = [rng.getrandbits(width) for _ in range(6)]
+        on = frozenset(
+            m
+            for seed in base
+            for m in (seed, seed ^ 1, seed ^ 2, seed ^ 3)
+        )
+        f = BooleanFunction(names, on=on)
+        assert f.wide
+        with pytest.raises(ValueError):
+            _ = f.off_mask
+        primes = primes_of(f)
+        cover = minimal_cover(f, primes)
+        assert f.is_cover(cover.cubes)
+        # No dc-set, so any valid cover covers exactly the on-set.
+        assert f.cover_equals_on_care_set(list(cover.cubes))
+        # The all-primes cover is hazard-free by construction.
+        assert not static_one_hazards(list(primes), width)

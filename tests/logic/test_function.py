@@ -30,8 +30,19 @@ class TestConstruction:
             BooleanFunction(("a", "a"))
 
     def test_rejects_too_wide(self):
+        from repro.logic.function import MAX_WIDTH
+
         with pytest.raises(ValueError):
-            BooleanFunction(tuple(f"v{i}" for i in range(23)))
+            BooleanFunction(tuple(f"v{i}" for i in range(MAX_WIDTH + 1)))
+
+    def test_accepts_wide_chunked_width(self):
+        # Widths above DENSE_WIDTH_LIMIT (but within MAX_WIDTH) are valid
+        # and use the chunked-mask representation.
+        f = BooleanFunction(
+            tuple(f"v{i}" for i in range(23)), on=frozenset({0, 5_000_000})
+        )
+        assert f.wide
+        assert f.on_mask.bit_count() == 2
 
     def test_constant(self):
         one = BooleanFunction.constant(("a", "b"), 1)

@@ -1,0 +1,216 @@
+"""The ring-buffer event kernel is pinned to the compiled kernel.
+
+Same pattern as the PR-4 engine swap: the vectorised bucket-ring kernel
+(:class:`repro.sim.ring.RingSimulator` — batched same-timestamp fronts,
+run-segment replay, heap fallback for fractional delays) must be
+observably indistinguishable from the compiled kernel — identical
+:class:`NetChange` traces, identical final net values, identical
+simulation time — on random netlists under random stimuli across every
+delay model, and identical campaign outcomes (including the failing
+cells of ablated machines) over the golden machines.
+(``events_processed`` intentionally differs in unit-delay mode: batched
+fronts elide pushes that the serial kernel enqueues and supersedes.)
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.ring import RingSimulator
+from repro.sim.simulator import Simulator
+
+from .test_equivalence import delay_model_for, netlists, run_one, stimuli
+
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+@st.composite
+def integral_stimuli(draw, nl):
+    """A monotone schedule of pin changes at integer times.
+
+    The fractional schedules of :func:`stimuli` force the ring kernel
+    onto its heap fallback; integral schedules keep it on the bucket
+    ring, exercising front batching and segment replay.
+    """
+    schedule = []
+    at = 0
+    for _ in range(draw(st.integers(1, 10))):
+        at += draw(st.integers(1, 4))
+        net = draw(st.sampled_from(nl.primary_inputs))
+        schedule.append((float(at), net, draw(st.integers(0, 1))))
+    return schedule
+
+
+class TestRingKernelEquivalence:
+    @given(data=st.data(), model=st.integers(0, 2), inertial=st.booleans())
+    @SETTINGS
+    def test_random_netlists_trace_identical(self, data, model, inertial):
+        nl = data.draw(netlists())
+        schedule = data.draw(stimuli(nl))
+        delays_factory = delay_model_for(model)
+        ring = run_one(RingSimulator, nl, schedule, delays_factory, inertial)
+        compiled = run_one(Simulator, nl, schedule, delays_factory, inertial)
+        assert ring[0] == compiled[0]  # NetChange streams
+        assert ring[1] == compiled[1]  # final values
+        assert ring[2] == compiled[2]  # simulation time
+
+    @given(data=st.data(), inertial=st.booleans())
+    @SETTINGS
+    def test_integral_unit_delay_stays_on_the_ring(self, data, inertial):
+        """Bucket-ring path (no heap migration) is trace-identical."""
+        nl = data.draw(netlists())
+        schedule = data.draw(integral_stimuli(nl))
+        delays_factory = delay_model_for(0)  # unit: integral delays
+        ring = run_one(RingSimulator, nl, schedule, delays_factory, inertial)
+        compiled = run_one(Simulator, nl, schedule, delays_factory, inertial)
+        assert ring[0] == compiled[0]
+        assert ring[1] == compiled[1]
+        assert ring[2] == compiled[2]
+
+    def test_fractional_schedule_migrates_to_heap(self):
+        """A fractional external event mid-run falls back losslessly."""
+        from repro.netlist.gates import GateType
+        from repro.netlist.netlist import Netlist
+        from repro.sim.delays import UnitDelay
+
+        nl = Netlist("mig")
+        nl.add_input("a")
+        nl.add_gate("g0", GateType.BUF, ["a"], "w0")
+        nl.add_gate("g1", GateType.NOR, ["w0", "w1"], "w1")
+        schedule = [(1.0, "a", 1), (2.5, "a", 0), (4.0, "a", 1)]
+        ring = run_one(
+            RingSimulator, nl, schedule, lambda: UnitDelay(), True
+        )
+        compiled = run_one(
+            Simulator, nl, schedule, lambda: UnitDelay(), True
+        )
+        assert ring == compiled
+
+
+class TestRingMachineEquivalence:
+    def test_campaign_outcomes_identical_all_models(self):
+        from repro.sim.campaign import DELAY_MODELS, ValidationCampaign
+
+        def campaign(engine):
+            return ValidationCampaign(
+                sweep=2,
+                steps=10,
+                delay_models=tuple(DELAY_MODELS),
+                engine=engine,
+            ).run_names(["hazard_demo", "traffic"])
+
+        ring = campaign("ring")
+        compiled = campaign("compiled")
+        assert [
+            (c.table, c.model, c.seed, c.summary.cycles) for c in ring.cells
+        ] == [
+            (c.table, c.model, c.seed, c.summary.cycles)
+            for c in compiled.cells
+        ]
+
+    def test_golden_walk_summaries_identical(self):
+        from repro.bench import benchmark
+        from repro.netlist.fantom import build_fantom
+        from repro.sim.harness import validate_against_reference
+
+        from ..strategies import cached_synthesize
+
+        for name in ("hazard_demo", "traffic", "lion"):
+            machine = build_fantom(cached_synthesize(benchmark(name)))
+            ring = validate_against_reference(
+                machine,
+                steps=25,
+                seeds=(0, 1),
+                simulator_factory=RingSimulator,
+            )
+            compiled = validate_against_reference(
+                machine, steps=25, seeds=(0, 1)
+            )
+            assert ring.cycles == compiled.cycles
+            assert ring.total > 0
+
+    def test_ablated_anomaly_cells_identical(self):
+        """Hazard firings of ablated machines agree failure for failure.
+
+        train11 under hostile skew and lion9 under loop-safe delays are
+        the anomaly cells of the campaign suite: the fsv-less machines
+        diverge there, and the ring kernel must report the *same*
+        failing cycles, not merely the same counts.
+        """
+        from repro.bench import benchmark
+        from repro.netlist.fantom import build_fantom
+        from repro.sim.delays import hostile_random, loop_safe_random
+        from repro.sim.harness import validate_against_reference
+
+        from ..strategies import cached_synthesize
+
+        cases = [
+            ("train11", hostile_random),
+            ("lion9", loop_safe_random),
+        ]
+        saw_failure = False
+        for name, delays_factory in cases:
+            machine = build_fantom(
+                cached_synthesize(benchmark(name)), use_fsv=False
+            )
+            kwargs = dict(
+                steps=15, seeds=(0, 1, 2), delays_factory=delays_factory
+            )
+            ring = validate_against_reference(
+                machine, simulator_factory=RingSimulator, **kwargs
+            )
+            compiled = validate_against_reference(machine, **kwargs)
+            assert ring.cycles == compiled.cycles
+            assert ring.failures == compiled.failures
+            saw_failure = saw_failure or not compiled.all_clean
+        assert saw_failure  # the ablated workload does expose hazards
+
+
+class TestRingFastPaths:
+    def _walk(self, name="traffic"):
+        from repro.bench import benchmark
+        from repro.netlist.fantom import build_fantom
+        from repro.sim.delays import UnitDelay
+        from repro.sim.harness import validate_against_reference
+
+        from ..strategies import cached_synthesize
+
+        machine = build_fantom(cached_synthesize(benchmark(name)))
+        return validate_against_reference(
+            machine,
+            steps=20,
+            seeds=(0,),
+            delays_factory=lambda seed: UnitDelay(),
+            simulator_factory=RingSimulator,
+        )
+
+    def test_front_and_replay_paths_engage(self, monkeypatch):
+        """Guard against a silent fall-through to the serial/live path."""
+        import repro.sim.ring as ring_mod
+
+        hits = {"front": 0, "replay": 0}
+        orig_front = ring_mod.RingSimulator._front
+        orig_replay = ring_mod.RingSimulator._replay
+
+        def front(self, *a, **kw):
+            hits["front"] += 1
+            return orig_front(self, *a, **kw)
+
+        def replay(self, *a, **kw):
+            hits["replay"] += 1
+            return orig_replay(self, *a, **kw)
+
+        monkeypatch.setattr(ring_mod.RingSimulator, "_front", front)
+        monkeypatch.setattr(ring_mod.RingSimulator, "_replay", replay)
+        summary = self._walk("lion9")
+        assert summary.total > 0
+        assert hits["front"] > 0
+        assert hits["replay"] > 0
+
+    def test_pure_python_front_matches_numpy(self, monkeypatch):
+        """The numpy vectorised front is optional; results are pinned."""
+        import repro.sim.ring as ring_mod
+
+        with_numpy = self._walk()
+        monkeypatch.setattr(ring_mod, "_np", None)
+        without_numpy = self._walk()
+        assert with_numpy.cycles == without_numpy.cycles

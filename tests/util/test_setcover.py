@@ -6,7 +6,11 @@ import random
 import pytest
 
 from repro.errors import CoveringError
-from repro.util.setcover import minimum_set_cover
+from repro.util.setcover import (
+    DOMINANCE_LIMIT,
+    _undominated_indexed,
+    minimum_set_cover,
+)
 
 
 def brute_force_min(universe, candidates):
@@ -78,6 +82,77 @@ class TestAgainstBruteForce:
             covered |= candidates[i]
         assert universe <= covered
         assert len(result.chosen) == brute_force_min(universe, candidates)
+
+
+def quadratic_undominated(live, useful):
+    """The direct all-pairs predicate the indexed elimination replaces."""
+    out = []
+    for i in live:
+        ui = useful[i]
+        dominated = any(
+            ui | useful[j] == useful[j] and (ui != useful[j] or j < i)
+            for j in live
+            if j != i
+        )
+        if not dominated:
+            out.append(i)
+    return out
+
+
+class TestDominanceIndex:
+    """`_undominated_indexed` computes exactly the quadratic survivors."""
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_matches_quadratic_predicate(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(1, 18)  # universe bits
+        count = rng.randint(1, 80)
+        live = sorted(rng.sample(range(3 * count), count))
+        useful = {
+            i: rng.getrandbits(n) | 1 << rng.randrange(n) for i in live
+        }
+        assert _undominated_indexed(live, useful) == quadratic_undominated(
+            live, useful
+        )
+
+    def test_duplicates_keep_lowest_index(self):
+        live = [2, 5, 9]
+        useful = {2: 0b011, 5: 0b011, 9: 0b011}
+        assert _undominated_indexed(live, useful) == [2]
+
+    def test_subset_chains_collapse_to_maximal(self):
+        live = list(range(4))
+        useful = {0: 0b0001, 1: 0b0011, 2: 0b0111, 3: 0b1000}
+        assert _undominated_indexed(live, useful) == [2, 3]
+
+    def test_incomparable_masks_all_survive(self):
+        live = list(range(3))
+        useful = {0: 0b011, 1: 0b110, 2: 0b101}
+        assert _undominated_indexed(live, useful) == live
+
+    def test_above_limit_instance_same_cover_as_forced_quadratic(
+        self, monkeypatch
+    ):
+        # Enough candidates to cross DOMINANCE_LIMIT and engage the
+        # index inside minimum_set_cover; the chosen cover must match a
+        # run with the limit raised out of reach (quadratic path).
+        rng = random.Random(17)
+        universe = set(range(16))
+        candidates = []
+        while len(candidates) <= DOMINANCE_LIMIT:
+            size = rng.randint(1, 6)
+            candidates.append(frozenset(rng.sample(sorted(universe), size)))
+        indexed = minimum_set_cover(universe, candidates)
+
+        import repro.util.setcover as sc
+
+        monkeypatch.setattr(sc, "DOMINANCE_LIMIT", len(candidates) + 1)
+        quadratic = minimum_set_cover(universe, candidates)
+        assert indexed == quadratic
+        covered = set()
+        for i in indexed.chosen:
+            covered |= candidates[i]
+        assert universe <= covered
 
 
 class TestGreedy:
