@@ -28,6 +28,13 @@ numbers preserved per commit.  This tool has three modes:
     noisy runner invisible: it takes a sustained drift, which is
     exactly what the single-commit 2x ``--check`` gates cannot see.
 
+Artifact retention bounds how far back ``--merge``/``--gate`` can see,
+so ``--collect --append TREND.jsonl`` additionally appends the row as
+one compact JSON line to a rolling committed file; ``--merge`` and
+``--gate`` accept ``.jsonl`` files (one row per line) anywhere a row
+file is expected, so ``--gate TREND.jsonl`` gates against the full
+committed history.
+
 Keeping collection in-repo (rather than ad-hoc CI shell) pins the row
 schema: a field rename in a BENCH file breaks this script in CI, not a
 dashboard three weeks later.
@@ -131,13 +138,29 @@ def collect(args) -> int:
         )
     Path(args.out).write_text(json.dumps(row, indent=2) + "\n")
     print(f"wrote {args.out} ({len(row) - 1} field(s))")
+    if args.append:
+        with Path(args.append).open("a") as stream:
+            stream.write(json.dumps(row, sort_keys=True) + "\n")
+        print(f"appended row to {args.append}")
     return 0
+
+
+def _load_rows(path) -> list[dict]:
+    """One row per ``.json`` file; one row per line of a ``.jsonl``."""
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        return [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
+    return [json.loads(path.read_text())]
 
 
 def ordered_rows(paths) -> list[dict]:
     """Load rows; sort by the ``order`` stamp when every row has one,
     otherwise trust the argument order (oldest first)."""
-    rows = [json.loads(Path(path).read_text()) for path in paths]
+    rows = [row for path in paths for row in _load_rows(path)]
     if rows and all("order" in row for row in rows):
         rows.sort(key=lambda row: row["order"])
     return rows
@@ -325,6 +348,13 @@ def main() -> int:
         help="--gate: fractional regression that fails the gate",
     )
     parser.add_argument("--out", default="telemetry-trend.json")
+    parser.add_argument(
+        "--append",
+        metavar="TREND.jsonl",
+        default=None,
+        help="--collect: also append the row as one line to a rolling "
+        "committed JSONL file",
+    )
     args = parser.parse_args()
     if args.gate_rows:
         args.rows = args.gate_rows

@@ -1,0 +1,243 @@
+#!/usr/bin/env python
+"""End-to-end service smoke: the CI job behind the service fabric.
+
+Spins up the whole fleet shape as real processes over a real socket:
+
+1. an in-process **fake object-store server** (the networked
+   ``StoreBackend`` substrate);
+2. ``seance serve`` as a subprocess in **queue mode** against it;
+3. a unit pre-claimed by a fabricated **crashed worker** (a lease that
+   will never beat again) plus **two worker subprocesses**, one of
+   which is SIGKILLed mid-run — the survivor must steal both ways;
+4. **two concurrent clients** submitting the same table list through
+   the front door.
+
+Passes when:
+
+* every submission succeeds and both clients see identical results;
+* the merged canonical stream is **byte-identical** to a single-process
+  ``seance batch --json --canonical``;
+* a warm resubmission short-circuits to **zero passes**;
+* the queue fully drains despite the crashed lease and the killed
+  worker (work stealing at the lease layer *and* the process layer).
+
+Stdlib only; run from the repo root:
+
+    PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.bench import benchmark  # noqa: E402
+from repro.service import FakeObjectStoreServer, ServiceClient, WorkQueue  # noqa: E402
+from repro.store import canonical_json  # noqa: E402
+
+TABLES = ["lion", "traffic", "hazard_demo", "lion9"]
+QUEUE = "ci-smoke"
+LEASE_TTL = 2.0
+
+
+def spawn(*argv, **kwargs):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *argv],
+        env=env,
+        cwd=ROOT,
+        **kwargs,
+    )
+
+
+def await_url(process, pattern, timeout=30.0):
+    """First URL matching ``pattern`` on the process's stdout."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise SystemExit(
+                f"process exited before announcing a URL "
+                f"(rc={process.poll()})"
+            )
+        match = re.search(pattern, line)
+        if match:
+            return match.group(0)
+    raise SystemExit("timed out waiting for the service URL")
+
+
+def main() -> int:
+    failures = []
+
+    def check(ok, what):
+        print(("ok  " if ok else "FAIL") + f" {what}", flush=True)
+        if not ok:
+            failures.append(what)
+
+    with FakeObjectStoreServer() as fake:
+        print(f"fake object store at {fake.url}", flush=True)
+        queue = WorkQueue(fake.url, QUEUE, lease_ttl=LEASE_TTL)
+
+        # A worker that claimed a unit and died without a word: publish
+        # the plan up front and take one lease that will never beat.
+        publish = spawn(
+            "queue", "publish", *TABLES,
+            "--store", fake.url, "--queue", QUEUE,
+        )
+        publish.wait(timeout=120)
+        check(publish.returncode == 0, "queue publish")
+        pending = queue.pending()
+        check(len(pending) == len(TABLES), "one unit per table published")
+        victim_digest = pending[0][0]
+        check(
+            queue.claim(victim_digest, "crashed-worker", ttl=LEASE_TTL),
+            "crashed worker holds a lease",
+        )
+
+        serve = spawn(
+            "serve",
+            "--store", fake.url,
+            "--queue", QUEUE,
+            "--port", "0",
+            "--lease-ttl", str(LEASE_TTL),
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        workers = [
+            spawn(
+                "work",
+                "--store", fake.url,
+                "--queue", QUEUE,
+                "--worker-id", f"worker-{index}",
+                "--lease-ttl", str(LEASE_TTL),
+                "--poll", "0.1",
+                "--keep-polling",
+                "--timeout", "90",
+            )
+            for index in range(2)
+        ]
+        try:
+            url = await_url(serve, r"http://[0-9.:]+")
+            print(f"front door at {url}", flush=True)
+
+            # Two concurrent clients, same submission list: the front
+            # door dedupes across them, the workers execute each unit
+            # exactly once (modulo steals, which are idempotent).
+            outcomes = {}
+
+            tables = [benchmark(name) for name in TABLES]
+
+            def run_client(slot):
+                client = ServiceClient(url, timeout=120)
+                outcomes[slot] = client.submit_tables(tables)
+
+            clients = [
+                threading.Thread(target=run_client, args=(slot,))
+                for slot in range(2)
+            ]
+            for thread in clients:
+                thread.start()
+
+            # While they work: SIGKILL one worker mid-run.  Its leases
+            # lapse after LEASE_TTL and the survivor steals them.
+            time.sleep(LEASE_TTL / 2)
+            workers[0].kill()
+            print("killed worker-0", flush=True)
+
+            for thread in clients:
+                thread.join()
+
+            for slot in (0, 1):
+                check(
+                    all(o["ok"] for o in outcomes[slot]),
+                    f"client {slot}: all submissions succeeded",
+                )
+            streams = {
+                slot: canonical_json(
+                    ServiceClient.canonical_items(outcomes[slot])
+                )
+                for slot in (0, 1)
+            }
+            check(
+                streams[0] == streams[1],
+                "both clients saw identical canonical results",
+            )
+
+            # Byte-identity against a single process.
+            batch = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "batch",
+                    *TABLES, "--json", "--canonical",
+                ],
+                env=dict(
+                    os.environ, PYTHONPATH=str(ROOT / "src")
+                ),
+                cwd=ROOT,
+                capture_output=True,
+                text=True,
+                timeout=300,
+            )
+            check(batch.returncode == 0, "single-process seance batch")
+            check(
+                streams[0] == batch.stdout.rstrip("\n"),
+                "merged service output byte-identical to "
+                "`seance batch --json --canonical`",
+            )
+
+            # Warm resubmission: zero passes, served from the store.
+            warm = ServiceClient(url, timeout=60).submit_tables(tables)
+            check(
+                all(
+                    o["store_hit"] and o["passes"] == 0 for o in warm
+                ),
+                "warm resubmission short-circuits to zero passes",
+            )
+
+            stats = queue.stats()
+            check(
+                stats.remaining == 0,
+                "queue drained despite the crashed lease and the "
+                "killed worker",
+            )
+            report = json.loads(
+                json.dumps(
+                    {
+                        "units": stats.units,
+                        "done": stats.done,
+                        "tables": TABLES,
+                    }
+                )
+            )
+            print(f"queue report: {report}", flush=True)
+        finally:
+            serve.terminate()
+            for worker in workers:
+                if worker.poll() is None:
+                    worker.send_signal(signal.SIGTERM)
+            serve.wait(timeout=10)
+            for worker in workers:
+                try:
+                    worker.wait(timeout=15)
+                except subprocess.TimeoutExpired:
+                    worker.kill()
+
+    if failures:
+        print(f"\n{len(failures)} check(s) FAILED", flush=True)
+        return 1
+    print("\nservice smoke passed", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

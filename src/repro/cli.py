@@ -44,6 +44,29 @@ reproducible from a spec file alone.
     entirely — ``"store_hit"`` in the JSON telemetry, zero pipeline
     passes executed.
 
+``seance serve`` / ``seance submit``
+    The service fabric's front door and its client: ``serve`` accepts
+    table+spec submissions over HTTP, dedupes them against the store
+    (completed work), against each other (in-flight work), and either
+    synthesises misses locally or fans them to a work queue; ``submit``
+    sends tables to a running front door and can emit the canonical
+    stream (``--canonical``) byte-identical to ``seance batch --json
+    --canonical``.
+
+``seance queue publish|status`` / ``seance work``
+    The durable work-stealing queue over a shared store: ``publish``
+    enumerates a batch matrix or validation campaign into leased work
+    units, ``work`` runs a worker that claims, heartbeats, and steals
+    lapsed leases, and ``status`` shows occupancy.
+
+``seance store verify|gc|serve-fake``
+    Store lifecycle: offline envelope re-verification, age/orphan/
+    rejected-blob eviction (honouring backend TTLs), and the
+    in-process fake object-store / cache servers for smokes and CI.
+
+``--store LOC`` everywhere accepts a directory path, an ``http(s)://``
+object-store URL, or a ``cache://host:port[?ttl=N]`` cache URL.
+
 ``seance passes``
     List the registered pass names a spec or ``--pass`` can use.
 
@@ -71,7 +94,12 @@ def _load_table(spec: str):
 
 
 def _open_store(args: argparse.Namespace):
-    """The ResultStore of a ``--store DIR`` flag (None when absent)."""
+    """The ResultStore of a ``--store LOC`` flag (None when absent).
+
+    ``LOC`` is anything :func:`~repro.store.backend.resolve_backend`
+    accepts: a directory path, an ``http(s)://`` object store, or a
+    ``cache://`` cache.
+    """
     from .store import ResultStore
 
     if not getattr(args, "store", None):
@@ -418,6 +446,159 @@ def cmd_shard_merge(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+# ----------------------------------------------------------------------
+# The service fabric: front door, queue, workers, store lifecycle
+# ----------------------------------------------------------------------
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import SynthesisServer
+
+    server = SynthesisServer(
+        store=args.store,
+        host=args.host,
+        port=args.port,
+        queue_id=args.queue,
+        jobs=args.jobs,
+        submit_timeout=args.submit_timeout,
+        lease_ttl=args.lease_ttl,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_work(args: argparse.Namespace) -> int:
+    from .service import QueueWorker
+
+    worker = QueueWorker(
+        args.store,
+        args.queue,
+        worker_id=args.worker_id,
+        lease_ttl=args.lease_ttl,
+        poll=args.poll,
+    )
+    try:
+        stats = worker.run(
+            max_units=args.max_units,
+            drain=not args.keep_polling,
+            timeout=args.timeout,
+        )
+    except KeyboardInterrupt:
+        return 130
+    print(
+        f"worker {stats['worker']}: {stats['units']} unit(s) — "
+        f"{stats['synthesized']} synthesised, "
+        f"{stats['validated']} validated, "
+        f"{stats['store_hits']} already stored, "
+        f"{stats['stolen']} stolen, {stats['skipped']} skipped, "
+        f"{stats['failed']} failed"
+    )
+    return 1 if stats["failed"] else 0
+
+
+def cmd_queue_publish(args: argparse.Namespace) -> int:
+    from .service import WorkQueue
+
+    model = _shard_model(args)
+    queue = WorkQueue(_open_store(args), args.queue)
+    if args.campaign:
+        published = queue.publish_campaign(model.tables, model.campaign)
+    else:
+        published = queue.publish_batch(model.tables, spec=model.spec)
+    stats = queue.stats()
+    print(
+        f"queue {args.queue!r}: published {published} new unit(s); "
+        f"{stats.describe()}"
+    )
+    return 0
+
+
+def cmd_queue_status(args: argparse.Namespace) -> int:
+    from .service import WorkQueue
+
+    queue = WorkQueue(_open_store(args), args.queue)
+    print(f"queue {args.queue!r}: {queue.stats().describe()}")
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from .service import ServiceClient
+
+    specs = args.specs or list(benchmark_names())
+    tables = [_load_table(spec) for spec in specs]
+    client = ServiceClient(args.server, timeout=args.timeout)
+    outcomes = client.submit_tables(tables, spec=_build_spec(args))
+    failures = [outcome for outcome in outcomes if not outcome["ok"]]
+    if args.canonical:
+        from .store import canonical_json
+
+        print(canonical_json(ServiceClient.canonical_items(outcomes)))
+    elif args.json:
+        import json
+
+        print(json.dumps(outcomes, indent=2, sort_keys=True))
+    else:
+        print(f"{'Benchmark':14s} {'source':>7s} {'passes':>7s}")
+        for outcome in outcomes:
+            if not outcome["ok"]:
+                print(f"{outcome['name']:14s} FAILED: {outcome['error']}")
+                continue
+            source = "dedup" if outcome["deduped"] else outcome["source"]
+            print(
+                f"{outcome['name']:14s} {source:>7s} "
+                f"{outcome['passes']:7d}"
+            )
+        hot = sum(1 for o in outcomes if o["store_hit"] or o["deduped"])
+        print(
+            f"{len(outcomes)} submission(s), {len(failures)} failed, "
+            f"{hot} served without a synthesis"
+        )
+    return 1 if failures else 0
+
+
+def cmd_store_verify(args: argparse.Namespace) -> int:
+    from .store import verify_store
+
+    report = verify_store(_open_store(args))
+    print(report.describe())
+    return 0 if report.clean else 1
+
+
+def cmd_store_gc(args: argparse.Namespace) -> int:
+    from .store import gc_store
+
+    report = gc_store(
+        _open_store(args),
+        max_age_seconds=(
+            args.max_age_hours * 3600.0
+            if args.max_age_hours is not None
+            else None
+        ),
+        drop_rejected=args.drop_rejected,
+        drained_queues=not args.keep_queues,
+    )
+    print(report.describe())
+    return 0
+
+
+def cmd_store_serve_fake(args: argparse.Namespace) -> int:
+    from .service import FakeCacheServer, FakeObjectStoreServer
+
+    if args.cache:
+        server = FakeCacheServer(
+            host=args.host, port=args.port, max_entries=args.max_entries
+        )
+    else:
+        server = FakeObjectStoreServer(host=args.host, port=args.port)
+    print(f"serving fake store at {server.url}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def cmd_passes(args: argparse.Namespace) -> int:
     default = set(DEFAULT_PIPELINE)
     for key in registered_passes():
@@ -426,6 +607,77 @@ def cmd_passes(args: argparse.Namespace) -> int:
     print("(* = the paper's default pipeline; substitute variants "
           "with --pass)")
     return 0
+
+
+def _add_matrix_arguments(
+    p: argparse.ArgumentParser, store_required: bool
+) -> None:
+    """Arguments describing a batch matrix / campaign cell grid — the
+    shared work-unit vocabulary of ``shard`` and ``queue publish``
+    (both must re-derive the same plan from the same command line)."""
+    p.add_argument(
+        "specs",
+        nargs="*",
+        help="KISS2 files or benchmark names (default: the whole "
+        "built-in suite)",
+    )
+    p.add_argument(
+        "--store",
+        metavar="LOC",
+        required=store_required,
+        help="shared result store (directory, http(s):// object "
+        "store, or cache:// cache)",
+    )
+    p.add_argument(
+        "--campaign",
+        action="store_true",
+        help="a validation-campaign cell grid instead of a batch "
+        "matrix",
+    )
+    p.add_argument(
+        "--no-minimize", action="store_true", help="skip Step 2"
+    )
+    p.add_argument(
+        "--no-fsv",
+        action="store_true",
+        help="batch: skip the hazard correction; campaign: sweep "
+        "the unprotected machines",
+    )
+    p.add_argument(
+        "--reduce-mode",
+        choices=["split", "joint"],
+        default=None,
+        help="Step-7 reduction style",
+    )
+    _add_spec_arguments(p)
+    p.add_argument(
+        "--sweep", type=int, default=3,
+        help="[campaign] walks per (machine, delay model)",
+    )
+    p.add_argument(
+        "--steps", type=int, default=25,
+        help="[campaign] hand-shake cycles per walk",
+    )
+    p.add_argument(
+        "--delay-model",
+        dest="delay_models",
+        action="append",
+        metavar="MODEL",
+        default=None,
+        help="[campaign] delay model to sweep (repeatable; "
+        "default loop-safe)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="[campaign] first walk seed",
+    )
+    p.add_argument(
+        "--engine",
+        choices=["compiled", "ring", "reference"],
+        default=None,
+        help="[campaign] simulation kernel (default compiled, or "
+        "$REPRO_SIM_ENGINE)",
+    )
 
 
 def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
@@ -671,74 +923,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     shard_sub = shard.add_subparsers(dest="shard_command", required=True)
 
-    def _add_shard_arguments(p, store_required: bool) -> None:
-        p.add_argument(
-            "specs",
-            nargs="*",
-            help="KISS2 files or benchmark names (default: the whole "
-            "built-in suite)",
-        )
-        p.add_argument(
-            "--store",
-            metavar="DIR",
-            required=store_required,
-            help="shared result-store directory",
-        )
-        p.add_argument(
-            "--campaign",
-            action="store_true",
-            help="shard a validation-campaign cell grid instead of a "
-            "batch matrix",
-        )
-        p.add_argument(
-            "--no-minimize", action="store_true", help="skip Step 2"
-        )
-        p.add_argument(
-            "--no-fsv",
-            action="store_true",
-            help="batch: skip the hazard correction; campaign: sweep "
-            "the unprotected machines",
-        )
-        p.add_argument(
-            "--reduce-mode",
-            choices=["split", "joint"],
-            default=None,
-            help="Step-7 reduction style",
-        )
-        _add_spec_arguments(p)
-        p.add_argument(
-            "--sweep", type=int, default=3,
-            help="[campaign] walks per (machine, delay model)",
-        )
-        p.add_argument(
-            "--steps", type=int, default=25,
-            help="[campaign] hand-shake cycles per walk",
-        )
-        p.add_argument(
-            "--delay-model",
-            dest="delay_models",
-            action="append",
-            metavar="MODEL",
-            default=None,
-            help="[campaign] delay model to sweep (repeatable; "
-            "default loop-safe)",
-        )
-        p.add_argument(
-            "--seed", type=int, default=0,
-            help="[campaign] first walk seed",
-        )
-        p.add_argument(
-            "--engine",
-            choices=["compiled", "ring", "reference"],
-            default=None,
-            help="[campaign] simulation kernel (default compiled, or "
-            "$REPRO_SIM_ENGINE)",
-        )
-
     splan = shard_sub.add_parser(
         "plan", help="show the deterministic unit -> shard assignment"
     )
-    _add_shard_arguments(splan, store_required=False)
+    _add_matrix_arguments(splan, store_required=False)
     splan.add_argument(
         "-n", "--shards", type=int, default=2, help="shard count"
     )
@@ -752,7 +940,7 @@ def build_parser() -> argparse.ArgumentParser:
         "run",
         help="execute one shard's work units into the shared store",
     )
-    _add_shard_arguments(srun, store_required=True)
+    _add_matrix_arguments(srun, store_required=True)
     srun.add_argument(
         "--shard",
         required=True,
@@ -770,7 +958,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="reassemble the full ordered result stream from the store "
         "(byte-identical to a single-process run)",
     )
-    _add_shard_arguments(smerge, store_required=True)
+    _add_matrix_arguments(smerge, store_required=True)
     smerge.add_argument(
         "-n", "--shards", type=int, default=1,
         help="shard count (labels which shard owns any missing unit)",
@@ -784,6 +972,231 @@ def build_parser() -> argparse.ArgumentParser:
         "all_clean/store_hits keys `seance validate --json` adds)",
     )
     smerge.set_defaults(func=cmd_shard_merge)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP job front door (dedup against the store, "
+        "against in-flight work, then synthesise or enqueue)",
+    )
+    serve.add_argument(
+        "--store",
+        metavar="LOC",
+        required=True,
+        help="result store every submission resolves through "
+        "(directory, http(s):// object store, or cache:// cache)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8631,
+        help="bind port (default 8631; 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--queue",
+        metavar="ID",
+        default=None,
+        help="fan misses to this work queue (drained by `seance "
+        "work`) instead of synthesising locally",
+    )
+    serve.add_argument(
+        "-j", "--jobs", type=int, default=2,
+        help="local synthesis threads (ignored with --queue)",
+    )
+    serve.add_argument(
+        "--submit-timeout", type=float, default=300.0, metavar="SECONDS",
+        help="how long one submission may wait for the fleet",
+    )
+    serve.add_argument(
+        "--lease-ttl", type=float, default=30.0, metavar="SECONDS",
+        help="[--queue] lease time-to-live for published units",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    work = sub.add_parser(
+        "work",
+        help="run one work-queue worker (claim, heartbeat, steal "
+        "lapsed leases, execute through the store)",
+    )
+    work.add_argument(
+        "--store",
+        metavar="LOC",
+        required=True,
+        help="shared result store holding the queue",
+    )
+    work.add_argument(
+        "--queue", metavar="ID", default="default", help="queue to drain"
+    )
+    work.add_argument(
+        "--worker-id",
+        default=None,
+        help="lease-owner name (default host-pid)",
+    )
+    work.add_argument(
+        "--lease-ttl", type=float, default=30.0, metavar="SECONDS",
+        help="lease time-to-live; a worker silent this long is "
+        "presumed crashed and its units become stealable",
+    )
+    work.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="idle poll interval",
+    )
+    work.add_argument(
+        "--max-units", type=int, default=None,
+        help="exit after this many units",
+    )
+    work.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="hard wall-clock bound on the run",
+    )
+    work.add_argument(
+        "--keep-polling",
+        action="store_true",
+        help="service mode: keep polling for new units until "
+        "--timeout instead of exiting once the queue drains",
+    )
+    work.set_defaults(func=cmd_work)
+
+    queue = sub.add_parser(
+        "queue",
+        help="publish work units to / inspect a durable work queue",
+    )
+    queue_sub = queue.add_subparsers(dest="queue_command", required=True)
+    qpub = queue_sub.add_parser(
+        "publish",
+        help="enumerate a batch matrix or validation campaign into "
+        "work units (idempotent: done/stored units are skipped)",
+    )
+    _add_matrix_arguments(qpub, store_required=True)
+    qpub.add_argument(
+        "--queue", metavar="ID", default="default",
+        help="queue to publish into",
+    )
+    qpub.set_defaults(func=cmd_queue_publish)
+    qstat = queue_sub.add_parser(
+        "status", help="show queue occupancy and lease health"
+    )
+    qstat.add_argument(
+        "--store", metavar="LOC", required=True,
+        help="shared result store holding the queue",
+    )
+    qstat.add_argument(
+        "--queue", metavar="ID", default="default", help="queue to inspect"
+    )
+    qstat.set_defaults(func=cmd_queue_status)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit tables to a running `seance serve` front door",
+    )
+    submit.add_argument(
+        "specs",
+        nargs="*",
+        help="KISS2 files or benchmark names (default: the whole "
+        "built-in suite)",
+    )
+    submit.add_argument(
+        "--server", metavar="URL", required=True,
+        help="front-door endpoint (http://host:port)",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=300.0, metavar="SECONDS",
+        help="per-submission HTTP timeout",
+    )
+    submit.add_argument(
+        "--no-minimize", action="store_true", help="skip Step 2"
+    )
+    submit.add_argument(
+        "--no-fsv",
+        action="store_true",
+        help="skip the hazard correction (unprotected machines)",
+    )
+    submit.add_argument(
+        "--reduce-mode",
+        choices=["split", "joint"],
+        default=None,
+        help="Step-7 reduction style",
+    )
+    _add_spec_arguments(submit)
+    submit.add_argument(
+        "--json", action="store_true",
+        help="emit the full outcome dicts (incl. provenance telemetry)",
+    )
+    submit.add_argument(
+        "--canonical",
+        action="store_true",
+        help="emit the canonical JSON stream, byte-comparable against "
+        "`seance batch --json --canonical`",
+    )
+    submit.set_defaults(func=cmd_submit)
+
+    store_cmd = sub.add_parser(
+        "store",
+        help="store lifecycle: offline verification, eviction, and "
+        "the in-process fake servers",
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+    sverify = store_sub.add_parser(
+        "verify",
+        help="re-check every result envelope offline (exit 1 if any "
+        "would be rejected)",
+    )
+    sverify.add_argument(
+        "--store", metavar="LOC", required=True, help="store to sweep"
+    )
+    sverify.set_defaults(func=cmd_store_verify)
+    sgc = store_sub.add_parser(
+        "gc",
+        help="evict store debris: aged-out results, orphaned "
+        "artifacts, drained-queue scaffolding, rejected blobs",
+    )
+    sgc.add_argument(
+        "--store", metavar="LOC", required=True, help="store to sweep"
+    )
+    sgc.add_argument(
+        "--max-age-hours",
+        type=float,
+        default=None,
+        metavar="HOURS",
+        help="age out results (and their artifacts) older than this "
+        "(TTL backends purge server-side instead)",
+    )
+    sgc.add_argument(
+        "--drop-rejected",
+        action="store_true",
+        help="delete blobs a verify sweep rejects",
+    )
+    sgc.add_argument(
+        "--keep-queues",
+        action="store_true",
+        help="leave drained-queue unit/lease/done scaffolding in place",
+    )
+    sgc.set_defaults(func=cmd_store_gc)
+    sfake = store_sub.add_parser(
+        "serve-fake",
+        help="run an in-process fake object-store (or, with --cache, "
+        "cache) server — the CI smoke's network substrate",
+    )
+    sfake.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    sfake.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (default 0 = ephemeral, printed on startup)",
+    )
+    sfake.add_argument(
+        "--cache",
+        action="store_true",
+        help="serve the cache-line protocol (cache://) instead of the "
+        "HTTP object store",
+    )
+    sfake.add_argument(
+        "--max-entries",
+        type=int,
+        default=None,
+        help="[--cache] LRU capacity bound",
+    )
+    sfake.set_defaults(func=cmd_store_serve_fake)
 
     passes = sub.add_parser(
         "passes", help="list the registered pipeline pass names"

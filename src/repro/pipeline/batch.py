@@ -314,14 +314,13 @@ class BatchRunner:
         self, pairs: Sequence[tuple[FlowTable, SynthesisOptions]]
     ) -> Iterator[BatchItem]:
         workers = min(self.jobs, len(pairs))
-        # Worker processes cannot share the in-memory tier; a disk-backed
-        # cache is re-opened once per worker (`_init_worker`) so warm
+        # Worker processes cannot share the in-memory tier; a persistent
+        # cache (disk directory or networked backend) is re-opened once
+        # per worker (`_init_worker`) from its location string so warm
         # stages survive the pool and repeats within a worker stay
         # in-memory.
         cache_path = (
-            str(self.cache.path)
-            if self.cache is not None and self.cache.path is not None
-            else None
+            self.cache.location if self.cache is not None else None
         )
         pool = ProcessPoolExecutor(
             max_workers=workers,

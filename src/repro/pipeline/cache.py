@@ -17,10 +17,16 @@ whose key is already present.
 Two tiers:
 
 * an in-memory dictionary (always on), and
-* an optional directory of pickle files (``path=...``) so separate
-  processes/invocations — ``seance batch --cache-dir`` — share warm
-  stages.  Disk entries are written atomically (tmp + rename) and
-  unreadable/corrupt files are treated as misses.
+* an optional persistent tier over a
+  :class:`~repro.store.backend.StoreBackend` (``path=...`` — a local
+  directory, an ``http(s)://`` object store, or a ``cache://`` TTL
+  cache), so separate processes/invocations — ``seance batch
+  --cache-dir`` — and whole fleets share warm stages.  Each persistent
+  entry is a self-describing envelope (a ``repro-stage <version>
+  <key>`` header ahead of the pickled artifacts) verified on read:
+  corrupt, truncated, cross-wired, or incompatibly-versioned blobs are
+  misses (counted in ``rejected``), never errors — the same
+  degrade-to-recompute contract the result store makes.
 
 Note the prefix hash means an ablated run (say ``reduce_mode="joint"``)
 shares *no* keys with the paper-default run even though their first
@@ -46,6 +52,9 @@ from .options import SynthesisOptions
 
 #: Bump when artifact layout or pass semantics change incompatibly.
 CACHE_FORMAT_VERSION = 1
+
+#: Version of the persistent stage-blob envelope (header + pickle).
+STAGE_BLOB_VERSION = 1
 
 
 def table_fingerprint(table: FlowTable) -> str:
@@ -100,40 +109,72 @@ def stage_key(run_prefix: str, pass_names: tuple[str, ...]) -> str:
 
 
 class StageCache:
-    """In-memory (optionally disk-backed) store of completed stages.
+    """In-memory (optionally backend-persisted) store of completed stages.
 
-    ``max_entries`` bounds the in-memory tier (FIFO eviction — synthesis
-    artifacts are small, the bound is a safety valve for unbounded batch
-    loops, not a tuned policy).  ``hits``/``misses``/``stores`` expose
-    effectiveness to the benchmarks.
+    ``path`` names the persistent tier: a local directory (the classic
+    ``--cache-dir``), or any :func:`~repro.store.backend.resolve_backend`
+    location — an ``http(s)://`` object store or ``cache://`` TTL
+    cache, so ablation sweeps across a fleet share warm pass prefixes.
+    An explicit ``backend`` wins over ``path``.  ``max_entries`` bounds
+    the in-memory tier (FIFO eviction — synthesis artifacts are small,
+    the bound is a safety valve for unbounded batch loops, not a tuned
+    policy).  ``hits``/``misses``/``stores``/``rejected`` expose
+    effectiveness and fail-safety to the benchmarks.
     """
 
     def __init__(
-        self, path: str | os.PathLike | None = None, max_entries: int = 4096
+        self,
+        path: str | os.PathLike | None = None,
+        max_entries: int = 4096,
+        backend=None,
     ):
+        from ..store.backend import resolve_backend
+
         self._memory: dict[str, dict[str, Any]] = {}
-        self._path = Path(path) if path is not None else None
+        if backend is not None:
+            self._backend = backend
+        elif path is not None:
+            self._backend = resolve_backend(path)
+        else:
+            self._backend = None
         self._max_entries = max_entries
         self.hits = 0
         self.misses = 0
         self.stores = 0
-        if self._path is not None:
-            self._path.mkdir(parents=True, exist_ok=True)
+        #: Persistent blobs that existed but failed envelope
+        #: verification (corrupt, truncated, or wrong key/version).
+        self.rejected = 0
 
     def __len__(self) -> int:
         return len(self._memory)
 
     @property
     def path(self) -> Path | None:
-        """Disk-tier directory, or None for a memory-only cache."""
-        return self._path
+        """Disk-tier directory, or None when the persistent tier is
+        memory-only or non-directory (networked)."""
+        return getattr(self._backend, "path", None)
+
+    @property
+    def location(self) -> str | None:
+        """A re-openable location string for the persistent tier (the
+        directory path or backend URL), or None when memory-only.
+        Worker processes re-open their cache from this."""
+        path = getattr(self._backend, "path", None)
+        if path is not None:
+            return str(path)
+        return getattr(self._backend, "url", None)
+
+    @property
+    def backend(self):
+        """The persistent-tier backend, or None when memory-only."""
+        return self._backend
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> dict[str, Any] | None:
         """The stage's artifacts, or None on a miss."""
         artifacts = self._memory.get(key)
-        if artifacts is None and self._path is not None:
-            artifacts = self._read_disk(key)
+        if artifacts is None and self._backend is not None:
+            artifacts = self._read_persistent(key)
             if artifacts is not None:
                 self._remember(key, artifacts)
         if artifacts is None:
@@ -145,8 +186,8 @@ class StageCache:
     def put(self, key: str, artifacts: dict[str, Any]) -> None:
         self._remember(key, artifacts)
         self.stores += 1
-        if self._path is not None:
-            self._write_disk(key, artifacts)
+        if self._backend is not None:
+            self._write_persistent(key, artifacts)
 
     def clear(self) -> None:
         self._memory.clear()
@@ -157,32 +198,45 @@ class StageCache:
             self._memory.pop(next(iter(self._memory)))
         self._memory[key] = artifacts
 
-    def _entry_path(self, key: str) -> Path:
-        assert self._path is not None
-        return self._path / f"{key}.pkl"
+    # -- persistent tier: self-describing envelopes over a backend -----
+    @staticmethod
+    def _blob_name(key: str) -> str:
+        # Flat names, no subdirectories: a cache directory is globbable
+        # as `*.pkl` and any key collision is a content-hash collision.
+        return f"{key}.pkl"
 
-    def _read_disk(self, key: str) -> dict[str, Any] | None:
-        entry = self._entry_path(key)
-        try:
-            with entry.open("rb") as handle:
-                return pickle.load(handle)
-        except (OSError, pickle.PickleError, EOFError, AttributeError,
-                ImportError, IndexError):
-            # Missing, corrupt, or written by an incompatible version:
-            # a miss, never an error.
+    @staticmethod
+    def _header(key: str) -> bytes:
+        return f"repro-stage {STAGE_BLOB_VERSION} {key}\n".encode()
+
+    def _read_persistent(self, key: str) -> dict[str, Any] | None:
+        blob = self._backend.read(self._blob_name(key))
+        if blob is None:
             return None
-
-    def _write_disk(self, key: str, artifacts: dict[str, Any]) -> None:
-        entry = self._entry_path(key)
-        tmp = entry.with_suffix(f".tmp.{os.getpid()}")
+        header = self._header(key)
+        if not blob.startswith(header):
+            # Legacy raw pickle, truncated blob, or an entry cross-wired
+            # under the wrong name: a verified miss, never an error.
+            self.rejected += 1
+            return None
         try:
-            with tmp.open("wb") as handle:
-                pickle.dump(artifacts, handle, pickle.HIGHEST_PROTOCOL)
-            tmp.replace(entry)
-        except (OSError, pickle.PickleError):
-            # Unpicklable artifact or unwritable directory: stay
-            # memory-only rather than failing the synthesis.
-            try:
-                tmp.unlink(missing_ok=True)
-            except OSError:
-                pass
+            artifacts = pickle.loads(blob[len(header):])
+        except (pickle.PickleError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            self.rejected += 1
+            return None
+        if not isinstance(artifacts, dict):
+            self.rejected += 1
+            return None
+        return artifacts
+
+    def _write_persistent(self, key: str, artifacts: dict[str, Any]) -> None:
+        try:
+            payload = pickle.dumps(artifacts, pickle.HIGHEST_PROTOCOL)
+        except (pickle.PickleError, TypeError, AttributeError):
+            # Unpicklable artifact: stay memory-only rather than
+            # failing the synthesis.
+            return
+        # Backend writes degrade silently on an unwritable/unreachable
+        # tier (the StoreBackend contract) — same fail-safe as before.
+        self._backend.write(self._blob_name(key), self._header(key) + payload)

@@ -1,0 +1,31 @@
+"""``repro.service`` — the synthesis service fabric.
+
+The layer that turns the content-addressed store + shard stack into a
+fleet: in-process fake servers for the networked backends
+(:mod:`~repro.service.fakes`), a durable work-stealing queue of unit
+digests (:mod:`~repro.service.queue`), the worker loop that drains it
+(:mod:`~repro.service.worker`), the asyncio job front door behind
+``seance serve`` (:mod:`~repro.service.server`), and the submitting
+client (:mod:`~repro.service.client`).
+
+Everything here inherits the store's correctness story: results are
+verified envelopes addressed by content, so a lost lease, a crashed
+worker, or a racing steal costs duplicated *work*, never a wrong or
+torn *result*.
+"""
+
+from .client import ServiceClient
+from .fakes import FakeCacheServer, FakeObjectStoreServer
+from .queue import QueueStats, WorkQueue
+from .server import SynthesisServer
+from .worker import QueueWorker
+
+__all__ = [
+    "FakeCacheServer",
+    "FakeObjectStoreServer",
+    "QueueStats",
+    "QueueWorker",
+    "ServiceClient",
+    "SynthesisServer",
+    "WorkQueue",
+]

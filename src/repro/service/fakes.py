@@ -1,0 +1,385 @@
+"""In-process fake servers for the networked store backends.
+
+These are *real servers on real sockets* — threads accepting TCP
+connections — so the client backends in :mod:`repro.store.net` exercise
+genuine framing, reconnects, and partial-failure paths in tests and the
+CI service smoke, without any external dependency:
+
+:class:`FakeObjectStoreServer`
+    The S3/GCS shape over HTTP (``http.server.ThreadingHTTPServer``):
+    GET/PUT/DELETE/HEAD on ``/b/<name>``, ``If-None-Match: *``
+    conditional put (412 when present — the queue's lease primitive),
+    and ``/list?prefix=`` returning a JSON name array.  ``seance store
+    serve-fake`` boots one as a foreground process for multi-process
+    smokes.
+
+:class:`FakeCacheServer`
+    The memcache/Redis shape: a line protocol with per-entry TTLs and
+    LRU eviction at ``max_entries`` — deliberately lossy, the tier the
+    stage cache rides.
+
+Both support fault injection (``fail_next(n)`` drops the next *n*
+requests mid-flight) so the degrade-to-recompute contract is testable.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+import time
+import urllib.parse
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+
+class _BlobTable:
+    """Shared blob state: name → (bytes, mtime), with optional TTL/LRU."""
+
+    def __init__(self, max_entries: int | None = None):
+        self._entries: OrderedDict[str, tuple[bytes, float, float]] = (
+            OrderedDict()
+        )  # name -> (data, mtime, expires_at or 0)
+        self._lock = threading.Lock()
+        self._max_entries = max_entries
+        self.evictions = 0
+
+    def _expired(self, entry: tuple[bytes, float, float]) -> bool:
+        return entry[2] > 0 and time.time() >= entry[2]
+
+    def get(self, name: str) -> tuple[bytes, float] | None:
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                return None
+            if self._expired(entry):
+                del self._entries[name]
+                return None
+            self._entries.move_to_end(name)  # LRU touch
+            return entry[0], entry[1]
+
+    def put(
+        self, name: str, data: bytes, ttl: float = 0.0, if_absent: bool = False
+    ) -> bool:
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is not None and self._expired(entry):
+                del self._entries[name]
+                entry = None
+            if if_absent and entry is not None:
+                return False
+            expires = time.time() + ttl if ttl > 0 else 0.0
+            self._entries[name] = (bytes(data), time.time(), expires)
+            self._entries.move_to_end(name)
+            if self._max_entries is not None:
+                while len(self._entries) > self._max_entries:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+            return True
+
+    def delete(self, name: str) -> bool:
+        with self._lock:
+            return self._entries.pop(name, None) is not None
+
+    def names(self, prefix: str = "") -> list[str]:
+        with self._lock:
+            now = time.time()
+            return sorted(
+                name
+                for name, entry in self._entries.items()
+                if name.startswith(prefix)
+                and not (entry[2] > 0 and now >= entry[2])
+            )
+
+    def purge_expired(self) -> int:
+        with self._lock:
+            now = time.time()
+            stale = [
+                name
+                for name, entry in self._entries.items()
+                if entry[2] > 0 and now >= entry[2]
+            ]
+            for name in stale:
+                del self._entries[name]
+            return len(stale)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class _FaultBox:
+    """Countdown of requests to fail on purpose (connection drop)."""
+
+    def __init__(self) -> None:
+        self._remaining = 0
+        self._lock = threading.Lock()
+
+    def arm(self, count: int) -> None:
+        with self._lock:
+            self._remaining = count
+
+    def should_fail(self) -> bool:
+        with self._lock:
+            if self._remaining > 0:
+                self._remaining -= 1
+                return True
+            return False
+
+
+class FakeObjectStoreServer:
+    """Threaded HTTP object store over a real socket (see module doc).
+
+    Use as a context manager or call :meth:`start`/:meth:`stop`; the
+    client-facing URL is :attr:`url`.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        table = self.blobs = _BlobTable()
+        faults = self.faults = _FaultBox()
+        stats = self.request_counts = {
+            "GET": 0, "PUT": 0, "DELETE": 0, "HEAD": 0, "LIST": 0,
+        }
+        stats_lock = threading.Lock()
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def log_message(self, *args):  # noqa: D102 - silence stderr
+                pass
+
+            def _count(self, verb: str) -> None:
+                with stats_lock:
+                    stats[verb] = stats.get(verb, 0) + 1
+
+            def _maybe_fault(self) -> bool:
+                if faults.should_fail():
+                    # Drop the connection mid-request: the client sees a
+                    # broken socket, not a clean HTTP error.
+                    self.close_connection = True
+                    try:
+                        self.connection.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
+                    return True
+                return False
+
+            def _reply(
+                self, status: int, body: bytes = b"",
+                headers: dict | None = None,
+            ) -> None:
+                self.send_response(status)
+                for key, value in (headers or {}).items():
+                    self.send_header(key, value)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                if self.command != "HEAD":
+                    self.wfile.write(body)
+
+            def _name(self) -> str | None:
+                path = urllib.parse.urlsplit(self.path).path
+                if not path.startswith("/b/"):
+                    return None
+                return urllib.parse.unquote(path[len("/b/"):])
+
+            def do_GET(self):
+                if self._maybe_fault():
+                    return
+                parsed = urllib.parse.urlsplit(self.path)
+                if parsed.path == "/list":
+                    self._count("LIST")
+                    query = urllib.parse.parse_qs(parsed.query)
+                    prefix = query.get("prefix", [""])[0]
+                    body = json.dumps(table.names(prefix)).encode()
+                    self._reply(
+                        200, body, {"Content-Type": "application/json"}
+                    )
+                    return
+                self._count("GET")
+                name = self._name()
+                entry = table.get(name) if name else None
+                if entry is None:
+                    self._reply(404)
+                    return
+                data, mtime = entry
+                self._reply(200, data, {"X-Blob-Mtime": f"{mtime:.6f}"})
+
+            def do_HEAD(self):
+                if self._maybe_fault():
+                    return
+                self._count("HEAD")
+                name = self._name()
+                entry = table.get(name) if name else None
+                if entry is None:
+                    self._reply(404)
+                    return
+                data, mtime = entry
+                self._reply(200, data, {"X-Blob-Mtime": f"{mtime:.6f}"})
+
+            def do_PUT(self):
+                if self._maybe_fault():
+                    return
+                self._count("PUT")
+                name = self._name()
+                if name is None:
+                    self._reply(400)
+                    return
+                length = int(self.headers.get("Content-Length", 0))
+                data = self.rfile.read(length)
+                conditional = self.headers.get("If-None-Match") == "*"
+                if table.put(name, data, if_absent=conditional):
+                    self._reply(201)
+                else:
+                    self._reply(412)
+
+            def do_DELETE(self):
+                if self._maybe_fault():
+                    return
+                self._count("DELETE")
+                name = self._name()
+                if name and table.delete(name):
+                    self._reply(204)
+                else:
+                    self._reply(404)
+
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._server.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def fail_next(self, count: int = 1) -> None:
+        """Drop the next ``count`` requests mid-flight."""
+        self.faults.arm(count)
+
+    def start(self) -> FakeObjectStoreServer:
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def serve_forever(self) -> None:
+        """Run in the calling thread (``seance store serve-fake``)."""
+        self._server.serve_forever()
+
+    def __enter__(self) -> FakeObjectStoreServer:
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class FakeCacheServer:
+    """Threaded TCP cache server speaking the ``cache://`` line protocol
+    (commands documented on :class:`repro.store.net.CacheBackend`), with
+    per-entry TTLs and LRU eviction at ``max_entries``.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_entries: int | None = None,
+    ):
+        table = self.blobs = _BlobTable(max_entries=max_entries)
+        faults = self.faults = _FaultBox()
+
+        class Handler(socketserver.StreamRequestHandler):
+            def handle(self):
+                while True:
+                    line = self.rfile.readline()
+                    if not line:
+                        return
+                    if faults.should_fail():
+                        return  # close the connection mid-conversation
+                    try:
+                        reply = self._dispatch(line.decode().split())
+                    except (ValueError, IndexError):
+                        reply = b"ERROR\n"
+                    try:
+                        self.wfile.write(reply)
+                        self.wfile.flush()
+                    except OSError:
+                        return
+
+            def _dispatch(self, words: list[str]) -> bytes:
+                if not words:
+                    return b"ERROR\n"
+                verb = words[0].upper()
+                if verb == "GET":
+                    entry = table.get(words[1])
+                    if entry is None:
+                        return b"MISS\n"
+                    return f"VALUE {len(entry[0])}\n".encode() + entry[0]
+                if verb in ("SET", "ADD"):
+                    name, ttl, size = words[1], float(words[2]), int(words[3])
+                    data = self.rfile.read(size)
+                    stored = table.put(
+                        name, data, ttl=ttl, if_absent=(verb == "ADD")
+                    )
+                    return b"STORED\n" if stored else b"EXISTS\n"
+                if verb == "DEL":
+                    return b"DELETED\n" if table.delete(words[1]) else b"MISS\n"
+                if verb == "STAT":
+                    entry = table.get(words[1])
+                    if entry is None:
+                        return b"MISS\n"
+                    return f"STAT {len(entry[0])} {entry[1]:.6f}\n".encode()
+                if verb == "KEYS":
+                    prefix = words[1] if len(words) > 1 else ""
+                    names = table.names(prefix)
+                    body = "".join(f"{name}\n" for name in names)
+                    return f"COUNT {len(names)}\n".encode() + body.encode()
+                if verb == "PURGE":
+                    return f"PURGED {table.purge_expired()}\n".encode()
+                return b"ERROR\n"
+
+        class Server(socketserver.ThreadingTCPServer):
+            allow_reuse_address = True
+            daemon_threads = True
+
+        self._server = Server((host, port), Handler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        host, port = self._server.server_address[:2]
+        return f"cache://{host}:{port}"
+
+    def fail_next(self, count: int = 1) -> None:
+        self.faults.arm(count)
+
+    def start(self) -> FakeCacheServer:
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def serve_forever(self) -> None:
+        self._server.serve_forever()
+
+    def __enter__(self) -> FakeCacheServer:
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

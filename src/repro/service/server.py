@@ -1,0 +1,392 @@
+"""``seance serve`` — the asyncio job front door.
+
+Accepts spec+table submissions over HTTP and turns the "millions of
+users" story into what it mostly is: **dedup**.  Three tiers, checked
+in order for every submission:
+
+1. **completed work** — the content-addressed store (a hot table is one
+   synthesis *ever*, fleet-wide: warm submissions short-circuit to zero
+   passes);
+2. **in-flight work** — submissions with the same
+   :func:`~repro.store.keys.synthesis_key` digest that are already
+   being computed share one future (N concurrent identical submissions
+   → exactly one synthesis, the rest await its result);
+3. **fresh work** — a miss is either fanned to the work-stealing queue
+   (``queue_id`` set: workers drain it, the server polls the store for
+   the result) or synthesised locally in a small thread pool.
+
+The wire surface is deliberately tiny (stdlib-only on both ends):
+
+* ``POST /submit`` — body ``{"table": <table_to_dict>, "spec":
+  <spec.to_dict(), optional>}``; the response carries the canonical
+  result projection (diffable against ``seance batch --json
+  --canonical``) plus provenance telemetry: ``store_hit`` /
+  ``deduped`` / ``source`` and the :class:`~repro.pipeline.manager
+  .PassEvent` stream of the synthesis this submission actually paid
+  for (empty for warm and deduped submissions — the assertion surface
+  of the dedup tests).
+* ``GET /stats`` — submission counters and queue occupancy.
+* ``GET /healthz`` — liveness.
+
+Results always flow *through the store*, so everything the fleet
+computes lands verified and reusable, and the server itself stays
+stateless: kill it, restart it, and warm traffic is still warm.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from ..errors import ReproError, StoreError
+from ..store.store import open_store
+
+
+class ServeStats:
+    """Counters the dedup tests assert against (see ``GET /stats``)."""
+
+    def __init__(self) -> None:
+        self.submissions = 0
+        self.store_hits = 0
+        self.deduped = 0
+        self.synthesized = 0
+        self.queued = 0
+        self.errors = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "submissions": self.submissions,
+            "store_hits": self.store_hits,
+            "deduped": self.deduped,
+            "synthesized": self.synthesized,
+            "queued": self.queued,
+            "errors": self.errors,
+        }
+
+
+class SynthesisServer:
+    """The front door (see the module docstring).
+
+    ``queue_id`` selects queue mode (publish misses, await the store);
+    without it misses are synthesised locally on ``jobs`` threads.
+    ``submit_timeout`` bounds how long one submission waits on the
+    fleet before reporting an error.
+    """
+
+    def __init__(
+        self,
+        store,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue_id: str | None = None,
+        jobs: int = 2,
+        poll: float = 0.05,
+        submit_timeout: float = 300.0,
+        lease_ttl: float = 30.0,
+    ):
+        resolved = open_store(store)
+        if resolved is None:
+            raise StoreError("seance serve needs a store location")
+        self.store = resolved
+        self.host = host
+        self.port = port
+        self.poll = poll
+        self.submit_timeout = submit_timeout
+        self.stats = ServeStats()
+        self.queue = None
+        if queue_id is not None:
+            from .queue import WorkQueue
+
+            self.queue = WorkQueue(
+                resolved, queue_id, lease_ttl=lease_ttl
+            )
+        self._executor = ThreadPoolExecutor(max_workers=max(jobs, 1))
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def _start_async(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def start(self) -> SynthesisServer:
+        """Run the server on a background thread (tests, smokes)."""
+        started = threading.Event()
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            loop.run_until_complete(self._start_async())
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                self._server.close()
+                loop.run_until_complete(self._server.wait_closed())
+                loop.close()
+
+        self._thread = threading.Thread(target=_run, daemon=True)
+        self._thread.start()
+        if not started.wait(timeout=10):
+            raise StoreError("service front door failed to start")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def serve_forever(self) -> None:
+        """Run in the calling thread (the ``seance serve`` process)."""
+
+        async def _main() -> None:
+            await self._start_async()
+            print(f"seance serve: listening on {self.url}", flush=True)
+            async with self._server:
+                await self._server.serve_forever()
+
+        asyncio.run(_main())
+
+    def __enter__(self) -> SynthesisServer:
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing (stdlib asyncio streams; one request per connection)
+    # ------------------------------------------------------------------
+    async def _handle(self, reader, writer) -> None:
+        status, payload = 500, {"ok": False, "error": "internal error"}
+        try:
+            request = await asyncio.wait_for(
+                reader.readline(), timeout=30
+            )
+            parts = request.decode("latin-1").split()
+            if len(parts) < 2:
+                raise ValueError("malformed request line")
+            method, target = parts[0], parts[1]
+            length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    length = int(value.strip())
+            body = await reader.readexactly(length) if length else b""
+            try:
+                status, payload = await self._route(method, target, body)
+            except Exception as error:  # noqa: BLE001 - must answer
+                status, payload = 500, {
+                    "ok": False,
+                    "error": f"{type(error).__name__}: {error}",
+                }
+        except (ValueError, UnicodeDecodeError, asyncio.TimeoutError):
+            status, payload = 400, {"ok": False, "error": "bad request"}
+        except (ConnectionError, asyncio.IncompleteReadError):
+            writer.close()
+            return
+        data = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        head = (
+            f"HTTP/1.1 {status} "
+            f"{'OK' if status == 200 else 'ERROR'}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        try:
+            writer.write(head + data)
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, dict]:
+        if method == "GET" and target == "/healthz":
+            return 200, {"ok": True}
+        if method == "GET" and target == "/stats":
+            payload = {"ok": True, "stats": self.stats.to_dict()}
+            if self.queue is not None:
+                loop = asyncio.get_running_loop()
+                stats = await loop.run_in_executor(
+                    None, self.queue.stats
+                )
+                payload["queue"] = {
+                    "units": stats.units,
+                    "done": stats.done,
+                    "leased": stats.leased,
+                    "expired": stats.expired,
+                }
+            return 200, payload
+        if method == "POST" and target == "/submit":
+            return await self._submit(body)
+        return 404, {"ok": False, "error": f"no route {method} {target}"}
+
+    # ------------------------------------------------------------------
+    # Submission: store → in-flight → fresh
+    # ------------------------------------------------------------------
+    async def _submit(self, body: bytes) -> tuple[int, dict]:
+        from ..core.serialize import table_from_dict
+        from ..pipeline.spec import PipelineSpec
+        from ..store.keys import synthesis_key
+
+        try:
+            payload = json.loads(body.decode())
+            table = table_from_dict(payload["table"])
+            spec = (
+                PipelineSpec.from_dict(payload["spec"])
+                if payload.get("spec")
+                else PipelineSpec()
+            )
+        except (ReproError, ValueError, KeyError, TypeError) as error:
+            self.stats.errors += 1
+            return 400, {"ok": False, "error": f"bad submission: {error}"}
+
+        self.stats.submissions += 1
+        digest = synthesis_key(table, spec).digest
+        loop = asyncio.get_running_loop()
+
+        inflight = self._inflight.get(digest)
+        if inflight is not None:
+            # Tier 2: identical work already being computed — await the
+            # shared future; this submission pays zero passes.
+            self.stats.deduped += 1
+            outcome = dict(await asyncio.shield(inflight))
+            outcome["deduped"] = True
+            outcome["passes"] = 0
+            outcome["events"] = []
+            return 200, outcome
+
+        future: asyncio.Future = loop.create_future()
+        self._inflight[digest] = future
+        try:
+            outcome = await loop.run_in_executor(
+                self._executor, self._resolve, table, spec
+            )
+            future.set_result(outcome)
+        except BaseException as error:
+            future.set_exception(error)
+            # Consume it so an abandoned future never warns.
+            future.exception()
+            self.stats.errors += 1
+            raise
+        finally:
+            self._inflight.pop(digest, None)
+        return 200, outcome
+
+    def _resolve(self, table, spec) -> dict:
+        """Worker-thread body: store check, then queue or local synth."""
+        stored = self.store.get_synthesis(table, spec)
+        if stored is not None:
+            # Tier 1: hot table, zero passes.
+            self.stats.store_hits += 1
+            return self._outcome(
+                table.name, stored.result, stored.error,
+                source="store", store_hit=True,
+            )
+        if self.queue is not None:
+            return self._resolve_queued(table, spec)
+        return self._resolve_local(table, spec)
+
+    def _resolve_local(self, table, spec) -> dict:
+        from ..pipeline.batch import BatchRunner
+
+        item = BatchRunner(spec=spec, jobs=1, store=self.store).run(
+            [table]
+        )[0]
+        if item.store_hit:
+            self.stats.store_hits += 1
+            return self._outcome(
+                item.name, item.result, item.error,
+                source="store", store_hit=True,
+            )
+        self.stats.synthesized += 1
+        return self._outcome(
+            item.name, item.result, item.error,
+            source="local",
+            events=[
+                [event.name, round(event.seconds, 6), event.cache_hit]
+                for event in item.events
+            ],
+        )
+
+    def _resolve_queued(self, table, spec) -> dict:
+        self.queue.publish_batch([table], spec=spec)
+        self.stats.queued += 1
+        deadline = time.monotonic() + self.submit_timeout
+        while time.monotonic() < deadline:
+            stored = self.store.get_synthesis(table, spec)
+            if stored is not None:
+                return self._outcome(
+                    table.name, stored.result, stored.error,
+                    source="queue",
+                )
+            time.sleep(self.poll)
+        self.stats.errors += 1
+        return {
+            "ok": False,
+            "name": table.name,
+            "error": (
+                f"timed out after {self.submit_timeout:g}s waiting for "
+                f"a worker to complete the unit"
+            ),
+            "result": None,
+            "source": "queue",
+            "store_hit": False,
+            "deduped": False,
+            "passes": 0,
+            "events": [],
+        }
+
+    @staticmethod
+    def _outcome(
+        name: str,
+        result,
+        error: str | None,
+        source: str,
+        store_hit: bool = False,
+        events: list | None = None,
+    ) -> dict:
+        from ..core.serialize import canonical_result_dict
+
+        events = events or []
+        return {
+            # The canonical projection quadruple — exactly one item of
+            # `seance batch --json --canonical`, so clients can diff
+            # merged streams byte-for-byte.
+            "name": name,
+            "ok": error is None,
+            "error": error,
+            "result": (
+                canonical_result_dict(result.to_dict())
+                if error is None
+                else None
+            ),
+            # Provenance telemetry.
+            "source": source,
+            "store_hit": store_hit,
+            "deduped": False,
+            "passes": len(events),
+            "events": events,
+        }

@@ -130,6 +130,28 @@ def delay_model(name: str, seed: int, machine: FantomMachine):
     return factory(seed, machine)
 
 
+def archive_failure_vcd(
+    store, key, machine, walk, model: str, seed: int, engine: str
+) -> None:
+    """Archive a dirty cell's replayed waveform next to its envelope.
+
+    Store-lifecycle satellite of the fleet story: a failing cell's
+    evidence is a downloadable ``<kind>/<digest>.vcd`` blob, not a
+    rerun on someone's laptop.  The replay is deterministic (same walk,
+    same seed-derived silicon), so the archived waveform shows exactly
+    the failing events the scoring run judged.
+    """
+    from .harness import export_walk_vcd
+
+    vcd = export_walk_vcd(
+        machine,
+        walk,
+        delays=delay_model(model, seed, machine),
+        simulator_factory=_resolve_engine(engine),
+    )
+    store.put_artifact(key, "vcd", vcd.encode())
+
+
 def _resolve_engine(engine: str):
     if engine == "reference":
         return _reference_engine()
@@ -485,6 +507,16 @@ class ValidationCampaign:
                 hit = False
                 if self.store is not None:
                     self.store.put_validation(keys[i], summary)
+                    if not summary.all_clean:
+                        archive_failure_vcd(
+                            self.store,
+                            keys[i],
+                            machines[machine_index],
+                            _walk,
+                            model,
+                            seed,
+                            self.engine,
+                        )
             result.cells.append(
                 CampaignCell(
                     table=machines[machine_index].result.table.name,

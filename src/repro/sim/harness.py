@@ -288,6 +288,53 @@ def validate_against_reference(
     return summary
 
 
+def export_walk_vcd(
+    machine: FantomMachine,
+    walk: list[int],
+    delays: DelayModel | None = None,
+    simulator_factory=Simulator,
+) -> str:
+    """Replay one walk with a full debug watch-set and render it as VCD.
+
+    The scoring run watches only what the monitors need; when a cell
+    comes back dirty, this deterministic replay — same walk, same seed,
+    so the same silicon and the same events — records the whole
+    hand-shake surface (external pins, ``VI``/``G``/``VOM``, state
+    nets, outputs) for waveform inspection.  A
+    :class:`~repro.errors.SimulationError` mid-walk ends the replay;
+    the trace up to the failure is exactly the evidence wanted.
+    """
+    from .vcd import trace_to_vcd
+
+    harness = FantomHarness(
+        machine, delays=delays, simulator_factory=simulator_factory
+    )
+    nets = list(
+        dict.fromkeys(
+            [
+                *machine.external_inputs,
+                machine.vi,
+                machine.g,
+                machine.vom,
+                *machine.state_nets,
+                *machine.output_nets,
+            ]
+        )
+    )
+    harness.simulator.watch(*nets)
+    for column in walk:
+        try:
+            harness.apply(column)
+        except SimulationError:
+            break
+    return trace_to_vcd(
+        harness.simulator.trace,
+        nets,
+        machine.initial_values(),
+        module=machine.netlist.name,
+    )
+
+
 def validate_walk(
     machine: FantomMachine,
     walk: list[int],

@@ -11,7 +11,13 @@ passes, zero simulated cycles — and a corrupt, truncated, or poisoned
 blob is always recomputed, never trusted.
 """
 
-from .backend import DirectoryBackend, MemoryBackend, StoreBackend
+from .backend import (
+    BlobStat,
+    DirectoryBackend,
+    MemoryBackend,
+    StoreBackend,
+    resolve_backend,
+)
 from .canonical import (
     canonical_batch_payload,
     canonical_campaign_payload,
@@ -24,11 +30,15 @@ from .keys import (
     table_digest,
     validation_key,
 )
+from .lifecycle import GcReport, VerifyReport, gc_store, verify_store
 from .sharding import ShardedBatch, ShardedCampaign, ShardPlan, WorkUnit, shard_of
 from .store import ResultStore, StoredSynthesis, open_store
 
 __all__ = [
+    "BlobStat",
     "DirectoryBackend",
+    "GcReport",
+    "VerifyReport",
     "MemoryBackend",
     "ResultStore",
     "STORE_FORMAT_VERSION",
@@ -42,9 +52,12 @@ __all__ = [
     "canonical_batch_payload",
     "canonical_campaign_payload",
     "canonical_json",
+    "gc_store",
     "open_store",
+    "resolve_backend",
     "shard_of",
     "synthesis_key",
     "table_digest",
     "validation_key",
+    "verify_store",
 ]

@@ -22,12 +22,35 @@ content hashes, every racer is writing identical bytes anyway).
 from __future__ import annotations
 
 import os
+import time
 from collections.abc import Iterator
+from dataclasses import dataclass
 from pathlib import Path
 
 
+@dataclass(frozen=True)
+class BlobStat:
+    """Metadata of one blob — the material of age/LRU eviction.
+
+    ``mtime`` is seconds since the epoch of the last write; backends
+    that cannot recover a real timestamp report their best effort (an
+    object store echoes what its server recorded).
+    """
+
+    size: int
+    mtime: float
+
+
 class StoreBackend:
-    """Minimal blob-store protocol (see the module docstring)."""
+    """Minimal blob-store protocol (see the module docstring).
+
+    ``read``/``write``/``names`` are the required surface the
+    :class:`~repro.store.store.ResultStore` correctness story rests on.
+    The rest are *capabilities* with safe fallbacks: lifecycle ops
+    (``delete``/``stat``) and coordination (``write_if_absent``, the
+    conditional-put primitive the work-stealing queue claims leases
+    with) degrade rather than crash on a backend that lacks them.
+    """
 
     def read(self, name: str) -> bytes | None:
         """The blob's bytes, or None when absent/unreadable."""
@@ -37,9 +60,42 @@ class StoreBackend:
         """Publish ``data`` under ``name`` atomically."""
         raise NotImplementedError
 
-    def names(self) -> Iterator[str]:
-        """Every blob name currently present (no order guarantee)."""
+    def names(self, prefix: str = "") -> Iterator[str]:
+        """Every blob name currently present (no order guarantee).
+
+        ``prefix`` filters server-side where the backend can (an object
+        store's list-by-prefix); the base contract only promises the
+        filtered result.
+        """
         raise NotImplementedError
+
+    # -- capabilities ---------------------------------------------------
+    def write_if_absent(self, name: str, data: bytes) -> bool:
+        """Conditional put: publish only if ``name`` is absent.
+
+        True when this call created the blob.  The base implementation
+        is check-then-write — atomic on :class:`MemoryBackend` (single
+        process), best-effort elsewhere; backends with a real primitive
+        (``O_EXCL``, ``If-None-Match``) override it.  Callers must treat
+        a True as a *lease*, not a lock: the content-addressed store
+        above stays correct even when two writers both "win".
+        """
+        if self.read(name) is not None:
+            return False
+        self.write(name, data)
+        return True
+
+    def delete(self, name: str) -> bool:
+        """Remove a blob; True when something was deleted.
+
+        Backends that cannot delete return False, and ``seance store
+        gc`` reports them as such.
+        """
+        return False
+
+    def stat(self, name: str) -> BlobStat | None:
+        """The blob's :class:`BlobStat`, or None when absent/unknown."""
+        return None
 
     def describe(self) -> str:
         return type(self).__name__
@@ -50,15 +106,27 @@ class MemoryBackend(StoreBackend):
 
     def __init__(self) -> None:
         self._blobs: dict[str, bytes] = {}
+        self._mtimes: dict[str, float] = {}
 
     def read(self, name: str) -> bytes | None:
         return self._blobs.get(name)
 
     def write(self, name: str, data: bytes) -> None:
         self._blobs[name] = bytes(data)
+        self._mtimes[name] = time.time()
 
-    def names(self) -> Iterator[str]:
-        yield from list(self._blobs)
+    def names(self, prefix: str = "") -> Iterator[str]:
+        yield from [n for n in self._blobs if n.startswith(prefix)]
+
+    def delete(self, name: str) -> bool:
+        self._mtimes.pop(name, None)
+        return self._blobs.pop(name, None) is not None
+
+    def stat(self, name: str) -> BlobStat | None:
+        data = self._blobs.get(name)
+        if data is None:
+            return None
+        return BlobStat(size=len(data), mtime=self._mtimes.get(name, 0.0))
 
     def __len__(self) -> int:
         return len(self._blobs)
@@ -108,14 +176,78 @@ class DirectoryBackend(StoreBackend):
             except OSError:
                 pass
 
-    def names(self) -> Iterator[str]:
+    def names(self, prefix: str = "") -> Iterator[str]:
         if not self._root.is_dir():
             return
         for path in sorted(self._root.rglob("*")):
             if path.is_file() and not path.name.startswith("."):
                 if ".tmp." in path.name:
                     continue
-                yield path.relative_to(self._root).as_posix()
+                name = path.relative_to(self._root).as_posix()
+                if name.startswith(prefix):
+                    yield name
+
+    def write_if_absent(self, name: str, data: bytes) -> bool:
+        """Atomic on POSIX: ``O_CREAT | O_EXCL`` either creates the blob
+        or fails because someone else already did."""
+        target = self._blob_path(name)
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(target, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            return False
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            return True
+        except OSError:
+            try:
+                target.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return False
+
+    def delete(self, name: str) -> bool:
+        try:
+            self._blob_path(name).unlink()
+            return True
+        except OSError:
+            return False
+
+    def stat(self, name: str) -> BlobStat | None:
+        try:
+            info = self._blob_path(name).stat()
+        except OSError:
+            return None
+        return BlobStat(size=info.st_size, mtime=info.st_mtime)
 
     def describe(self) -> str:
         return f"DirectoryBackend({str(self._root)!r})"
+
+
+def resolve_backend(location) -> StoreBackend:
+    """The backend a ``--store``-style location names.
+
+    * an existing :class:`StoreBackend` passes through;
+    * ``http://`` / ``https://`` opens an
+      :class:`~repro.store.net.ObjectStoreBackend` (S3/GCS shape —
+      ``seance store serve-fake`` boots a compatible in-process server);
+    * ``cache://host:port`` opens a
+      :class:`~repro.store.net.CacheBackend` (memcache/Redis shape:
+      server-side TTL + LRU eviction);
+    * anything else is a local directory.
+    """
+    if isinstance(location, StoreBackend):
+        return location
+    spec = os.fspath(location)
+    if spec.startswith(("http://", "https://")):
+        from .net import ObjectStoreBackend
+
+        return ObjectStoreBackend(spec)
+    if spec.startswith("cache://"):
+        from .net import CacheBackend
+
+        return CacheBackend(spec)
+    return DirectoryBackend(spec)

@@ -1,0 +1,307 @@
+"""Networked store backends: the fleet-facing blob transports.
+
+Two wire shapes cover the deployment spectrum the roadmap names:
+
+:class:`ObjectStoreBackend`
+    The S3/GCS shape — keyed blobs over HTTP with GET / PUT /
+    conditional PUT (``If-None-Match: *``) / DELETE / HEAD and
+    list-by-prefix.  Any server speaking this minimal surface works;
+    :class:`repro.service.fakes.FakeObjectStoreServer` (also ``seance
+    store serve-fake``) is the in-process stand-in the tests and CI
+    smoke run against — over a real socket, so the client's framing,
+    quoting, reconnects and error paths are genuinely exercised.
+
+:class:`CacheBackend`
+    The memcache/Redis shape — a persistent TCP connection speaking a
+    small line protocol with per-blob TTLs and server-side LRU
+    eviction (:class:`repro.service.fakes.FakeCacheServer`).  Suits the
+    stage-cache tier, where losing an entry costs one recomputed stage.
+
+Failure semantics follow the :class:`~repro.store.backend.StoreBackend`
+contract exactly: a dead server, a truncated response, or a poisoned
+blob surfaces as *absence* (reads return None, writes degrade silently,
+conditional writes report False) — the verification layer above
+recomputes, and correctness never depends on the network.  Both clients
+are thread-safe (one lock around the shared connection) and reconnect
+once per operation on a broken socket.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import urllib.parse
+from collections.abc import Iterator
+from http.client import HTTPConnection, HTTPException
+
+from .backend import BlobStat, StoreBackend
+
+
+class ObjectStoreBackend(StoreBackend):
+    """Blobs over HTTP, object-store style (``--store http://host:port``).
+
+    Verbs, all under ``<base>/b/<name>``:
+
+    * ``GET`` — 200 with the bytes, 404 when absent;
+    * ``PUT`` — unconditional publish; with ``If-None-Match: *`` the
+      server answers 412 instead of overwriting (the lease primitive);
+    * ``DELETE`` — 204/404;
+    * ``HEAD`` — ``Content-Length`` + ``X-Blob-Mtime`` metadata;
+
+    plus ``GET <base>/list?prefix=...`` returning a JSON name array.
+    """
+
+    def __init__(self, url: str, timeout: float = 10.0):
+        parsed = urllib.parse.urlsplit(url)
+        if parsed.scheme not in ("http", "https"):
+            raise ValueError(f"object store URL must be http(s), got {url!r}")
+        self.url = url.rstrip("/")
+        self._host = parsed.hostname or "localhost"
+        self._port = parsed.port or (443 if parsed.scheme == "https" else 80)
+        self._base = parsed.path.rstrip("/")
+        self._timeout = timeout
+        self._lock = threading.Lock()
+        self._connection: HTTPConnection | None = None
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> HTTPConnection:
+        if self._connection is None:
+            self._connection = HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+        return self._connection
+
+    def _drop(self) -> None:
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            except Exception:  # noqa: BLE001 - best-effort teardown
+                pass
+            self._connection = None
+
+    def _request(
+        self, method: str, path: str, body: bytes | None = None,
+        headers: dict | None = None,
+    ) -> tuple[int, bytes, dict] | None:
+        """One request under the lock; one reconnect on a broken socket;
+        None when the server is unreachable (absence semantics)."""
+        with self._lock:
+            for attempt in (0, 1):
+                try:
+                    connection = self._connect()
+                    connection.request(
+                        method, path, body=body, headers=headers or {}
+                    )
+                    response = connection.getresponse()
+                    payload = response.read()
+                    return (
+                        response.status,
+                        payload,
+                        {k.lower(): v for k, v in response.getheaders()},
+                    )
+                except (OSError, HTTPException):
+                    self._drop()
+                    if attempt:
+                        return None
+        return None
+
+    def _blob_path(self, name: str) -> str:
+        return f"{self._base}/b/{urllib.parse.quote(name, safe='/')}"
+
+    # ------------------------------------------------------------------
+    def read(self, name: str) -> bytes | None:
+        reply = self._request("GET", self._blob_path(name))
+        if reply is None or reply[0] != 200:
+            return None
+        return reply[1]
+
+    def write(self, name: str, data: bytes) -> None:
+        self._request("PUT", self._blob_path(name), body=data)
+
+    def write_if_absent(self, name: str, data: bytes) -> bool:
+        reply = self._request(
+            "PUT",
+            self._blob_path(name),
+            body=data,
+            headers={"If-None-Match": "*"},
+        )
+        return reply is not None and reply[0] in (200, 201)
+
+    def delete(self, name: str) -> bool:
+        reply = self._request("DELETE", self._blob_path(name))
+        return reply is not None and reply[0] in (200, 204)
+
+    def stat(self, name: str) -> BlobStat | None:
+        reply = self._request("HEAD", self._blob_path(name))
+        if reply is None or reply[0] != 200:
+            return None
+        headers = reply[2]
+        try:
+            return BlobStat(
+                size=int(headers.get("content-length", 0)),
+                mtime=float(headers.get("x-blob-mtime", 0.0)),
+            )
+        except ValueError:
+            return None
+
+    def names(self, prefix: str = "") -> Iterator[str]:
+        import json
+
+        query = urllib.parse.urlencode({"prefix": prefix})
+        reply = self._request("GET", f"{self._base}/list?{query}")
+        if reply is None or reply[0] != 200:
+            return
+        try:
+            listed = json.loads(reply[1].decode())
+        except (ValueError, UnicodeDecodeError):
+            return
+        if isinstance(listed, list):
+            yield from [str(name) for name in listed]
+
+    def describe(self) -> str:
+        return f"ObjectStoreBackend({self.url!r})"
+
+
+class CacheBackend(StoreBackend):
+    """Blobs over a memcache-style line protocol (``cache://host:port``).
+
+    Commands (client → server, ``\\n``-terminated; payloads are length
+    prefixed, so names may not contain whitespace — store names never
+    do)::
+
+        GET <name>              -> VALUE <n>\\n<bytes>  |  MISS
+        SET <name> <ttl> <n>\\n<bytes>  -> STORED
+        ADD <name> <ttl> <n>\\n<bytes>  -> STORED | EXISTS
+        DEL <name>              -> DELETED | MISS
+        STAT <name>             -> STAT <size> <mtime> | MISS
+        KEYS <prefix>           -> COUNT <n>\\n<name>...
+        PURGE                   -> PURGED <n>
+
+    ``ttl_seconds`` rides every write (0 = no expiry); the server also
+    LRU-evicts at capacity, so this tier is explicitly *lossy* — the
+    right home for the stage cache and warm-result acceleration, with
+    the verified envelope layer guaranteeing a lost or recycled entry
+    costs recomputation only.  ``cache://host:port?ttl=300`` sets the
+    default TTL from the URL.
+    """
+
+    def __init__(
+        self, url: str, ttl_seconds: float | None = None, timeout: float = 10.0
+    ):
+        parsed = urllib.parse.urlsplit(url)
+        if parsed.scheme != "cache":
+            raise ValueError(f"cache backend URL must be cache://, got {url!r}")
+        self.url = url
+        self._host = parsed.hostname or "localhost"
+        self._port = parsed.port or 11311
+        if ttl_seconds is None:
+            query = urllib.parse.parse_qs(parsed.query)
+            ttl_seconds = float(query.get("ttl", ["0"])[0])
+        self.ttl_seconds = ttl_seconds
+        self._timeout = timeout
+        self._lock = threading.Lock()
+        self._sock: socket.socket | None = None
+        self._reader = None
+
+    # ------------------------------------------------------------------
+    def _connect(self):
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self._host, self._port), timeout=self._timeout
+            )
+            self._sock = sock
+            self._reader = sock.makefile("rb")
+        return self._sock, self._reader
+
+    def _drop(self) -> None:
+        for closer in (self._reader, self._sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+        self._sock = None
+        self._reader = None
+
+    def _command(self, line: str, payload: bytes = b""):
+        """Send one command, return (status words, data bytes) or None."""
+        with self._lock:
+            for attempt in (0, 1):
+                try:
+                    sock, reader = self._connect()
+                    sock.sendall(line.encode() + b"\n" + payload)
+                    status = reader.readline()
+                    if not status:
+                        raise OSError("server closed the connection")
+                    words = status.decode().split()
+                    data = b""
+                    if words and words[0] in ("VALUE", "COUNT"):
+                        if words[0] == "VALUE":
+                            data = reader.read(int(words[1]))
+                        else:
+                            lines = [
+                                reader.readline().decode().rstrip("\n")
+                                for _ in range(int(words[1]))
+                            ]
+                            return words, lines
+                    return words, data
+                except (OSError, ValueError, IndexError):
+                    self._drop()
+                    if attempt:
+                        return None
+        return None
+
+    # ------------------------------------------------------------------
+    def read(self, name: str) -> bytes | None:
+        reply = self._command(f"GET {name}")
+        if reply is None or reply[0][0] != "VALUE":
+            return None
+        return reply[1]
+
+    def _write(self, verb: str, name: str, data: bytes):
+        return self._command(
+            f"{verb} {name} {self.ttl_seconds:g} {len(data)}", data
+        )
+
+    def write(self, name: str, data: bytes) -> None:
+        self._write("SET", name, data)
+
+    def write_if_absent(self, name: str, data: bytes) -> bool:
+        reply = self._write("ADD", name, data)
+        return reply is not None and reply[0][0] == "STORED"
+
+    def delete(self, name: str) -> bool:
+        reply = self._command(f"DEL {name}")
+        return reply is not None and reply[0][0] == "DELETED"
+
+    def stat(self, name: str) -> BlobStat | None:
+        reply = self._command(f"STAT {name}")
+        if reply is None or reply[0][0] != "STAT":
+            return None
+        try:
+            return BlobStat(
+                size=int(reply[0][1]), mtime=float(reply[0][2])
+            )
+        except (ValueError, IndexError):
+            return None
+
+    def names(self, prefix: str = "") -> Iterator[str]:
+        reply = self._command(f"KEYS {prefix}" if prefix else "KEYS")
+        if reply is None or reply[0][0] != "COUNT":
+            return
+        yield from reply[1]
+
+    def purge(self) -> int:
+        """Server-side sweep of expired entries; returns the count
+        dropped (what ``seance store gc`` calls on a TTL backend)."""
+        reply = self._command("PURGE")
+        if reply is None or reply[0][0] != "PURGED":
+            return 0
+        try:
+            return int(reply[0][1])
+        except (ValueError, IndexError):
+            return 0
+
+    def describe(self) -> str:
+        ttl = f", ttl={self.ttl_seconds:g}s" if self.ttl_seconds else ""
+        return f"CacheBackend({self.url!r}{ttl})"

@@ -305,7 +305,11 @@ class ShardedCampaign:
         """
         from ..netlist.fantom import build_fantom
         from ..pipeline.batch import BatchRunner
-        from ..sim.campaign import _resolve_engine, delay_model
+        from ..sim.campaign import (
+            _resolve_engine,
+            archive_failure_vcd,
+            delay_model,
+        )
         from ..sim.harness import random_legal_walk, validate_walk
 
         campaign = self.campaign
@@ -350,6 +354,16 @@ class ShardedCampaign:
                 simulator_factory=engine_cls,
             )
             store.put_validation(unit.key, summary)
+            if not summary.all_clean:
+                archive_failure_vcd(
+                    store,
+                    unit.key,
+                    machine,
+                    walks[walk_key],
+                    model,
+                    seed,
+                    campaign.engine,
+                )
             executed += 1
         return {
             "shard": shard,

@@ -44,7 +44,7 @@ from ..errors import ReproError
 from ..flowtable.table import FlowTable
 from ..pipeline.spec import PipelineSpec
 from ..sim.monitors import ValidationSummary
-from .backend import DirectoryBackend, MemoryBackend, StoreBackend
+from .backend import MemoryBackend, StoreBackend, resolve_backend
 from .keys import (
     STORE_FORMAT_VERSION,
     StoreKey,
@@ -122,7 +122,9 @@ class ResultStore:
         if backend is None:
             backend = MemoryBackend()
         elif not isinstance(backend, StoreBackend):
-            backend = DirectoryBackend(backend)
+            # A location string: local directory, http(s):// object
+            # store, or cache:// TTL cache (see resolve_backend).
+            backend = resolve_backend(backend)
         self.backend = backend
         self.hits = 0
         self.misses = 0
@@ -247,11 +249,42 @@ class ResultStore:
         self.put(key, summary.to_dict())
 
     # ------------------------------------------------------------------
+    # Artifacts: debugging payloads filed next to a result's envelope
+    # ------------------------------------------------------------------
+    def artifact_name(self, key: StoreKey, suffix: str) -> str:
+        """The blob name of ``key``'s ``suffix`` artifact — same kind/
+        digest as the result envelope, different extension, so a cell's
+        waveform sits next to its summary."""
+        return f"{key.kind}/{key.digest}.{suffix}"
+
+    def put_artifact(self, key: StoreKey, suffix: str, data: bytes) -> None:
+        """Archive raw bytes (a VCD, a log) next to ``key``'s envelope.
+
+        Artifacts are advisory debugging material, not results: they
+        carry no envelope and are never read back into computation, so
+        the verification story is unaffected.
+        """
+        self.backend.write(self.artifact_name(key, suffix), data)
+
+    def get_artifact(self, key: StoreKey, suffix: str) -> bytes | None:
+        return self.backend.read(self.artifact_name(key, suffix))
+
+    # ------------------------------------------------------------------
     @property
     def path(self):
         """Disk directory when directory-backed, else None (so callers
         can re-open the store in worker processes)."""
         return getattr(self.backend, "path", None)
+
+    @property
+    def location(self) -> str | None:
+        """A re-openable location string — the directory path or the
+        backend URL — or None for in-memory/unaddressable backends.
+        Worker processes re-open the store from this."""
+        path = getattr(self.backend, "path", None)
+        if path is not None:
+            return str(path)
+        return getattr(self.backend, "url", None)
 
     def describe(self) -> str:
         return (

@@ -1,0 +1,216 @@
+"""Networked store backends against their in-process fake servers.
+
+Every backend speaks to a real socket: the object-store backend over
+HTTP to :class:`~repro.service.fakes.FakeObjectStoreServer`, the cache
+backend over its line protocol to
+:class:`~repro.service.fakes.FakeCacheServer`.  The contract under
+test is the :class:`~repro.store.backend.StoreBackend` protocol — the
+same one DirectoryBackend satisfies — plus the service-grade parts:
+conditional put (the queue's lease primitive), TTL expiry, LRU
+eviction, and fail-safe degradation when the server drops requests.
+"""
+
+import time
+
+import pytest
+
+from repro.bench import benchmark
+from repro.pipeline.spec import PipelineSpec
+from repro.service import FakeCacheServer, FakeObjectStoreServer
+from repro.store import ResultStore
+from repro.store.backend import (
+    DirectoryBackend,
+    MemoryBackend,
+    resolve_backend,
+)
+from repro.store.net import CacheBackend, ObjectStoreBackend
+from tests.strategies import cached_synthesize
+
+
+@pytest.fixture(scope="module")
+def object_server():
+    with FakeObjectStoreServer() as server:
+        yield server
+
+
+@pytest.fixture(scope="module")
+def cache_server():
+    with FakeCacheServer() as server:
+        yield server
+
+
+@pytest.fixture
+def object_backend(object_server):
+    backend = ObjectStoreBackend(object_server.url)
+    yield backend
+    for name in backend.names():
+        backend.delete(name)
+
+
+@pytest.fixture
+def cache_backend(cache_server):
+    backend = CacheBackend(cache_server.url)
+    yield backend
+    for name in backend.names():
+        backend.delete(name)
+
+
+@pytest.fixture(params=["object", "cache"])
+def backend(request, object_backend, cache_backend):
+    return (
+        object_backend if request.param == "object" else cache_backend
+    )
+
+
+# ----------------------------------------------------------------------
+# The StoreBackend protocol, over a real socket
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_round_trip(self, backend):
+        backend.write("kind/a.json", b"alpha")
+        assert backend.read("kind/a.json") == b"alpha"
+
+    def test_read_absent_is_none(self, backend):
+        assert backend.read("kind/nothing.json") is None
+
+    def test_overwrite(self, backend):
+        backend.write("k/x", b"one")
+        backend.write("k/x", b"two")
+        assert backend.read("k/x") == b"two"
+
+    def test_binary_payloads_survive(self, backend):
+        blob = bytes(range(256)) * 5
+        backend.write("bin/blob", blob)
+        assert backend.read("bin/blob") == blob
+
+    def test_delete(self, backend):
+        backend.write("k/x", b"data")
+        assert backend.delete("k/x") is True
+        assert backend.read("k/x") is None
+        assert backend.delete("k/x") is False
+
+    def test_stat(self, backend):
+        before = time.time() - 1
+        backend.write("k/x", b"12345")
+        stat = backend.stat("k/x")
+        assert stat is not None
+        assert stat.size == 5
+        assert stat.mtime >= before
+        assert backend.stat("k/absent") is None
+
+    def test_names_prefix(self, backend):
+        backend.write("synthesis/a.json", b"1")
+        backend.write("synthesis/b.json", b"2")
+        backend.write("validation/c.json", b"3")
+        assert sorted(backend.names("synthesis/")) == [
+            "synthesis/a.json",
+            "synthesis/b.json",
+        ]
+        assert len(list(backend.names())) == 3
+
+    def test_write_if_absent_is_atomic_claim(self, backend):
+        assert backend.write_if_absent("lease/x", b"mine") is True
+        assert backend.write_if_absent("lease/x", b"theirs") is False
+        assert backend.read("lease/x") == b"mine"
+
+    def test_write_if_absent_after_delete(self, backend):
+        backend.write_if_absent("lease/x", b"first")
+        backend.delete("lease/x")
+        assert backend.write_if_absent("lease/x", b"second") is True
+        assert backend.read("lease/x") == b"second"
+
+
+# ----------------------------------------------------------------------
+# Fail-safety: dropped requests degrade, never corrupt
+# ----------------------------------------------------------------------
+class TestFaults:
+    def test_object_store_read_survives_dropped_request(
+        self, object_server, object_backend
+    ):
+        object_backend.write("k/x", b"payload")
+        object_server.fail_next(1)
+        # The dropped request reads as a miss (absence semantics) or
+        # succeeds after reconnect; either way the next read is whole.
+        object_backend.read("k/x")
+        assert object_backend.read("k/x") == b"payload"
+
+    def test_cache_read_survives_dropped_request(
+        self, cache_server, cache_backend
+    ):
+        cache_backend.write("k/x", b"payload")
+        cache_server.fail_next(1)
+        cache_backend.read("k/x")
+        assert cache_backend.read("k/x") == b"payload"
+
+    def test_unreachable_server_reads_as_absent(self):
+        with FakeObjectStoreServer() as server:
+            url = server.url
+        backend = ObjectStoreBackend(url, timeout=0.5)
+        assert backend.read("k/x") is None
+        assert backend.stat("k/x") is None
+        assert list(backend.names()) == []
+
+
+# ----------------------------------------------------------------------
+# Cache-grade semantics: TTL and LRU eviction
+# ----------------------------------------------------------------------
+class TestCacheSemantics:
+    def test_ttl_expires_entries(self, cache_server):
+        backend = CacheBackend(f"{cache_server.url}?ttl=1")
+        backend.write("ttl/x", b"ephemeral")
+        assert backend.read("ttl/x") == b"ephemeral"
+        time.sleep(1.1)
+        assert backend.read("ttl/x") is None
+
+    def test_purge_reports_expired_entries(self, cache_server):
+        backend = CacheBackend(f"{cache_server.url}?ttl=1")
+        backend.write("ttl/a", b"1")
+        backend.write("ttl/b", b"2")
+        time.sleep(1.1)
+        assert backend.purge() >= 2
+
+    def test_lru_eviction_bounds_the_table(self):
+        with FakeCacheServer(max_entries=2) as server:
+            backend = CacheBackend(server.url)
+            backend.write("k/a", b"1")
+            backend.write("k/b", b"2")
+            backend.write("k/c", b"3")
+            assert backend.read("k/a") is None  # oldest evicted
+            assert backend.read("k/c") == b"3"
+            assert server.blobs.evictions == 1
+
+
+# ----------------------------------------------------------------------
+# resolve_backend dispatch and the store on top
+# ----------------------------------------------------------------------
+class TestResolve:
+    def test_http_url(self, object_server):
+        assert isinstance(
+            resolve_backend(object_server.url), ObjectStoreBackend
+        )
+
+    def test_cache_url(self, cache_server):
+        assert isinstance(
+            resolve_backend(cache_server.url), CacheBackend
+        )
+
+    def test_path(self, tmp_path):
+        assert isinstance(
+            resolve_backend(tmp_path / "d"), DirectoryBackend
+        )
+
+    def test_backend_passthrough(self):
+        backend = MemoryBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_result_store_over_the_wire(self, object_server):
+        """The full verified-envelope round trip through a socket."""
+        table = benchmark("lion")
+        spec = PipelineSpec()
+        result = cached_synthesize(table)
+        writer = ResultStore(object_server.url)
+        writer.put_synthesis(table, spec, result)
+        reader = ResultStore(object_server.url)  # separate connection
+        stored = reader.get_synthesis(table, spec)
+        assert stored is not None and stored.ok
+        assert stored.result.to_dict() == result.to_dict()

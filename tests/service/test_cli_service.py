@@ -1,0 +1,137 @@
+"""CLI surface of the service fabric: queue, work, store lifecycle,
+submit.
+
+The long-running commands (``seance serve``, ``seance store
+serve-fake``) are exercised through their underlying objects elsewhere
+and end-to-end by the CI service smoke; here we pin the one-shot
+commands and the submit client against an in-process front door.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.service import SynthesisServer
+
+
+class TestQueueCli:
+    def test_publish_then_work_then_status(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main([
+            "queue", "publish", "lion", "traffic",
+            "--store", store, "--queue", "q",
+        ]) == 0
+        assert "published 2 new unit(s)" in capsys.readouterr().out
+
+        assert main([
+            "work", "--store", store, "--queue", "q",
+            "--timeout", "60",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 unit(s)" in out and "2 synthesised" in out
+
+        assert main([
+            "queue", "status", "--store", store, "--queue", "q",
+        ]) == 0
+        assert "2 done, 0 remaining" in capsys.readouterr().out
+
+    def test_drained_queue_merges_canonically(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["queue", "publish", "lion", "--store", store])
+        main(["work", "--store", store, "--timeout", "60"])
+        capsys.readouterr()
+        assert main([
+            "shard", "merge", "lion", "--store", store, "--json",
+        ]) == 0
+        merged = capsys.readouterr().out
+        assert main(["batch", "lion", "--json", "--canonical"]) == 0
+        assert merged == capsys.readouterr().out
+
+    def test_publish_campaign_units(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main([
+            "queue", "publish", "lion", "--campaign",
+            "--sweep", "1", "--steps", "5", "--delay-model", "unit",
+            "--store", store,
+        ]) == 0
+        assert "published 1 new unit(s)" in capsys.readouterr().out
+        assert main(["work", "--store", store, "--timeout", "60"]) == 0
+        assert "1 validated" in capsys.readouterr().out
+
+
+class TestStoreLifecycleCli:
+    def test_verify_clean_store(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["synth", "lion", "--store", store])
+        capsys.readouterr()
+        assert main(["store", "verify", "--store", store]) == 0
+        assert "1 ok, 0 rejected" in capsys.readouterr().out
+
+    def test_verify_flags_corruption_and_gc_drops_it(
+        self, tmp_path, capsys
+    ):
+        store = str(tmp_path / "store")
+        main(["synth", "lion", "--store", store])
+        blob = next((tmp_path / "store" / "synthesis").glob("*.json"))
+        blob.write_bytes(b"corrupt")
+        capsys.readouterr()
+        assert main(["store", "verify", "--store", store]) == 1
+        assert "REJECTED" in capsys.readouterr().out
+        assert main([
+            "store", "gc", "--store", store, "--drop-rejected",
+        ]) == 0
+        assert "1 rejected" in capsys.readouterr().out
+        assert not blob.exists()
+
+    def test_gc_ages_out_old_results(self, tmp_path, capsys):
+        import os
+        import time
+
+        store = str(tmp_path / "store")
+        main(["synth", "lion", "--store", store])
+        blob = next((tmp_path / "store" / "synthesis").glob("*.json"))
+        old = time.time() - 48 * 3600
+        os.utime(blob, (old, old))
+        capsys.readouterr()
+        assert main([
+            "store", "gc", "--store", store, "--max-age-hours", "24",
+        ]) == 0
+        assert "1 aged out" in capsys.readouterr().out
+        assert not blob.exists()
+
+
+class TestSubmitCli:
+    def test_submit_against_a_live_front_door(self, tmp_path, capsys):
+        with SynthesisServer(store=tmp_path / "store") as server:
+            assert main([
+                "submit", "lion", "--server", server.url,
+            ]) == 0
+            out = capsys.readouterr().out
+            assert "lion" in out and "local" in out
+
+            # Warm resubmission: served from the store, zero passes.
+            assert main([
+                "submit", "lion", "--server", server.url,
+            ]) == 0
+            out = capsys.readouterr().out
+            assert "store" in out
+            assert "1 served without a synthesis" in out
+
+    def test_submit_canonical_matches_batch(self, tmp_path, capsys):
+        with SynthesisServer(store=tmp_path / "store") as server:
+            assert main([
+                "submit", "lion", "traffic",
+                "--server", server.url, "--canonical",
+            ]) == 0
+            via_serve = capsys.readouterr().out
+        assert main([
+            "batch", "lion", "traffic", "--json", "--canonical",
+        ]) == 0
+        assert via_serve == capsys.readouterr().out
+
+    def test_submit_to_a_dead_server_errors_cleanly(self, capsys):
+        with SynthesisServer(store="/tmp") as server:
+            url = server.url
+        assert main([
+            "submit", "lion", "--server", url, "--timeout", "0.5",
+        ]) == 2
+        assert "unreachable" in capsys.readouterr().err

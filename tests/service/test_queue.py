@@ -1,0 +1,141 @@
+"""The durable work-stealing queue: leases, heartbeats, LPT ordering.
+
+The queue is blobs in the store, so every property here holds across
+processes and machines for free; MemoryBackend keeps the tests fast.
+The load-bearing invariants: a lease is an atomic conditional put, a
+lapsed lease is stealable, publishing is idempotent, and claim order
+follows archived telemetry weights (longest processing time first).
+"""
+
+import time
+
+import pytest
+
+from repro.bench import benchmark
+from repro.pipeline.spec import PipelineSpec
+from repro.service import WorkQueue
+from repro.store import ResultStore
+from repro.store.backend import MemoryBackend
+from repro.store.keys import table_digest
+from tests.strategies import cached_synthesize
+
+TABLES = ("lion", "traffic", "hazard_demo")
+
+
+@pytest.fixture
+def store():
+    return ResultStore(MemoryBackend())
+
+
+@pytest.fixture
+def queue(store):
+    return WorkQueue(store, "q", lease_ttl=30.0)
+
+
+def publish(queue, names=TABLES):
+    return queue.publish_batch(
+        [benchmark(name) for name in names], spec=PipelineSpec()
+    )
+
+
+class TestPublish:
+    def test_one_unit_per_table(self, queue):
+        assert publish(queue) == len(TABLES)
+        assert queue.stats().units == len(TABLES)
+
+    def test_republish_is_idempotent(self, queue):
+        publish(queue)
+        assert publish(queue) == 0
+        assert queue.stats().units == len(TABLES)
+
+    def test_already_stored_units_publish_as_done(self, store, queue):
+        table = benchmark("lion")
+        spec = PipelineSpec()
+        store.put_synthesis(table, spec, cached_synthesize(table))
+        queue.publish_batch([table], spec=spec)
+        stats = queue.stats()
+        # No unit scaffolding is written for warm work — just the done
+        # marker, so the queue reads as drained immediately.
+        assert stats.units == 0 and stats.done == 1
+        assert queue.pending() == []
+
+    def test_units_are_self_describing(self, queue):
+        publish(queue, ("lion",))
+        [(digest, unit)] = queue.pending()
+        assert unit["digest"] == digest
+        assert unit["kind"] == "synthesis"
+        assert unit["label"] == "lion"
+        assert set(unit["key"]) >= {"kind", "table", "spec", "workload"}
+        assert "table" in unit and "spec" in unit
+
+
+class TestLeases:
+    def test_claim_is_exclusive(self, queue):
+        publish(queue, ("lion",))
+        [(digest, _)] = queue.pending()
+        assert queue.claim(digest, "alice") is True
+        assert queue.claim(digest, "bob") is False
+
+    def test_release_reopens_the_unit(self, queue):
+        publish(queue, ("lion",))
+        [(digest, _)] = queue.pending()
+        queue.claim(digest, "alice")
+        queue.release(digest, "alice")
+        assert queue.claim(digest, "bob") is True
+
+    def test_heartbeat_extends_only_the_owner(self, queue):
+        publish(queue, ("lion",))
+        [(digest, _)] = queue.pending()
+        queue.claim(digest, "alice")
+        assert queue.heartbeat(digest, "alice") is True
+        assert queue.heartbeat(digest, "bob") is False
+
+    def test_lapsed_lease_is_stealable(self, queue):
+        """A worker that stops heartbeating is presumed crashed; its
+        unit must become claimable by anyone after the TTL."""
+        publish(queue, ("lion",))
+        [(digest, _)] = queue.pending()
+        assert queue.claim(digest, "doomed", ttl=0.05) is True
+        assert queue.claim(digest, "thief") is False  # still live
+        time.sleep(0.1)
+        assert queue.stats().expired == 1
+        assert queue.claim(digest, "thief") is True  # stolen
+        assert queue.heartbeat(digest, "doomed") is False
+
+    def test_done_units_leave_pending(self, queue):
+        publish(queue)
+        digests = [digest for digest, _ in queue.pending()]
+        queue.mark_done(digests[0], "alice")
+        assert queue.is_done(digests[0])
+        assert digests[0] not in [d for d, _ in queue.pending()]
+        assert queue.stats().done == 1
+
+
+class TestWeights:
+    def test_pending_is_lpt_ordered_by_telemetry(self, queue):
+        """Archived per-table synthesis seconds decide claim order:
+        heaviest first, so stragglers start earliest."""
+        seconds = {"lion": 0.1, "traffic": 9.0, "hazard_demo": 1.0}
+        for name, weight in seconds.items():
+            queue.record_telemetry(
+                table_digest(benchmark(name)), synthesis_seconds=weight
+            )
+        publish(queue)
+        ordered = [unit["label"] for _, unit in queue.pending()]
+        assert ordered == ["traffic", "hazard_demo", "lion"]
+
+    def test_unknown_telemetry_defaults_to_unit_weight(self, queue):
+        assert queue.telemetry_weight(
+            table_digest(benchmark("lion")), "synthesis"
+        ) == pytest.approx(1.0)
+
+    def test_telemetry_round_trip(self, queue):
+        digest = table_digest(benchmark("lion"))
+        queue.record_telemetry(
+            digest,
+            synthesis_seconds=2.5,
+            passes={"reduce": 1.5, "assign": 1.0},
+        )
+        assert queue.telemetry_weight(digest, "synthesis") == (
+            pytest.approx(2.5)
+        )
