@@ -120,6 +120,16 @@ def collect(args) -> int:
     widths = _width_rows(args)
     if widths:
         row["logic_width_seconds"] = widths
+    smoke = Path(args.service_smoke)
+    if smoke.is_file():
+        # The clean service-smoke leg's wall clock (the chaos leg's is
+        # fault-budget noise, not a perf signal — CI only passes the
+        # clean leg's timing file here).  As a ``*_seconds`` field it
+        # is auto-gated like every other series.
+        document = json.loads(smoke.read_text())
+        seconds = document.get("service_smoke_seconds")
+        if isinstance(seconds, (int, float)):
+            row["service_smoke_seconds"] = seconds
     telemetry = Path(args.batch_telemetry)
     if telemetry.is_file():
         items = json.loads(telemetry.read_text())
@@ -334,6 +344,12 @@ def main() -> int:
         "--logic-check",
         default="bench-logic-check.json",
         help="a `bench_logic --check` capture of per-width rows",
+    )
+    parser.add_argument(
+        "--service-smoke",
+        default="service-smoke-timing.json",
+        help="a `service_smoke.py --timing` capture (clean leg) whose "
+        "wall clock is folded in as service_smoke_seconds",
     )
     parser.add_argument(
         "--window",

@@ -4,28 +4,40 @@
 Spins up the whole fleet shape as real processes over a real socket:
 
 1. an in-process **fake object-store server** (the networked
-   ``StoreBackend`` substrate);
-2. ``seance serve`` as a subprocess in **queue mode** against it;
+   ``StoreBackend`` substrate), optionally behind a fault-injecting
+   :class:`~repro.service.chaos.ChaosProxy` (``--chaos-seed``);
+2. ``seance serve`` as a subprocess in **queue mode** against it —
+   two of them with ``--two-servers``, sharing one store and queue;
 3. a unit pre-claimed by a fabricated **crashed worker** (a lease that
    will never beat again) plus **two worker subprocesses**, one of
    which is SIGKILLed mid-run — the survivor must steal both ways;
 4. **two concurrent clients** submitting the same table list through
-   the front door.
+   the front door(s).
 
 Passes when:
 
 * every submission succeeds and both clients see identical results;
 * the merged canonical stream is **byte-identical** to a single-process
-  ``seance batch --json --canonical``;
+  ``seance batch --json --canonical`` — including under an adversarial
+  network (the degrade-to-recompute-never-wrong-bytes invariant);
 * a warm resubmission short-circuits to **zero passes**;
 * the queue fully drains despite the crashed lease and the killed
   worker (work stealing at the lease layer *and* the process layer).
 
+``--chaos-seed N`` reruns the same scenario with a seeded fault plan:
+a TCP chaos proxy (drop / delay / truncate / reset) in front of the
+store for every subprocess, protocol-level faults (500 / delay / stale)
+on the fake itself, and ``?retry=&timeout=`` knobs on the store URL so
+the transport policy absorbs all of it.  ``--timing OUT.json`` writes
+the wall clock plus the chaos/transport telemetry (the CI trend and
+chaos artifacts).
+
 Stdlib only; run from the repo root:
 
-    PYTHONPATH=src python scripts/service_smoke.py
+    PYTHONPATH=src python scripts/service_smoke.py [--chaos-seed 7]
 """
 
+import argparse
 import json
 import os
 import re
@@ -40,12 +52,48 @@ ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
 from repro.bench import benchmark  # noqa: E402
-from repro.service import FakeObjectStoreServer, ServiceClient, WorkQueue  # noqa: E402
+from repro.service import (  # noqa: E402
+    ChaosProxy,
+    ChaosSchedule,
+    FakeObjectStoreServer,
+    ServiceClient,
+    WorkQueue,
+)
 from repro.store import canonical_json  # noqa: E402
 
 TABLES = ["lion", "traffic", "hazard_demo", "lion9"]
 QUEUE = "ci-smoke"
 LEASE_TTL = 2.0
+
+#: Retry/timeout knobs every subprocess rides under chaos.
+STORE_KNOBS = "retry=6&timeout=5"
+
+
+def parse_args(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[1])
+    parser.add_argument(
+        "--chaos-seed", type=int, default=None, metavar="N",
+        help="inject a seeded fault plan between every subprocess and "
+        "the store (omit for the clean leg)",
+    )
+    parser.add_argument(
+        "--chaos-rate", type=float, default=0.15,
+        help="per-decision fault probability under --chaos-seed",
+    )
+    parser.add_argument(
+        "--chaos-limit", type=int, default=50,
+        help="total fault budget (bounds the smoke's tail latency)",
+    )
+    parser.add_argument(
+        "--two-servers", action="store_true",
+        help="run two `seance serve` processes against the shared "
+        "store/queue; each client submits through its own",
+    )
+    parser.add_argument(
+        "--timing", metavar="OUT.json", default=None,
+        help="write wall clock + chaos/transport telemetry here",
+    )
+    return parser.parse_args(argv)
 
 
 def spawn(*argv, **kwargs):
@@ -77,7 +125,20 @@ def await_url(process, pattern, timeout=30.0):
     raise SystemExit("timed out waiting for the service URL")
 
 
-def main() -> int:
+def spawn_server(store_url):
+    return spawn(
+        "serve",
+        "--store", store_url,
+        "--queue", QUEUE,
+        "--port", "0",
+        "--lease-ttl", str(LEASE_TTL),
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
     failures = []
 
     def check(ok, what):
@@ -85,15 +146,48 @@ def main() -> int:
         if not ok:
             failures.append(what)
 
+    client_timeout = 240 if args.chaos_seed is not None else 120
+    proxy_schedule = server_schedule = None
+    report = {}
+    started = time.monotonic()
+
     with FakeObjectStoreServer() as fake:
         print(f"fake object store at {fake.url}", flush=True)
+        # The harness's own bookkeeping rides the clean URL — only the
+        # fleet under test gets hurt.
         queue = WorkQueue(fake.url, QUEUE, lease_ttl=LEASE_TTL)
+
+        if args.chaos_seed is not None:
+            proxy_schedule = ChaosSchedule(
+                seed=args.chaos_seed,
+                rate=args.chaos_rate,
+                limit=args.chaos_limit,
+            )
+            server_schedule = ChaosSchedule(
+                seed=args.chaos_seed + 1,
+                rate=args.chaos_rate / 2,
+                modes=("error", "delay", "stale"),
+                limit=args.chaos_limit // 2,
+            )
+            fake.set_chaos(server_schedule)
+            proxy = ChaosProxy(
+                f"{fake.url}?{STORE_KNOBS}", proxy_schedule
+            ).start()
+            store_url = proxy.url
+            print(
+                f"chaos proxy at {store_url} "
+                f"(seed={args.chaos_seed}, rate={args.chaos_rate})",
+                flush=True,
+            )
+        else:
+            proxy = None
+            store_url = fake.url
 
         # A worker that claimed a unit and died without a word: publish
         # the plan up front and take one lease that will never beat.
         publish = spawn(
             "queue", "publish", *TABLES,
-            "--store", fake.url, "--queue", QUEUE,
+            "--store", store_url, "--queue", QUEUE,
         )
         publish.wait(timeout=120)
         check(publish.returncode == 0, "queue publish")
@@ -105,41 +199,42 @@ def main() -> int:
             "crashed worker holds a lease",
         )
 
-        serve = spawn(
-            "serve",
-            "--store", fake.url,
-            "--queue", QUEUE,
-            "--port", "0",
-            "--lease-ttl", str(LEASE_TTL),
-            stdout=subprocess.PIPE,
-            text=True,
-        )
+        servers = [spawn_server(store_url)]
+        if args.two_servers:
+            servers.append(spawn_server(store_url))
         workers = [
             spawn(
                 "work",
-                "--store", fake.url,
+                "--store", store_url,
                 "--queue", QUEUE,
                 "--worker-id", f"worker-{index}",
                 "--lease-ttl", str(LEASE_TTL),
                 "--poll", "0.1",
                 "--keep-polling",
-                "--timeout", "90",
+                "--timeout", "180",
             )
             for index in range(2)
         ]
         try:
-            url = await_url(serve, r"http://[0-9.:]+")
-            print(f"front door at {url}", flush=True)
+            urls = [
+                await_url(server, r"http://[0-9.:]+")
+                for server in servers
+            ]
+            for url in urls:
+                print(f"front door at {url}", flush=True)
 
-            # Two concurrent clients, same submission list: the front
-            # door dedupes across them, the workers execute each unit
-            # exactly once (modulo steals, which are idempotent).
+            # Two concurrent clients, same submission list — through
+            # separate servers when --two-servers: the fleet dedupes
+            # across processes, the workers execute each unit exactly
+            # once (modulo steals, which are idempotent).
             outcomes = {}
 
             tables = [benchmark(name) for name in TABLES]
 
             def run_client(slot):
-                client = ServiceClient(url, timeout=120)
+                client = ServiceClient(
+                    urls[slot % len(urls)], timeout=client_timeout
+                )
                 outcomes[slot] = client.submit_tables(tables)
 
             clients = [
@@ -174,7 +269,8 @@ def main() -> int:
                 "both clients saw identical canonical results",
             )
 
-            # Byte-identity against a single process.
+            # Byte-identity against a clean single process: no store,
+            # no network, no chaos — the reference answer.
             batch = subprocess.run(
                 [
                     sys.executable, "-m", "repro", "batch",
@@ -196,7 +292,11 @@ def main() -> int:
             )
 
             # Warm resubmission: zero passes, served from the store.
-            warm = ServiceClient(url, timeout=60).submit_tables(tables)
+            # Asked through the *clean* URL — this pins store state,
+            # not transport luck.
+            warm = ServiceClient(
+                urls[0], timeout=client_timeout
+            ).submit_tables(tables)
             check(
                 all(
                     o["store_hit"] and o["passes"] == 0 for o in warm
@@ -210,27 +310,60 @@ def main() -> int:
                 "queue drained despite the crashed lease and the "
                 "killed worker",
             )
-            report = json.loads(
-                json.dumps(
-                    {
-                        "units": stats.units,
-                        "done": stats.done,
-                        "tables": TABLES,
-                    }
-                )
-            )
-            print(f"queue report: {report}", flush=True)
+
+            # The server-side transport telemetry (faults absorbed on
+            # the way to the verdicts above).
+            server_stats = ServiceClient(
+                urls[0], timeout=30
+            ).stats()
+            report = {
+                "units": stats.units,
+                "done": stats.done,
+                "tables": TABLES,
+                "servers": len(servers),
+                "transport": server_stats.get("transport"),
+            }
+            print(f"queue report: {json.dumps(report)}", flush=True)
         finally:
-            serve.terminate()
+            for server in servers:
+                server.terminate()
             for worker in workers:
                 if worker.poll() is None:
                     worker.send_signal(signal.SIGTERM)
-            serve.wait(timeout=10)
+            for server in servers:
+                server.wait(timeout=10)
             for worker in workers:
                 try:
                     worker.wait(timeout=15)
                 except subprocess.TimeoutExpired:
                     worker.kill()
+            if proxy is not None:
+                proxy.stop()
+
+    wall = time.monotonic() - started
+    if args.chaos_seed is not None:
+        print(
+            "chaos telemetry: "
+            f"proxy={json.dumps(proxy_schedule.snapshot())} "
+            f"server={json.dumps(server_schedule.snapshot())}",
+            flush=True,
+        )
+    if args.timing:
+        payload = {
+            "service_smoke_seconds": round(wall, 3),
+            "two_servers": args.two_servers,
+            "report": report,
+            "chaos": (
+                {
+                    "proxy": proxy_schedule.snapshot(),
+                    "server": server_schedule.snapshot(),
+                }
+                if args.chaos_seed is not None
+                else None
+            ),
+        }
+        Path(args.timing).write_text(json.dumps(payload, indent=2))
+        print(f"timing written to {args.timing}", flush=True)
 
     if failures:
         print(f"\n{len(failures)} check(s) FAILED", flush=True)

@@ -93,23 +93,53 @@ def _load_table(spec: str):
     return api.load_table(spec)
 
 
+def _store_policy(args: argparse.Namespace):
+    """The transport RetryPolicy the ``--retry``/``--timeout`` knobs
+    describe, or None when neither was given (URL query knobs —
+    ``?retry=N&timeout=S`` — still apply either way)."""
+    retry = getattr(args, "store_retry", None)
+    timeout = getattr(args, "store_timeout", None)
+    if retry is None and timeout is None:
+        return None
+    from .service.resilience import RetryPolicy
+
+    return RetryPolicy().merged(retries=retry, timeout=timeout)
+
+
 def _open_store(args: argparse.Namespace):
     """The ResultStore of a ``--store LOC`` flag (None when absent).
 
     ``LOC`` is anything :func:`~repro.store.backend.resolve_backend`
     accepts: a directory path, an ``http(s)://`` object store, or a
-    ``cache://`` cache.
+    ``cache://`` cache.  Networked locations run under the transport
+    policy of ``--retry``/``--timeout`` when given.
     """
     from .store import ResultStore
 
     if not getattr(args, "store", None):
         return None
     try:
-        return ResultStore(args.store)
+        return ResultStore(args.store, policy=_store_policy(args))
     except OSError as error:
         raise ReproError(
             f"cannot use --store {args.store!r}: {error}"
         ) from error
+
+
+def _read_token_file(path: str | None) -> str | None:
+    """The submission token a ``--token-file`` names (stripped), or
+    None when the flag is absent."""
+    if not path:
+        return None
+    try:
+        token = Path(path).read_text().strip()
+    except OSError as error:
+        raise ReproError(
+            f"cannot read --token-file {path!r}: {error}"
+        ) from error
+    if not token:
+        raise ReproError(f"--token-file {path!r} is empty")
+    return token
 
 
 def _build_spec(args: argparse.Namespace) -> PipelineSpec:
@@ -243,7 +273,11 @@ def cmd_batch(args: argparse.Namespace) -> int:
         # --cache-dir overrides the spec's cache config; otherwise the
         # spec decides (its default is an in-memory cache, matching the
         # historical `seance batch` behaviour).
-        cache = StageCache(path=args.cache_dir) if args.cache_dir else None
+        cache = (
+            StageCache(path=args.cache_dir, policy=_store_policy(args))
+            if args.cache_dir
+            else None
+        )
     except OSError as error:
         raise ReproError(
             f"cannot use --cache-dir {args.cache_dir!r}: {error}"
@@ -453,13 +487,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from .service import SynthesisServer
 
     server = SynthesisServer(
-        store=args.store,
+        store=_open_store(args),
         host=args.host,
         port=args.port,
         queue_id=args.queue,
         jobs=args.jobs,
         submit_timeout=args.submit_timeout,
         lease_ttl=args.lease_ttl,
+        token=_read_token_file(args.token_file),
+        rate=args.rate,
+        burst=args.burst,
+        max_inflight=args.max_inflight,
     )
     try:
         server.serve_forever()
@@ -472,7 +510,7 @@ def cmd_work(args: argparse.Namespace) -> int:
     from .service import QueueWorker
 
     worker = QueueWorker(
-        args.store,
+        _open_store(args),
         args.queue,
         worker_id=args.worker_id,
         lease_ttl=args.lease_ttl,
@@ -514,12 +552,39 @@ def cmd_queue_publish(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_queue_status(queue, queue_id: str) -> bool:
+    """One status snapshot (occupancy plus per-lease health rows);
+    True when the queue is drained."""
+    stats = queue.stats()
+    print(f"queue {queue_id!r}: {stats.describe()}")
+    for row in queue.lease_report():
+        state = "LAPSED" if row["lapsed"] else "live"
+        print(
+            f"  lease {row['digest'][:16]}  worker={row['worker']}  "
+            f"age={row['age']:.1f}s  beats={row['beats']}  "
+            f"steals={row['steals']}  [{state}]"
+        )
+    return stats.units > 0 and stats.remaining == 0
+
+
 def cmd_queue_status(args: argparse.Namespace) -> int:
+    import time as time_module
+
     from .service import WorkQueue
 
     queue = WorkQueue(_open_store(args), args.queue)
-    print(f"queue {args.queue!r}: {queue.stats().describe()}")
-    return 0
+    if not args.watch:
+        _print_queue_status(queue, args.queue)
+        return 0
+    # --watch: refresh until the queue drains (or ^C).
+    try:
+        while True:
+            if _print_queue_status(queue, args.queue):
+                print("queue drained")
+                return 0
+            time_module.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 130
 
 
 def cmd_submit(args: argparse.Namespace) -> int:
@@ -527,7 +592,12 @@ def cmd_submit(args: argparse.Namespace) -> int:
 
     specs = args.specs or list(benchmark_names())
     tables = [_load_table(spec) for spec in specs]
-    client = ServiceClient(args.server, timeout=args.timeout)
+    client = ServiceClient(
+        args.server,
+        timeout=args.timeout,
+        token=_read_token_file(args.token_file),
+        client_id=args.client_id,
+    )
     outcomes = client.submit_tables(tables, spec=_build_spec(args))
     failures = [outcome for outcome in outcomes if not outcome["ok"]]
     if args.canonical:
@@ -563,6 +633,33 @@ def cmd_store_verify(args: argparse.Namespace) -> int:
     report = verify_store(_open_store(args))
     print(report.describe())
     return 0 if report.clean else 1
+
+
+def cmd_chaos_proxy(args: argparse.Namespace) -> int:
+    from .service import ChaosProxy, ChaosSchedule
+    from .service.chaos import PROXY_MODES
+
+    schedule = ChaosSchedule(
+        seed=args.seed,
+        rate=args.rate,
+        modes=tuple(args.modes or PROXY_MODES),
+        limit=args.limit,
+    )
+    proxy = ChaosProxy(args.upstream, schedule=schedule)
+    proxy.start()
+    print(f"chaos proxy at {proxy.url} -> {args.upstream}", flush=True)
+    import json as json_module
+    import time as time_module
+
+    try:
+        while True:
+            time_module.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        proxy.stop()
+        print(json_module.dumps(schedule.snapshot(), sort_keys=True))
+    return 0
 
 
 def cmd_store_gc(args: argparse.Namespace) -> int:
@@ -628,6 +725,7 @@ def _add_matrix_arguments(
         help="shared result store (directory, http(s):// object "
         "store, or cache:// cache)",
     )
+    _add_store_policy_arguments(p)
     p.add_argument(
         "--campaign",
         action="store_true",
@@ -677,6 +775,32 @@ def _add_matrix_arguments(
         default=None,
         help="[campaign] simulation kernel (default compiled, or "
         "$REPRO_SIM_ENGINE)",
+    )
+
+
+def _add_store_policy_arguments(
+    p: argparse.ArgumentParser, timeout_flag: str = "--timeout"
+) -> None:
+    """Transport knobs for networked ``--store``/``--cache-dir``
+    locations (``seance work`` spells the second ``--store-timeout``
+    because its ``--timeout`` is the run's wall-clock bound)."""
+    p.add_argument(
+        "--retry",
+        dest="store_retry",
+        type=int,
+        default=None,
+        metavar="N",
+        help="transport retries per store operation on networked "
+        "locations (default 2; a ?retry= URL knob overrides)",
+    )
+    p.add_argument(
+        timeout_flag,
+        dest="store_timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-operation socket timeout for networked store "
+        "locations (default 10; a ?timeout= URL knob overrides)",
     )
 
 
@@ -762,6 +886,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="content-addressed result store: a warm (table, spec) key "
         "is served without executing a single pass",
     )
+    _add_store_policy_arguments(synth)
     _add_spec_arguments(synth)
     synth.add_argument(
         "--emit-spec",
@@ -842,6 +967,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="content-addressed result store: warm (table, spec, cell) "
         "keys short-circuit synthesis and simulation entirely",
     )
+    _add_store_policy_arguments(val)
     val.add_argument(
         "--json",
         action="store_true",
@@ -913,6 +1039,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="content-addressed result store: warm (table, spec) keys "
         "are served without executing a single pass",
     )
+    _add_store_policy_arguments(batch)
     _add_spec_arguments(batch)
     batch.set_defaults(func=cmd_batch)
 
@@ -1009,8 +1136,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--lease-ttl", type=float, default=30.0, metavar="SECONDS",
-        help="[--queue] lease time-to-live for published units",
+        help="lease time-to-live: published units (--queue) and the "
+        "fleet's in-flight intent markers",
     )
+    serve.add_argument(
+        "--token-file",
+        metavar="FILE",
+        default=None,
+        help="require `Authorization: Bearer <token>` on submissions, "
+        "token read from FILE (compared constant-time)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=None, metavar="PER_SECOND",
+        help="per-client submission rate limit (token bucket; the "
+        "client is its X-Client-Id header, else peer address)",
+    )
+    serve.add_argument(
+        "--burst", type=float, default=None, metavar="N",
+        help="[--rate] bucket burst capacity (default max(rate, 1))",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="bound the in-flight table: submissions that would start "
+        "new work past N answer 429 busy (joins always admitted)",
+    )
+    _add_store_policy_arguments(serve)
     serve.set_defaults(func=cmd_serve)
 
     work = sub.add_parser(
@@ -1055,6 +1205,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="service mode: keep polling for new units until "
         "--timeout instead of exiting once the queue drains",
     )
+    _add_store_policy_arguments(work, timeout_flag="--store-timeout")
     work.set_defaults(func=cmd_work)
 
     queue = sub.add_parser(
@@ -1083,6 +1234,17 @@ def build_parser() -> argparse.ArgumentParser:
     qstat.add_argument(
         "--queue", metavar="ID", default="default", help="queue to inspect"
     )
+    qstat.add_argument(
+        "--watch",
+        action="store_true",
+        help="refresh until the queue drains (or ^C), with per-lease "
+        "worker/age/heartbeat/steal rows",
+    )
+    qstat.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="[--watch] refresh interval",
+    )
+    _add_store_policy_arguments(qstat)
     qstat.set_defaults(func=cmd_queue_status)
 
     submit = sub.add_parser(
@@ -1101,7 +1263,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument(
         "--timeout", type=float, default=300.0, metavar="SECONDS",
-        help="per-submission HTTP timeout",
+        help="per-submission HTTP timeout (also the budget for polite "
+        "retries of 429 throttled/busy answers)",
+    )
+    submit.add_argument(
+        "--token-file",
+        metavar="FILE",
+        default=None,
+        help="submission token for a --token-file'd front door",
+    )
+    submit.add_argument(
+        "--client-id",
+        default=None,
+        help="X-Client-Id rate-limit identity (default: peer address)",
     )
     submit.add_argument(
         "--no-minimize", action="store_true", help="skip Step 2"
@@ -1144,6 +1318,7 @@ def build_parser() -> argparse.ArgumentParser:
     sverify.add_argument(
         "--store", metavar="LOC", required=True, help="store to sweep"
     )
+    _add_store_policy_arguments(sverify)
     sverify.set_defaults(func=cmd_store_verify)
     sgc = store_sub.add_parser(
         "gc",
@@ -1171,6 +1346,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="leave drained-queue unit/lease/done scaffolding in place",
     )
+    _add_store_policy_arguments(sgc)
     sgc.set_defaults(func=cmd_store_gc)
     sfake = store_sub.add_parser(
         "serve-fake",
@@ -1197,6 +1373,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="[--cache] LRU capacity bound",
     )
     sfake.set_defaults(func=cmd_store_serve_fake)
+    schaos = store_sub.add_parser(
+        "chaos-proxy",
+        help="run a seeded fault-injecting TCP relay in front of a "
+        "store server (drops, resets, truncations, delays)",
+    )
+    schaos.add_argument(
+        "upstream",
+        help="server to front (http://host:port or cache://host:port)",
+    )
+    schaos.add_argument(
+        "--seed", type=int, default=0, help="fault-schedule seed"
+    )
+    schaos.add_argument(
+        "--rate", type=float, default=0.1,
+        help="per-response-chunk fault probability (default 0.1)",
+    )
+    schaos.add_argument(
+        "--limit", type=int, default=None,
+        help="cap total injected faults",
+    )
+    schaos.add_argument(
+        "--mode",
+        dest="modes",
+        action="append",
+        metavar="MODE",
+        default=None,
+        help="fault mode to inject (repeatable): drop, delay, "
+        "truncate, reset (default: all)",
+    )
+    schaos.set_defaults(func=cmd_chaos_proxy)
 
     passes = sub.add_parser(
         "passes", help="list the registered pipeline pass names"

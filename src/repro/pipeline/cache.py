@@ -127,6 +127,7 @@ class StageCache:
         path: str | os.PathLike | None = None,
         max_entries: int = 4096,
         backend=None,
+        policy=None,
     ):
         from ..store.backend import resolve_backend
 
@@ -134,7 +135,9 @@ class StageCache:
         if backend is not None:
             self._backend = backend
         elif path is not None:
-            self._backend = resolve_backend(path)
+            # ``policy`` tunes the transport when ``path`` is a
+            # networked location (retry/timeout/breaker).
+            self._backend = resolve_backend(path, policy=policy)
         else:
             self._backend = None
         self._max_entries = max_entries

@@ -8,24 +8,48 @@ digests (:mod:`~repro.service.queue`), the worker loop that drains it
 ``seance serve`` (:mod:`~repro.service.server`), and the submitting
 client (:mod:`~repro.service.client`).
 
+Hardening lives alongside: the transport policy the networked backends
+run under (:mod:`~repro.service.resilience` — bounded retries,
+deterministic-jitter backoff, per-backend circuit breaker, telemetry),
+the shared lease tables coordinating queue claims and multi-server
+in-flight dedup (:mod:`~repro.service.leases`), and the fault-injecting
+chaos harness that proves all of it (:mod:`~repro.service.chaos`).
+
 Everything here inherits the store's correctness story: results are
 verified envelopes addressed by content, so a lost lease, a crashed
-worker, or a racing steal costs duplicated *work*, never a wrong or
-torn *result*.
+worker, a racing steal, or an injected network fault costs duplicated
+*work* or a retry, never a wrong or torn *result*.
 """
 
+from .chaos import ChaosProxy, ChaosSchedule
 from .client import ServiceClient
 from .fakes import FakeCacheServer, FakeObjectStoreServer
+from .leases import LeaseHeartbeat, LeaseTable
 from .queue import QueueStats, WorkQueue
-from .server import SynthesisServer
+from .resilience import (
+    CircuitBreaker,
+    RetryPolicy,
+    TransportTelemetry,
+    transport_snapshot,
+)
+from .server import SynthesisServer, TokenBucket
 from .worker import QueueWorker
 
 __all__ = [
+    "ChaosProxy",
+    "ChaosSchedule",
+    "CircuitBreaker",
     "FakeCacheServer",
     "FakeObjectStoreServer",
+    "LeaseHeartbeat",
+    "LeaseTable",
     "QueueStats",
     "QueueWorker",
+    "RetryPolicy",
     "ServiceClient",
     "SynthesisServer",
+    "TokenBucket",
+    "TransportTelemetry",
     "WorkQueue",
+    "transport_snapshot",
 ]

@@ -18,8 +18,27 @@ CI service smoke, without any external dependency:
     LRU eviction at ``max_entries`` — deliberately lossy, the tier the
     stage cache rides.
 
-Both support fault injection (``fail_next(n)`` drops the next *n*
-requests mid-flight) so the degrade-to-recompute contract is testable.
+Both support fault injection in two styles, sharing one vocabulary of
+modes (:data:`~repro.service.chaos.SERVER_MODES`):
+
+* ``fail_next(n, mode=...)`` arms the next *n* requests with one mode —
+  the surgical style the conformance tests parametrise over;
+* ``set_chaos(schedule)`` hands request-level decisions to a seeded
+  :class:`~repro.service.chaos.ChaosSchedule` — the statistical style
+  the chaos smoke runs under.
+
+Modes and their injury:
+
+* ``drop``     — shut the connection down before processing (the
+  request never happened);
+* ``reset``    — likewise, but with an RST (``SO_LINGER 0``);
+* ``delay``    — process normally after a latency spike;
+* ``error``    — answer 500 / ``ERROR`` without processing;
+* ``truncate`` — **process the request**, then tear the response
+  mid-body (the client must treat the operation as failed even though
+  it took effect — the precondition-replay scenario);
+* ``stale``    — serve the *previous* version of the blob (eventual-
+  consistency read; only meaningful for reads).
 """
 
 from __future__ import annotations
@@ -27,20 +46,31 @@ from __future__ import annotations
 import json
 import socket
 import socketserver
+import struct
 import threading
 import time
 import urllib.parse
 from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+#: Fake-level delay-fault latency (seconds) — enough to be a real stall
+#: on a loopback socket, small enough to keep test suites fast.
+FAULT_DELAY = 0.05
+
 
 class _BlobTable:
-    """Shared blob state: name → (bytes, mtime), with optional TTL/LRU."""
+    """Shared blob state: name → (bytes, mtime), with optional TTL/LRU.
+
+    Keeps a one-deep *previous version* shadow per name so the
+    ``stale`` fault mode can serve genuinely outdated (but once-valid)
+    reads — the eventual-consistency failure shape.
+    """
 
     def __init__(self, max_entries: int | None = None):
         self._entries: OrderedDict[str, tuple[bytes, float, float]] = (
             OrderedDict()
         )  # name -> (data, mtime, expires_at or 0)
+        self._previous: dict[str, tuple[bytes, float]] = {}
         self._lock = threading.Lock()
         self._max_entries = max_entries
         self.evictions = 0
@@ -59,6 +89,13 @@ class _BlobTable:
             self._entries.move_to_end(name)  # LRU touch
             return entry[0], entry[1]
 
+    def get_stale(self, name: str) -> tuple[bytes, float] | None:
+        """The previous version when one exists, else the current one —
+        what an eventually-consistent replica might still serve."""
+        with self._lock:
+            previous = self._previous.get(name)
+        return previous if previous is not None else self.get(name)
+
     def put(
         self, name: str, data: bytes, ttl: float = 0.0, if_absent: bool = False
     ) -> bool:
@@ -69,6 +106,8 @@ class _BlobTable:
                 entry = None
             if if_absent and entry is not None:
                 return False
+            if entry is not None:
+                self._previous[name] = (entry[0], entry[1])
             expires = time.time() + ttl if ttl > 0 else 0.0
             self._entries[name] = (bytes(data), time.time(), expires)
             self._entries.move_to_end(name)
@@ -80,7 +119,10 @@ class _BlobTable:
 
     def delete(self, name: str) -> bool:
         with self._lock:
-            return self._entries.pop(name, None) is not None
+            entry = self._entries.pop(name, None)
+            if entry is not None:
+                self._previous[name] = (entry[0], entry[1])
+            return entry is not None
 
     def names(self, prefix: str = "") -> list[str]:
         with self._lock:
@@ -110,22 +152,44 @@ class _BlobTable:
 
 
 class _FaultBox:
-    """Countdown of requests to fail on purpose (connection drop)."""
+    """Per-request fault decisions: an armed countdown (surgical) with
+    a seeded :class:`~repro.service.chaos.ChaosSchedule` fallback
+    (statistical).  Armed faults win while any remain."""
 
     def __init__(self) -> None:
         self._remaining = 0
+        self._mode = "drop"
+        self._schedule = None
         self._lock = threading.Lock()
 
-    def arm(self, count: int) -> None:
+    def arm(self, count: int, mode: str = "drop") -> None:
         with self._lock:
             self._remaining = count
+            self._mode = mode
 
-    def should_fail(self) -> bool:
+    def set_schedule(self, schedule) -> None:
+        with self._lock:
+            self._schedule = schedule
+
+    def next_mode(self) -> str | None:
         with self._lock:
             if self._remaining > 0:
                 self._remaining -= 1
-                return True
-            return False
+                return self._mode
+            schedule = self._schedule
+        if schedule is not None:
+            return schedule.next_fault()
+        return None
+
+
+def _reset_connection(connection: socket.socket) -> None:
+    """Make the peer see an RST, not a FIN."""
+    try:
+        connection.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+    except OSError:
+        pass
 
 
 class FakeObjectStoreServer:
@@ -145,6 +209,7 @@ class FakeObjectStoreServer:
 
         class Handler(BaseHTTPRequestHandler):
             protocol_version = "HTTP/1.1"
+            _fault_mode: str | None = None
 
             def log_message(self, *args):  # noqa: D102 - silence stderr
                 pass
@@ -153,22 +218,55 @@ class FakeObjectStoreServer:
                 with stats_lock:
                     stats[verb] = stats.get(verb, 0) + 1
 
+            def _disconnect(self, reset: bool = False) -> None:
+                self.close_connection = True
+                if reset:
+                    _reset_connection(self.connection)
+                try:
+                    self.connection.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+
             def _maybe_fault(self) -> bool:
-                if faults.should_fail():
-                    # Drop the connection mid-request: the client sees a
-                    # broken socket, not a clean HTTP error.
-                    self.close_connection = True
-                    try:
-                        self.connection.shutdown(socket.SHUT_RDWR)
-                    except OSError:
-                        pass
+                """Apply this request's fault decision; True = the
+                request is over (connection torn or error answered).
+                ``truncate``/``stale`` set :attr:`_fault_mode` and let
+                processing continue."""
+                self._fault_mode = None
+                mode = faults.next_mode()
+                if mode is None:
+                    return False
+                if mode in ("drop", "reset"):
+                    self._disconnect(reset=(mode == "reset"))
                     return True
+                if mode == "error":
+                    self._reply(500, b"chaos: injected server error\n")
+                    return True
+                if mode == "delay":
+                    time.sleep(FAULT_DELAY)
+                    return False
+                self._fault_mode = mode  # truncate | stale
                 return False
 
             def _reply(
                 self, status: int, body: bytes = b"",
                 headers: dict | None = None,
             ) -> None:
+                if self._fault_mode == "truncate":
+                    # The request *was processed*; tear the response.
+                    if body and self.command != "HEAD":
+                        self.send_response(status)
+                        for key, value in (headers or {}).items():
+                            self.send_header(key, value)
+                        self.send_header("Content-Length", str(len(body)))
+                        self.end_headers()
+                        self.wfile.write(body[: len(body) // 2])
+                        try:
+                            self.wfile.flush()
+                        except OSError:
+                            pass
+                    self._disconnect()
+                    return
                 self.send_response(status)
                 for key, value in (headers or {}).items():
                     self.send_header(key, value)
@@ -182,6 +280,13 @@ class FakeObjectStoreServer:
                 if not path.startswith("/b/"):
                     return None
                 return urllib.parse.unquote(path[len("/b/"):])
+
+            def _read_entry(self, name: str | None):
+                if name is None:
+                    return None
+                if self._fault_mode == "stale":
+                    return table.get_stale(name)
+                return table.get(name)
 
             def do_GET(self):
                 if self._maybe_fault():
@@ -197,8 +302,7 @@ class FakeObjectStoreServer:
                     )
                     return
                 self._count("GET")
-                name = self._name()
-                entry = table.get(name) if name else None
+                entry = self._read_entry(self._name())
                 if entry is None:
                     self._reply(404)
                     return
@@ -209,8 +313,7 @@ class FakeObjectStoreServer:
                 if self._maybe_fault():
                     return
                 self._count("HEAD")
-                name = self._name()
-                entry = table.get(name) if name else None
+                entry = self._read_entry(self._name())
                 if entry is None:
                     self._reply(404)
                     return
@@ -229,9 +332,9 @@ class FakeObjectStoreServer:
                 data = self.rfile.read(length)
                 conditional = self.headers.get("If-None-Match") == "*"
                 if table.put(name, data, if_absent=conditional):
-                    self._reply(201)
+                    self._reply(201, b"created\n")
                 else:
-                    self._reply(412)
+                    self._reply(412, b"precondition failed\n")
 
             def do_DELETE(self):
                 if self._maybe_fault():
@@ -252,9 +355,15 @@ class FakeObjectStoreServer:
         host, port = self._server.server_address[:2]
         return f"http://{host}:{port}"
 
-    def fail_next(self, count: int = 1) -> None:
-        """Drop the next ``count`` requests mid-flight."""
-        self.faults.arm(count)
+    def fail_next(self, count: int = 1, mode: str = "drop") -> None:
+        """Injure the next ``count`` requests with ``mode`` (module
+        docstring; default drops the connection mid-flight)."""
+        self.faults.arm(count, mode)
+
+    def set_chaos(self, schedule) -> None:
+        """Drive per-request fault decisions from a seeded
+        :class:`~repro.service.chaos.ChaosSchedule` (None to clear)."""
+        self.faults.set_schedule(schedule)
 
     def start(self) -> FakeObjectStoreServer:
         self._thread = threading.Thread(
@@ -302,24 +411,55 @@ class FakeCacheServer:
                     line = self.rfile.readline()
                     if not line:
                         return
-                    if faults.should_fail():
-                        return  # close the connection mid-conversation
+                    mode = faults.next_mode()
+                    if mode in ("drop", "reset"):
+                        if mode == "reset":
+                            _reset_connection(self.connection)
+                        return  # close mid-conversation
+                    if mode == "error":
+                        # Unprocessed: the client drops the connection
+                        # on ERROR, so the unread payload of a SET/ADD
+                        # dies with it.
+                        try:
+                            self.wfile.write(b"ERROR\n")
+                            self.wfile.flush()
+                        except OSError:
+                            pass
+                        return
+                    if mode == "delay":
+                        time.sleep(FAULT_DELAY)
                     try:
-                        reply = self._dispatch(line.decode().split())
+                        reply = self._dispatch(
+                            line.decode().split(), stale=(mode == "stale")
+                        )
                     except (ValueError, IndexError):
                         reply = b"ERROR\n"
+                    if mode == "truncate":
+                        # Processed, then torn mid-reply.
+                        try:
+                            self.wfile.write(reply[: max(len(reply) // 2, 1)])
+                            self.wfile.flush()
+                        except OSError:
+                            pass
+                        return
                     try:
                         self.wfile.write(reply)
                         self.wfile.flush()
                     except OSError:
                         return
 
-            def _dispatch(self, words: list[str]) -> bytes:
+            def _dispatch(
+                self, words: list[str], stale: bool = False
+            ) -> bytes:
                 if not words:
                     return b"ERROR\n"
                 verb = words[0].upper()
                 if verb == "GET":
-                    entry = table.get(words[1])
+                    entry = (
+                        table.get_stale(words[1])
+                        if stale
+                        else table.get(words[1])
+                    )
                     if entry is None:
                         return b"MISS\n"
                     return f"VALUE {len(entry[0])}\n".encode() + entry[0]
@@ -358,8 +498,11 @@ class FakeCacheServer:
         host, port = self._server.server_address[:2]
         return f"cache://{host}:{port}"
 
-    def fail_next(self, count: int = 1) -> None:
-        self.faults.arm(count)
+    def fail_next(self, count: int = 1, mode: str = "drop") -> None:
+        self.faults.arm(count, mode)
+
+    def set_chaos(self, schedule) -> None:
+        self.faults.set_schedule(schedule)
 
     def start(self) -> FakeCacheServer:
         self._thread = threading.Thread(

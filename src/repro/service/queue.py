@@ -46,6 +46,7 @@ from dataclasses import dataclass
 
 from ..errors import StoreError
 from ..store.store import ResultStore, open_store
+from .leases import LeaseTable
 
 
 def _encode(payload: dict) -> bytes:
@@ -107,6 +108,11 @@ class WorkQueue:
             raise StoreError(f"invalid queue id {queue_id!r}")
         self.queue_id = queue_id
         self.lease_ttl = float(lease_ttl)
+        #: Unit claims, shared mechanics with the front door's
+        #: ``inflight/`` markers (see :mod:`repro.service.leases`).
+        self.leases = LeaseTable(
+            self.backend, f"queue/{queue_id}/lease", ttl=self.lease_ttl
+        )
 
     # -- blob names ----------------------------------------------------
     def _unit_name(self, digest: str) -> str:
@@ -315,69 +321,35 @@ class WorkQueue:
             units=units, done=done, leased=leased, expired=expired
         )
 
-    # -- leases --------------------------------------------------------
-    def _lease_payload(self, worker: str, ttl: float) -> dict:
-        now = time.time()
-        return {
-            "worker": worker,
-            "claimed": round(now, 6),
-            "expires": round(now + ttl, 6),
-            "beats": 0,
-        }
-
+    # -- leases (delegated to the shared LeaseTable) -------------------
     def read_lease(self, digest: str) -> dict | None:
-        return _decode(self.backend.read(self._lease_name(digest)))
+        return self.leases.read(digest)
 
     def claim(
         self, digest: str, worker: str, ttl: float | None = None
     ) -> bool:
-        """Try to lease a unit; True when this worker now holds it.
-
-        Fresh units are claimed with one conditional put.  A unit whose
-        lease has *lapsed* (crashed worker) is stolen: delete the stale
-        lease, conditional-put ours, then **read back and verify** the
-        stored lease names us — the verification closes most of the
-        delete/recreate race window, and idempotent execution (module
-        docstring) makes the rest harmless.
-        """
-        ttl = self.lease_ttl if ttl is None else ttl
-        name = self._lease_name(digest)
-        payload = _encode(self._lease_payload(worker, ttl))
-        if self.backend.write_if_absent(name, payload):
-            return self._verify_lease(digest, worker)
-        existing = self.read_lease(digest)
-        if existing is not None and time.time() < float(
-            existing.get("expires", 0)
-        ):
-            return False  # live lease held by someone else
-        # Stale (or corrupt) lease: steal it.
-        self.backend.delete(name)
-        if self.backend.write_if_absent(name, payload):
-            return self._verify_lease(digest, worker)
-        return False
-
-    def _verify_lease(self, digest: str, worker: str) -> bool:
-        lease = self.read_lease(digest)
-        return lease is not None and lease.get("worker") == worker
+        """Try to lease a unit; True when this worker now holds it
+        (fresh conditional put, or a steal of a lapsed lease — see
+        :meth:`repro.service.leases.LeaseTable.claim`)."""
+        return self.leases.claim(digest, worker, ttl=ttl)
 
     def heartbeat(
         self, digest: str, worker: str, ttl: float | None = None
     ) -> bool:
         """Extend a held lease; False when it is no longer ours (stolen
         after a stall) — the worker should abandon the unit."""
-        ttl = self.lease_ttl if ttl is None else ttl
-        lease = self.read_lease(digest)
-        if lease is None or lease.get("worker") != worker:
-            return False
-        lease["expires"] = round(time.time() + ttl, 6)
-        lease["beats"] = int(lease.get("beats", 0)) + 1
-        self.backend.write(self._lease_name(digest), _encode(lease))
-        return True
+        return self.leases.heartbeat(digest, worker, ttl=ttl)
 
     def release(self, digest: str, worker: str) -> None:
-        lease = self.read_lease(digest)
-        if lease is not None and lease.get("worker") == worker:
-            self.backend.delete(self._lease_name(digest))
+        self.leases.release(digest, worker)
+
+    def lease_report(self) -> list[dict]:
+        """Per-lease status rows (digest, worker, age, beats, steals,
+        lapsed) — the material of ``seance queue status --watch``."""
+        rows = self.leases.report()
+        for row in rows:
+            row["digest"] = row.pop("key")
+        return rows
 
     def mark_done(self, digest: str, worker: str) -> None:
         self.backend.write(

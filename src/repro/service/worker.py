@@ -27,42 +27,11 @@ from __future__ import annotations
 
 import os
 import socket
-import threading
 import time
 
 from ..errors import ReproError
+from .leases import LeaseHeartbeat
 from .queue import WorkQueue
-
-
-class _LeaseHeartbeat:
-    """Renews one held lease from a daemon thread until stopped."""
-
-    def __init__(
-        self, queue: WorkQueue, digest: str, worker: str, interval: float
-    ):
-        self._queue = queue
-        self._digest = digest
-        self._worker = worker
-        self._interval = max(interval, 0.05)
-        self._stop = threading.Event()
-        self._thread = threading.Thread(target=self._run, daemon=True)
-        self.lost = False
-
-    def _run(self) -> None:
-        while not self._stop.wait(self._interval):
-            if not self._queue.heartbeat(self._digest, self._worker):
-                # Stolen after a stall; keep computing (idempotent) but
-                # stop renewing a lease that is no longer ours.
-                self.lost = True
-                return
-
-    def __enter__(self) -> _LeaseHeartbeat:
-        self._thread.start()
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self._stop.set()
-        self._thread.join(timeout=5)
 
 
 class QueueWorker:
@@ -129,8 +98,8 @@ class QueueWorker:
                 if had_lease:
                     stats["stolen"] += 1
                 interval = self.queue.lease_ttl / 3.0
-                with _LeaseHeartbeat(
-                    self.queue, digest, self.worker_id, interval
+                with LeaseHeartbeat(
+                    self.queue.leases, digest, self.worker_id, interval
                 ):
                     outcome = self._execute(payload)
                 self.queue.mark_done(digest, self.worker_id)

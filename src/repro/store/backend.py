@@ -227,7 +227,7 @@ class DirectoryBackend(StoreBackend):
         return f"DirectoryBackend({str(self._root)!r})"
 
 
-def resolve_backend(location) -> StoreBackend:
+def resolve_backend(location, policy=None) -> StoreBackend:
     """The backend a ``--store``-style location names.
 
     * an existing :class:`StoreBackend` passes through;
@@ -238,6 +238,11 @@ def resolve_backend(location) -> StoreBackend:
       :class:`~repro.store.net.CacheBackend` (memcache/Redis shape:
       server-side TTL + LRU eviction);
     * anything else is a local directory.
+
+    ``policy`` is the base :class:`~repro.service.resilience.RetryPolicy`
+    for networked locations (the CLI's ``--retry``/``--timeout`` knobs);
+    URL query knobs (``?retry=N&timeout=S``) override it per location.
+    Local backends have no transport and ignore it.
     """
     if isinstance(location, StoreBackend):
         return location
@@ -245,9 +250,9 @@ def resolve_backend(location) -> StoreBackend:
     if spec.startswith(("http://", "https://")):
         from .net import ObjectStoreBackend
 
-        return ObjectStoreBackend(spec)
+        return ObjectStoreBackend(spec, policy=policy)
     if spec.startswith("cache://"):
         from .net import CacheBackend
 
-        return CacheBackend(spec)
+        return CacheBackend(spec, policy=policy)
     return DirectoryBackend(spec)

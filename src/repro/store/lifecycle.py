@@ -41,13 +41,20 @@ RESULT_KINDS = ("synthesis", "validation")
 
 @dataclass
 class VerifyReport:
-    """Outcome of one offline envelope sweep."""
+    """Outcome of one offline envelope sweep.
+
+    ``transport`` carries the backend's retry/breaker telemetry
+    snapshot when the store is networked (None on local backends), so
+    a verify run over a flaky link reports how many operations faulted
+    and retried instead of degrading silently.
+    """
 
     checked: int = 0
     ok: int = 0
     rejected: list[tuple[str, str]] = field(default_factory=list)
     artifacts: int = 0
     other: int = 0
+    transport: dict | None = None
 
     @property
     def clean(self) -> bool:
@@ -64,6 +71,15 @@ class VerifyReport:
             lines.append(f"  REJECTED {name}: {reason}")
         if len(self.rejected) > 20:
             lines.append(f"  ... and {len(self.rejected) - 20} more")
+        if self.transport is not None:
+            lines.append(
+                f"transport: {self.transport['ops']} op(s), "
+                f"{self.transport['faults']} fault(s), "
+                f"{self.transport['retries']} retried, "
+                f"{self.transport['short_circuits']} short-circuited, "
+                f"breaker "
+                f"{self.transport.get('breaker', {}).get('state', '?')}"
+            )
         return "\n".join(lines)
 
 
@@ -117,6 +133,9 @@ def verify_store(store) -> VerifyReport:
                 report.ok += 1
             else:
                 report.rejected.append((name, reason))
+    from ..service.resilience import transport_snapshot
+
+    report.transport = transport_snapshot(backend)
     return report
 
 

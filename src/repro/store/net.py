@@ -19,25 +19,103 @@ Two wire shapes cover the deployment spectrum the roadmap names:
 
 Failure semantics follow the :class:`~repro.store.backend.StoreBackend`
 contract exactly: a dead server, a truncated response, or a poisoned
-blob surfaces as *absence* (reads return None, writes degrade silently,
+blob surfaces as *absence* (reads return None, writes degrade,
 conditional writes report False) — the verification layer above
-recomputes, and correctness never depends on the network.  Both clients
-are thread-safe (one lock around the shared connection) and reconnect
-once per operation on a broken socket.
+recomputes, and correctness never depends on the network.  What changed
+from the first cut is that degradation is now **policied and counted**
+instead of silent: every operation runs under a
+:class:`~repro.service.resilience.RetryPolicy` (bounded retries,
+deterministic-jitter backoff, per-operation timeout) behind a
+per-backend :class:`~repro.service.resilience.CircuitBreaker`, with
+every fault, retry, and short-circuit tallied in
+:class:`~repro.service.resilience.TransportTelemetry` (surfaced by
+``seance store verify`` and the front door's ``/stats``).
+
+Two wrinkles make retrying safe:
+
+* a server error (HTTP ≥ 500, cache ``ERROR``) is treated as a
+  transient fault and retried, exactly like a broken socket;
+* **conditional puts replay their precondition**: a retried
+  ``write_if_absent`` that now answers "already present" *after a
+  fault* may be colliding with its own earlier attempt whose response
+  was lost — the client reads the blob back and claims victory only on
+  byte equality, so a retry can never turn one lease into two.
+
+Both clients are thread-safe (one lock around the shared connection).
+``--retry`` / ``--timeout`` on the CLI or ``?retry=N&timeout=S`` on the
+store URL tune the policy per location.
 """
 
 from __future__ import annotations
 
 import socket
 import threading
+import time
 import urllib.parse
-from collections.abc import Iterator
+from collections.abc import Callable, Iterator
 from http.client import HTTPConnection, HTTPException
 
+from ..service.resilience import (
+    CircuitBreaker,
+    RetryPolicy,
+    TransportTelemetry,
+)
 from .backend import BlobStat, StoreBackend
 
 
-class ObjectStoreBackend(StoreBackend):
+class _ServerFault(Exception):
+    """A reply that means *try again*, not *absent*: HTTP ≥ 500, a cache
+    ``ERROR`` line — the server is alive but momentarily unwell."""
+
+
+class _ResilientTransport(StoreBackend):
+    """Shared retry/breaker/telemetry shell of both networked backends.
+
+    Subclasses implement the wire attempt; :meth:`_perform` wraps it in
+    the policy loop.  The connection lock is held by the caller for the
+    whole operation (attempts share one socket), while the breaker and
+    telemetry are internally thread-safe.
+    """
+
+    #: Exceptions one wire attempt may raise that mean "transient".
+    _FAULTS: tuple = (OSError, HTTPException, _ServerFault)
+
+    def _init_transport(self, policy: RetryPolicy | None) -> None:
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.breaker = CircuitBreaker(
+            threshold=self.policy.breaker_threshold,
+            reset_after=self.policy.breaker_reset,
+        )
+        self.telemetry = TransportTelemetry()
+        self._lock = threading.Lock()
+
+    def _drop(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _perform(self, op: str, op_key: str, attempt: Callable):
+        """Run one operation under the policy; None when it exhausts
+        its retries or the breaker short-circuits it (absence)."""
+        if not self.breaker.allow():
+            self.telemetry.record_short_circuit(op)
+            return None
+        self.telemetry.record_op(op)
+        for index in range(self.policy.retries + 1):
+            try:
+                reply = attempt()
+            except self._FAULTS:
+                self._drop()
+                self.telemetry.record_fault(op)
+                if index < self.policy.retries:
+                    self.telemetry.record_retry(op)
+                    time.sleep(self.policy.delay(op_key, index))
+                continue
+            self.breaker.record_success()
+            return reply
+        self.breaker.record_failure()
+        return None
+
+
+class ObjectStoreBackend(_ResilientTransport):
     """Blobs over HTTP, object-store style (``--store http://host:port``).
 
     Verbs, all under ``<base>/b/<name>``:
@@ -49,9 +127,18 @@ class ObjectStoreBackend(StoreBackend):
     * ``HEAD`` — ``Content-Length`` + ``X-Blob-Mtime`` metadata;
 
     plus ``GET <base>/list?prefix=...`` returning a JSON name array.
+
+    ``?retry=N&timeout=S`` in the URL query tunes the transport policy
+    for this location; an explicit ``policy`` (or ``timeout``) argument
+    is the base those knobs override.
     """
 
-    def __init__(self, url: str, timeout: float = 10.0):
+    def __init__(
+        self,
+        url: str,
+        timeout: float | None = None,
+        policy: RetryPolicy | None = None,
+    ):
         parsed = urllib.parse.urlsplit(url)
         if parsed.scheme not in ("http", "https"):
             raise ValueError(f"object store URL must be http(s), got {url!r}")
@@ -59,15 +146,15 @@ class ObjectStoreBackend(StoreBackend):
         self._host = parsed.hostname or "localhost"
         self._port = parsed.port or (443 if parsed.scheme == "https" else 80)
         self._base = parsed.path.rstrip("/")
-        self._timeout = timeout
-        self._lock = threading.Lock()
+        policy = RetryPolicy.from_query(parsed.query, base=policy)
+        self._init_transport(policy.merged(timeout=timeout))
         self._connection: HTTPConnection | None = None
 
     # ------------------------------------------------------------------
     def _connect(self) -> HTTPConnection:
         if self._connection is None:
             self._connection = HTTPConnection(
-                self._host, self._port, timeout=self._timeout
+                self._host, self._port, timeout=self.policy.timeout
             )
         return self._connection
 
@@ -83,27 +170,46 @@ class ObjectStoreBackend(StoreBackend):
         self, method: str, path: str, body: bytes | None = None,
         headers: dict | None = None,
     ) -> tuple[int, bytes, dict] | None:
-        """One request under the lock; one reconnect on a broken socket;
-        None when the server is unreachable (absence semantics)."""
-        with self._lock:
-            for attempt in (0, 1):
+        """One policied operation under the lock; None = absence."""
+
+        def attempt():
+            connection = self._connect()
+            connection.request(
+                method, path, body=body, headers=headers or {}
+            )
+            response = connection.getresponse()
+            payload = response.read()
+            if response.status >= 500:
+                raise _ServerFault(f"{response.status} on {method}")
+            if (
+                method != "HEAD"
+                and response.getheader("Transfer-Encoding") is None
+            ):
+                # A response torn inside the header block parses as a
+                # complete response with an EOF-delimited body — the
+                # one truncation http.client cannot detect.  Every
+                # honest reply in this protocol declares its length.
+                declared = response.getheader("Content-Length")
                 try:
-                    connection = self._connect()
-                    connection.request(
-                        method, path, body=body, headers=headers or {}
+                    expected = int(declared)
+                except (TypeError, ValueError):
+                    raise OSError(
+                        f"torn response headers on {method} "
+                        f"(Content-Length {declared!r})"
+                    ) from None
+                if len(payload) != expected:
+                    raise OSError(
+                        f"truncated body on {method}: "
+                        f"{len(payload)} != {expected}"
                     )
-                    response = connection.getresponse()
-                    payload = response.read()
-                    return (
-                        response.status,
-                        payload,
-                        {k.lower(): v for k, v in response.getheaders()},
-                    )
-                except (OSError, HTTPException):
-                    self._drop()
-                    if attempt:
-                        return None
-        return None
+            return (
+                response.status,
+                payload,
+                {k.lower(): v for k, v in response.getheaders()},
+            )
+
+        with self._lock:
+            return self._perform(method, f"{method} {path}", attempt)
 
     def _blob_path(self, name: str) -> str:
         return f"{self._base}/b/{urllib.parse.quote(name, safe='/')}"
@@ -119,13 +225,27 @@ class ObjectStoreBackend(StoreBackend):
         self._request("PUT", self._blob_path(name), body=data)
 
     def write_if_absent(self, name: str, data: bytes) -> bool:
+        data = bytes(data)
+        faults_before = self.telemetry.faults
         reply = self._request(
             "PUT",
             self._blob_path(name),
             body=data,
             headers={"If-None-Match": "*"},
         )
-        return reply is not None and reply[0] in (200, 201)
+        if reply is not None and reply[0] in (200, 201):
+            return True
+        if (
+            reply is not None
+            and reply[0] == 412
+            and self.telemetry.faults > faults_before
+        ):
+            # Precondition replay (lease safety): a 412 on a *retried*
+            # attempt may mean our own earlier PUT won but its response
+            # was lost.  Byte equality decides; a stale or foreign blob
+            # reads as defeat, which degrades to duplicated work only.
+            return self.read(name) == data
+        return False
 
     def delete(self, name: str) -> bool:
         reply = self._request("DELETE", self._blob_path(name))
@@ -162,7 +282,7 @@ class ObjectStoreBackend(StoreBackend):
         return f"ObjectStoreBackend({self.url!r})"
 
 
-class CacheBackend(StoreBackend):
+class CacheBackend(_ResilientTransport):
     """Blobs over a memcache-style line protocol (``cache://host:port``).
 
     Commands (client → server, ``\\n``-terminated; payloads are length
@@ -182,11 +302,16 @@ class CacheBackend(StoreBackend):
     right home for the stage cache and warm-result acceleration, with
     the verified envelope layer guaranteeing a lost or recycled entry
     costs recomputation only.  ``cache://host:port?ttl=300`` sets the
-    default TTL from the URL.
+    default TTL from the URL; ``retry=``/``timeout=`` knobs ride the
+    same query.
     """
 
     def __init__(
-        self, url: str, ttl_seconds: float | None = None, timeout: float = 10.0
+        self,
+        url: str,
+        ttl_seconds: float | None = None,
+        timeout: float | None = None,
+        policy: RetryPolicy | None = None,
     ):
         parsed = urllib.parse.urlsplit(url)
         if parsed.scheme != "cache":
@@ -196,10 +321,13 @@ class CacheBackend(StoreBackend):
         self._port = parsed.port or 11311
         if ttl_seconds is None:
             query = urllib.parse.parse_qs(parsed.query)
-            ttl_seconds = float(query.get("ttl", ["0"])[0])
+            try:
+                ttl_seconds = float(query.get("ttl", ["0"])[0])
+            except ValueError:
+                ttl_seconds = 0.0
         self.ttl_seconds = ttl_seconds
-        self._timeout = timeout
-        self._lock = threading.Lock()
+        policy = RetryPolicy.from_query(parsed.query, base=policy)
+        self._init_transport(policy.merged(timeout=timeout))
         self._sock: socket.socket | None = None
         self._reader = None
 
@@ -207,7 +335,7 @@ class CacheBackend(StoreBackend):
     def _connect(self):
         if self._sock is None:
             sock = socket.create_connection(
-                (self._host, self._port), timeout=self._timeout
+                (self._host, self._port), timeout=self.policy.timeout
             )
             self._sock = sock
             self._reader = sock.makefile("rb")
@@ -223,33 +351,59 @@ class CacheBackend(StoreBackend):
         self._sock = None
         self._reader = None
 
+    #: Every status word the protocol can answer with.  Anything else —
+    #: typically the front half of a torn reply (``STO`` from
+    #: ``STORED``) — is a transport fault, not a negative answer: it
+    #: must be retried and counted, or a torn ``STORED`` would silently
+    #: forfeit a lease the server actually granted.
+    _STATUS_WORDS = frozenset(
+        ("VALUE", "MISS", "STORED", "EXISTS", "DELETED", "STAT",
+         "COUNT", "PURGED")
+    )
+
     def _command(self, line: str, payload: bytes = b""):
         """Send one command, return (status words, data bytes) or None."""
+        op = line.split(None, 1)[0] if line else "NOOP"
+
+        def attempt():
+            sock, reader = self._connect()
+            sock.sendall(line.encode() + b"\n" + payload)
+            status = reader.readline()
+            if not status:
+                raise OSError("server closed the connection")
+            words = status.decode().split()
+            if words and words[0] == "ERROR":
+                # The server is answering but unwell: transient, retry.
+                raise _ServerFault("cache server answered ERROR")
+            if not words or words[0] not in self._STATUS_WORDS:
+                raise OSError(f"unrecognized cache reply {status!r}")
+            data = b""
+            if words[0] in ("VALUE", "COUNT"):
+                if words[0] == "VALUE":
+                    size = int(words[1])
+                    data = reader.read(size)
+                    if len(data) != size:
+                        raise OSError("truncated VALUE payload")
+                else:
+                    lines = []
+                    for _ in range(int(words[1])):
+                        raw = reader.readline()
+                        if not raw.endswith(b"\n"):
+                            raise OSError("truncated KEYS listing")
+                        lines.append(raw.decode().rstrip("\n"))
+                    return words, lines
+            return words, data
+
         with self._lock:
-            for attempt in (0, 1):
-                try:
-                    sock, reader = self._connect()
-                    sock.sendall(line.encode() + b"\n" + payload)
-                    status = reader.readline()
-                    if not status:
-                        raise OSError("server closed the connection")
-                    words = status.decode().split()
-                    data = b""
-                    if words and words[0] in ("VALUE", "COUNT"):
-                        if words[0] == "VALUE":
-                            data = reader.read(int(words[1]))
-                        else:
-                            lines = [
-                                reader.readline().decode().rstrip("\n")
-                                for _ in range(int(words[1]))
-                            ]
-                            return words, lines
-                    return words, data
-                except (OSError, ValueError, IndexError):
-                    self._drop()
-                    if attempt:
-                        return None
-        return None
+            try:
+                return self._perform(op, line, attempt)
+            except (ValueError, IndexError):
+                # A reply so mangled it does not parse: drop the
+                # connection and report absence (counted as a fault so
+                # it is never silent).
+                self._drop()
+                self.telemetry.record_fault(op)
+                return None
 
     # ------------------------------------------------------------------
     def read(self, name: str) -> bytes | None:
@@ -267,8 +421,21 @@ class CacheBackend(StoreBackend):
         self._write("SET", name, data)
 
     def write_if_absent(self, name: str, data: bytes) -> bool:
+        data = bytes(data)
+        faults_before = self.telemetry.faults
         reply = self._write("ADD", name, data)
-        return reply is not None and reply[0][0] == "STORED"
+        if reply is not None and reply[0][0] == "STORED":
+            return True
+        if (
+            reply is not None
+            and reply[0][0] == "EXISTS"
+            and self.telemetry.faults > faults_before
+        ):
+            # Precondition replay, as on the object store: an EXISTS on
+            # a retried ADD may be our own earlier attempt — equal
+            # bytes mean the claim is ours.
+            return self.read(name) == data
+        return False
 
     def delete(self, name: str) -> bool:
         reply = self._command(f"DEL {name}")

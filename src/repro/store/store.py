@@ -118,13 +118,15 @@ class ResultStore:
     def __init__(
         self,
         backend: StoreBackend | str | os.PathLike | None = None,
+        policy=None,
     ):
         if backend is None:
             backend = MemoryBackend()
         elif not isinstance(backend, StoreBackend):
             # A location string: local directory, http(s):// object
             # store, or cache:// TTL cache (see resolve_backend).
-            backend = resolve_backend(backend)
+            # ``policy`` tunes the transport of networked locations.
+            backend = resolve_backend(backend, policy=policy)
         self.backend = backend
         self.hits = 0
         self.misses = 0
@@ -296,12 +298,14 @@ class ResultStore:
 
 def open_store(
     store: "ResultStore | StoreBackend | str | os.PathLike | None",
+    policy=None,
 ) -> ResultStore | None:
     """Normalise the ``store=`` argument every runner accepts.
 
     None stays None (store disabled); an existing :class:`ResultStore`
-    is passed through; anything else (path or backend) opens one.
+    is passed through; anything else (path or backend) opens one —
+    ``policy`` tunes the transport when the location is networked.
     """
     if store is None or isinstance(store, ResultStore):
         return store
-    return ResultStore(store)
+    return ResultStore(store, policy=policy)

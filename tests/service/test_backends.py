@@ -8,15 +8,30 @@ test is the :class:`~repro.store.backend.StoreBackend` protocol — the
 same one DirectoryBackend satisfies — plus the service-grade parts:
 conditional put (the queue's lease primitive), TTL expiry, LRU
 eviction, and fail-safe degradation when the server drops requests.
+
+The protocol suite runs **four ways**: each backend clean, and each
+backend under a seeded chaos schedule injecting *transparent* faults
+(drop / reset / 500 / delay — the request never processed, or merely
+slowed) with a patient retry policy.  Under those faults every
+assertion must hold byte-identically to the clean run: that is the
+degrade-to-recompute-never-wrong-bytes invariant at the protocol
+level.  ``truncate`` (request *processed*, response torn) and
+``stale`` are deliberately excluded here — the first makes
+delete-returns-False semantics unknowable, the second breaks
+read-your-writes by design — and get targeted coverage in
+``test_chaos.py`` instead.
 """
 
 import time
+import zlib
 
 import pytest
 
 from repro.bench import benchmark
 from repro.pipeline.spec import PipelineSpec
 from repro.service import FakeCacheServer, FakeObjectStoreServer
+from repro.service.chaos import ChaosSchedule
+from repro.service.resilience import RetryPolicy
 from repro.store import ResultStore
 from repro.store.backend import (
     DirectoryBackend,
@@ -25,6 +40,15 @@ from repro.store.backend import (
 )
 from repro.store.net import CacheBackend, ObjectStoreBackend
 from tests.strategies import cached_synthesize
+
+#: Fault modes that never process the request (retries are transparent).
+TRANSPARENT_MODES = ("drop", "delay", "error", "reset")
+
+#: Rides out any one-test fault streak without tripping the breaker.
+PATIENT = RetryPolicy(
+    retries=8, timeout=5.0, backoff_base=0.01, backoff_max=0.05,
+    breaker_threshold=1000,
+)
 
 
 @pytest.fixture(scope="module")
@@ -55,11 +79,28 @@ def cache_backend(cache_server):
         backend.delete(name)
 
 
-@pytest.fixture(params=["object", "cache"])
-def backend(request, object_backend, cache_backend):
-    return (
-        object_backend if request.param == "object" else cache_backend
-    )
+@pytest.fixture(
+    params=["object", "cache", "object-chaos", "cache-chaos"]
+)
+def backend(request, object_server, cache_server):
+    kind, _, chaos = request.param.partition("-")
+    server = object_server if kind == "object" else cache_server
+    cls = ObjectStoreBackend if kind == "object" else CacheBackend
+    if chaos:
+        # One stable seed per test: reruns see the same fault plan.
+        seed = zlib.crc32(request.node.name.encode())
+        server.set_chaos(
+            ChaosSchedule(
+                seed=seed, rate=0.25, modes=TRANSPARENT_MODES
+            )
+        )
+        backend = cls(server.url, policy=PATIENT)
+    else:
+        backend = cls(server.url)
+    yield backend
+    server.set_chaos(None)
+    for name in backend.names():
+        backend.delete(name)
 
 
 # ----------------------------------------------------------------------

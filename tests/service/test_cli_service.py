@@ -10,7 +10,8 @@ commands and the submit client against an in-process front door.
 import pytest
 
 from repro.cli import main
-from repro.service import SynthesisServer
+from repro.service import FakeObjectStoreServer, SynthesisServer, WorkQueue
+from repro.store import ResultStore
 
 
 class TestQueueCli:
@@ -45,6 +46,34 @@ class TestQueueCli:
         merged = capsys.readouterr().out
         assert main(["batch", "lion", "--json", "--canonical"]) == 0
         assert merged == capsys.readouterr().out
+
+    def test_status_shows_lease_health_rows(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["queue", "publish", "lion", "--store", store, "--queue", "q"])
+        queue = WorkQueue(ResultStore(store), "q")
+        [(digest, _)] = queue.pending()
+        queue.claim(digest, "alice")
+        capsys.readouterr()
+        assert main([
+            "queue", "status", "--store", store, "--queue", "q",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"lease {digest[:16]}" in out
+        assert "worker=alice" in out
+        assert "steals=0" in out
+        assert "[live]" in out
+
+    def test_status_watch_exits_when_drained(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["queue", "publish", "lion", "--store", store, "--queue", "q"])
+        main(["work", "--store", store, "--queue", "q", "--timeout", "60"])
+        capsys.readouterr()
+        assert main([
+            "queue", "status", "--store", store, "--queue", "q",
+            "--watch", "--interval", "0.05",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "queue drained" in out
 
     def test_publish_campaign_units(self, tmp_path, capsys):
         store = str(tmp_path / "store")
@@ -99,6 +128,64 @@ class TestStoreLifecycleCli:
         assert not blob.exists()
 
 
+class TestTransportCli:
+    def test_verify_reports_transport_telemetry(self, capsys):
+        """``seance store verify`` on a networked store surfaces the
+        per-op fault counters instead of degrading silently."""
+        with FakeObjectStoreServer() as server:
+            main(["synth", "lion", "--store", server.url])
+            server.fail_next(1, mode="error")
+            capsys.readouterr()
+            assert main([
+                "store", "verify", "--store", server.url,
+                "--retry", "4", "--timeout", "5",
+            ]) == 0
+            out = capsys.readouterr().out
+        assert "1 ok, 0 rejected" in out
+        assert "transport:" in out
+        assert "1 fault(s)" in out
+        assert "breaker closed" in out
+
+    def test_verify_on_a_local_store_has_no_transport_line(
+        self, tmp_path, capsys
+    ):
+        store = str(tmp_path / "store")
+        main(["synth", "lion", "--store", store])
+        capsys.readouterr()
+        assert main(["store", "verify", "--store", store]) == 0
+        assert "transport:" not in capsys.readouterr().out
+
+    def test_retry_and_timeout_flags_are_accepted_everywhere(
+        self, tmp_path, capsys
+    ):
+        with FakeObjectStoreServer() as server:
+            assert main([
+                "batch", "lion", "--store", server.url,
+                "--retry", "3", "--timeout", "5",
+            ]) == 0
+            capsys.readouterr()
+            assert main([
+                "queue", "publish", "lion", "--store", server.url,
+                "--retry", "3", "--timeout", "5",
+            ]) == 0
+            assert main([
+                "work", "--store", server.url,
+                "--retry", "3", "--store-timeout", "5",
+                "--timeout", "60",
+            ]) == 0
+            assert main([
+                "queue", "status", "--store", server.url,
+                "--retry", "3", "--timeout", "5",
+            ]) == 0
+
+    def test_retry_knobs_ride_the_store_url(self, capsys):
+        with FakeObjectStoreServer() as server:
+            server.fail_next(2, mode="drop")
+            assert main([
+                "synth", "lion", "--store", f"{server.url}?retry=6",
+            ]) == 0
+
+
 class TestSubmitCli:
     def test_submit_against_a_live_front_door(self, tmp_path, capsys):
         with SynthesisServer(store=tmp_path / "store") as server:
@@ -127,6 +214,32 @@ class TestSubmitCli:
             "batch", "lion", "traffic", "--json", "--canonical",
         ]) == 0
         assert via_serve == capsys.readouterr().out
+
+    def test_submit_with_token_file(self, tmp_path, capsys):
+        token_file = tmp_path / "token"
+        token_file.write_text("hunter2\n")
+        with SynthesisServer(
+            store=tmp_path / "store", token="hunter2"
+        ) as server:
+            # Unauthenticated: rejected cleanly.
+            assert main([
+                "submit", "lion", "--server", server.url,
+            ]) == 2
+            assert "401" in capsys.readouterr().err
+            # With the token file: admitted.
+            assert main([
+                "submit", "lion", "--server", server.url,
+                "--token-file", str(token_file),
+                "--client-id", "ci",
+            ]) == 0
+            assert "lion" in capsys.readouterr().out
+
+    def test_submit_with_missing_token_file_errors(self, tmp_path, capsys):
+        assert main([
+            "submit", "lion", "--server", "http://127.0.0.1:9",
+            "--token-file", str(tmp_path / "absent"),
+        ]) == 2
+        assert "token-file" in capsys.readouterr().err
 
     def test_submit_to_a_dead_server_errors_cleanly(self, capsys):
         with SynthesisServer(store="/tmp") as server:

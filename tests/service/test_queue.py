@@ -7,13 +7,16 @@ lapsed lease is stealable, publishing is idempotent, and claim order
 follows archived telemetry weights (longest processing time first).
 """
 
+import multiprocessing
+import os
+import signal
 import time
 
 import pytest
 
 from repro.bench import benchmark
 from repro.pipeline.spec import PipelineSpec
-from repro.service import WorkQueue
+from repro.service import QueueWorker, WorkQueue
 from repro.store import ResultStore
 from repro.store.backend import MemoryBackend
 from repro.store.keys import table_digest
@@ -109,6 +112,97 @@ class TestLeases:
         assert queue.is_done(digests[0])
         assert digests[0] not in [d for d, _ in queue.pending()]
         assert queue.stats().done == 1
+
+    def test_steal_bumps_the_steal_counter(self, queue):
+        publish(queue, ("lion",))
+        [(digest, _)] = queue.pending()
+        queue.claim(digest, "doomed", ttl=0.05)
+        time.sleep(0.1)
+        queue.claim(digest, "thief")
+        lease = queue.read_lease(digest)
+        assert lease["worker"] == "thief"
+        assert lease["steals"] == 1
+
+    def test_heartbeat_counts_beats(self, queue):
+        publish(queue, ("lion",))
+        [(digest, _)] = queue.pending()
+        queue.claim(digest, "alice")
+        queue.heartbeat(digest, "alice")
+        queue.heartbeat(digest, "alice")
+        assert queue.read_lease(digest)["beats"] == 2
+
+    def test_lease_report_rows(self, queue):
+        publish(queue, ("lion", "traffic"))
+        digests = [digest for digest, _ in queue.pending()]
+        queue.claim(digests[0], "alice")
+        rows = queue.lease_report()
+        assert len(rows) == 1
+        [row] = rows
+        assert row["digest"] == digests[0]
+        assert row["worker"] == "alice"
+        assert row["age"] >= 0.0
+        assert row["expires_in"] > 0.0
+        assert row["beats"] == 0
+        assert row["steals"] == 0
+        assert row["lapsed"] is False
+
+    def test_lease_report_flags_lapsed_rows(self, queue):
+        publish(queue, ("lion",))
+        [(digest, _)] = queue.pending()
+        queue.claim(digest, "doomed", ttl=0.05)
+        time.sleep(0.1)
+        [row] = queue.lease_report()
+        assert row["lapsed"] is True
+        assert row["expires_in"] <= 0.0
+
+
+def _claim_and_hang(store_path, digest):
+    """Child-process body: take the lease, then never heartbeat again
+    (the parent SIGKILLs us mid-hold)."""
+    queue = WorkQueue(ResultStore(store_path), "q", lease_ttl=1.0)
+    queue.claim(digest, f"victim-{os.getpid()}")
+    time.sleep(600)
+
+
+class TestSigkillSteal:
+    def test_sigkilled_holder_is_stolen_and_unit_completes(
+        self, tmp_path
+    ):
+        """Regression for the crash-recovery acceptance property: a
+        process SIGKILLed while holding a lease (no release, no
+        heartbeat, no atexit) loses the unit to a surviving worker
+        after the TTL, and the unit still completes exactly once."""
+        store_path = tmp_path / "store"
+        queue = WorkQueue(
+            ResultStore(store_path), "q", lease_ttl=1.0
+        )
+        queue.publish_batch([benchmark("lion")], spec=PipelineSpec())
+        [(digest, _)] = queue.pending()
+
+        victim = multiprocessing.get_context("fork").Process(
+            target=_claim_and_hang, args=(store_path, digest)
+        )
+        victim.start()
+        try:
+            deadline = time.monotonic() + 10
+            while queue.read_lease(digest) is None:
+                assert time.monotonic() < deadline, "victim never claimed"
+                time.sleep(0.02)
+            os.kill(victim.pid, signal.SIGKILL)
+        finally:
+            victim.join(timeout=10)
+
+        # The orphaned lease still names the corpse.
+        assert queue.read_lease(digest)["worker"].startswith("victim-")
+        stats = QueueWorker(
+            store_path, "q", worker_id="survivor",
+            lease_ttl=1.0, poll=0.05,
+        ).run()
+        assert stats["units"] == 1
+        assert stats["synthesized"] == 1
+        assert stats["stolen"] == 1
+        assert queue.is_done(digest)
+        assert queue.stats().remaining == 0
 
 
 class TestWeights:
