@@ -63,6 +63,13 @@ HEADLINES = {
         ("sim_campaign_speedup", ("campaign_speedup",)),
         ("sim_ring_seconds", ("ring", "ring_seconds")),
         ("sim_ring_speedup", ("ring", "ring_speedup")),
+        # Campaign-tier ring seconds, one sub-series per delay model —
+        # scalar ``*_seconds`` fields, so the trend gate guards each
+        # model's fast path like every other series.
+        ("campaign_loop-safe_seconds", ("campaign", "model_seconds", "loop-safe")),
+        ("campaign_skewed_seconds", ("campaign", "model_seconds", "skewed")),
+        ("campaign_hostile_seconds", ("campaign", "model_seconds", "hostile")),
+        ("campaign_corner_seconds", ("campaign", "model_seconds", "corner")),
     ],
     "BENCH_store.json": [
         ("store_warm_seconds", ("warm_seconds",)),

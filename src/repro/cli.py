@@ -89,6 +89,18 @@ from .pipeline import BatchRunner, PipelineSpec, StageCache
 from .pipeline.registry import DEFAULT_PIPELINE, base_name, registered_passes
 
 
+def _engine_choices() -> list[str]:
+    """Valid ``--engine`` names, straight from the kernel registry.
+
+    Deriving the argparse choices from :data:`repro.sim.campaign.ENGINES`
+    keeps the CLI in lockstep with the registry: an unknown name gets
+    argparse's clear choices error, never a ``KeyError`` downstream.
+    """
+    from .sim.campaign import ENGINES
+
+    return sorted((*ENGINES, "reference"))
+
+
 def _load_table(spec: str):
     return api.load_table(spec)
 
@@ -771,9 +783,9 @@ def _add_matrix_arguments(
     )
     p.add_argument(
         "--engine",
-        choices=["compiled", "ring", "reference"],
+        choices=_engine_choices(),
         default=None,
-        help="[campaign] simulation kernel (default compiled, or "
+        help="[campaign] simulation kernel (default ring, or "
         "$REPRO_SIM_ENGINE)",
     )
 
@@ -943,12 +955,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     val.add_argument(
         "--engine",
-        choices=["compiled", "ring", "reference"],
+        choices=_engine_choices(),
         default=None,
-        help="simulation kernel (ring = batched integer-time event "
-        "kernel with segment replay; reference = the retained seed "
-        "interpreter, for benchmarking; default compiled, or "
-        "$REPRO_SIM_ENGINE)",
+        help="simulation kernel (ring = the fast event kernel: exact "
+        "fixed-point ticks for fractional delays, calendar-queue "
+        "fallback, batched fronts and segment replay; compiled = the "
+        "heap kernel; reference = the retained seed interpreter, for "
+        "benchmarking; default ring, or $REPRO_SIM_ENGINE)",
     )
     val.add_argument(
         "--skewed",

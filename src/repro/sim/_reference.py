@@ -222,6 +222,13 @@ class ReferenceSimulator:
         values = self.values
         return lambda: tuple(values[net] for net in nets)
 
+    def net_reader(self, net: str):
+        """Single-net reader; the same surface the compiled kernel
+        provides."""
+        self.value(net)  # raises on unknown nets, as compiled does
+        values = self.values
+        return lambda: values[net]
+
     def pending_events(self) -> int:
         return len(self._queue)
 

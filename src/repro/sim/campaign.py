@@ -53,7 +53,7 @@ from .delays import (
     loop_safe_random,
     skewed_random,
 )
-from .harness import random_legal_walk, validate_walk
+from .harness import expected_walk, random_legal_walk, validate_walk
 from .monitors import ValidationSummary
 from .ring import RingSimulator
 from .simulator import Simulator
@@ -103,11 +103,13 @@ def _reference_engine():
 def default_engine() -> str:
     """The kernel used when no ``engine`` is given explicitly.
 
-    ``$REPRO_SIM_ENGINE`` overrides (validated; the documented escape
-    hatch is ``REPRO_SIM_ENGINE=compiled`` for environments without
-    numpy — the ring kernel itself degrades to scalar front evaluation
-    there, so either name works, but ``compiled`` avoids even the
-    optional import).  Defaults to ``"compiled"``.
+    ``$REPRO_SIM_ENGINE`` overrides (validated; ``compiled`` selects
+    the heap kernel, useful for benchmarking baselines or to avoid the
+    ring kernel's optional numpy import — the ring degrades to scalar
+    front evaluation without numpy, so either works anywhere).
+    Defaults to ``"ring"``: with the fractional-time tick grid and the
+    calendar fallback, every built-in delay model now runs on the fast
+    kernel, so the campaign bulk takes it by default.
     """
     import os
 
@@ -115,7 +117,7 @@ def default_engine() -> str:
     if name:
         _resolve_engine(name)
         return name
-    return "compiled"
+    return "ring"
 
 
 def delay_model(name: str, seed: int, machine: FantomMachine):
@@ -183,6 +185,23 @@ class CampaignCell:
     def clean(self) -> bool:
         return self.summary.all_clean
 
+    @property
+    def engine_path(self) -> str | None:
+        """Kernel-path provenance (``ring``/``ticks``/``calendar``/``heap``).
+
+        Derived from the summary's kernel telemetry so cells
+        reconstructed from a result store report exactly what the
+        original run recorded; ``None`` when the cell predates
+        telemetry or ran the reference kernel.
+        """
+        kernel = self.summary.kernel
+        if not kernel:
+            return None
+        paths = kernel.get("paths")
+        if not paths:
+            return None
+        return "+".join(sorted(paths))
+
 
 @dataclass
 class CampaignResult:
@@ -236,6 +255,14 @@ class CampaignResult:
                 grouped[cell.model].add(report)
         return grouped
 
+    def kernel_paths(self) -> dict[str, int]:
+        """Cells per kernel path (``?`` for cells without telemetry)."""
+        paths: dict[str, int] = {}
+        for cell in self.cells:
+            path = cell.engine_path or "?"
+            paths[path] = paths.get(path, 0) + 1
+        return paths
+
     def describe(self) -> str:
         lines = [
             f"validation campaign: {len(self.cells)} cells "
@@ -247,6 +274,12 @@ class CampaignResult:
                 f" [{self.store_hits}/{len(self.cells)} cells from "
                 f"warm store]"
             )
+        if self.cells:
+            paths = ", ".join(
+                f"{path}:{count}"
+                for path, count in sorted(self.kernel_paths().items())
+            )
+            lines.append(f"  kernel paths: {paths}")
         for model, summary in self.by_model().items():
             status = "clean" if summary.all_clean else "FAILED"
             lines.append(f"  {model:10s} {summary.describe()}  [{status}]")
@@ -281,6 +314,7 @@ def _run_cell(
     seed: int,
     walk: list[int],
     engine: str,
+    expected=None,
 ) -> tuple[int, ValidationSummary, float]:
     """Validate one walk on fresh silicon; module-level for pickling."""
     machine = _WORKER_MACHINES[machine_index]
@@ -290,6 +324,7 @@ def _run_cell(
         walk,
         delays=delay_model(model, seed, machine),
         simulator_factory=_resolve_engine(engine),
+        expected=expected,
     )
     return cell_index, summary, time.perf_counter() - start
 
@@ -318,12 +353,15 @@ class ValidationCampaign:
         :class:`~repro.pipeline.spec.PipelineSpec` for the synthesis
         phase (pass variants, options, stage cache).
     engine:
-        ``"compiled"`` (the default, via :func:`default_engine` /
-        ``$REPRO_SIM_ENGINE``), ``"ring"`` (the event-ring kernel of
-        :mod:`repro.sim.ring` — batched integer-time fronts with
-        run-segment replay, the fast path for unit-delay sweeps), or
-        ``"reference"`` — the retained seed kernel, for benchmarking
-        and distrust.  All three are pinned trace-equivalent.
+        ``"ring"`` (the default, via :func:`default_engine` /
+        ``$REPRO_SIM_ENGINE``) — the event-ring kernel of
+        :mod:`repro.sim.ring`: fractional delays run on an exact
+        fixed-point tick grid (or the calendar-queue fallback), with
+        batched fronts and run-segment replay, so every built-in delay
+        model stays on the fast path; ``"compiled"`` — the heap
+        kernel; or ``"reference"`` — the retained seed kernel, for
+        benchmarking and distrust.  All three are pinned
+        trace-equivalent.
     store:
         A content-addressed :class:`~repro.store.ResultStore` (or a
         path/backend to open one over).  The synthesis phase routes
@@ -413,18 +451,29 @@ class ValidationCampaign:
 
     # ------------------------------------------------------------------
     def _cells(self, machines):
-        """The cell grid in deterministic order, walks computed once."""
+        """The cell grid in deterministic order, walks computed once.
+
+        Each (machine, seed) walk and its reference-interpreter step
+        stream are computed once and shared across every delay model's
+        cell — the interpreter never runs inside a timed cell.
+        """
         cells = []
         for machine_index, machine in enumerate(machines):
+            table = machine.result.table
             walks = {
-                seed: random_legal_walk(
-                    machine.result.table, self.steps, seed=seed
-                )
+                seed: random_legal_walk(table, self.steps, seed=seed)
                 for seed in self.seeds
+            }
+            steps = {
+                seed: expected_walk(table, walk)
+                for seed, walk in walks.items()
             }
             for model in self.delay_models:
                 for seed in self.seeds:
-                    cells.append((machine_index, model, seed, walks[seed]))
+                    cells.append(
+                        (machine_index, model, seed, walks[seed],
+                         steps[seed])
+                    )
         return cells
 
     def _cell_keys(self, machines, cells):
@@ -450,7 +499,7 @@ class ValidationCampaign:
                 engine=self.engine,
                 use_fsv=machines[mi].uses_fsv,
             )
-            for mi, model, seed, _walk in cells
+            for mi, model, seed, _walk, _expected in cells
         ]
 
     def _sweep_machines(self, machines, result: CampaignResult):
@@ -476,7 +525,7 @@ class ValidationCampaign:
             models: dict[tuple[str, int], object] = {}
             outcomes = []
             for i in pending:
-                mi, model, seed, walk = cells[i]
+                mi, model, seed, walk, expected = cells[i]
                 key = (model, seed)
                 delays = models.get(key)
                 if delays is None:
@@ -489,6 +538,7 @@ class ValidationCampaign:
                     walk,
                     delays=delays,
                     simulator_factory=_resolve_engine(self.engine),
+                    expected=expected,
                 )
                 outcomes.append(
                     (i, summary, time.perf_counter() - start)
@@ -499,7 +549,9 @@ class ValidationCampaign:
                 pending, outcomes
             )
         }
-        for i, (machine_index, model, seed, _walk) in enumerate(cells):
+        for i, (machine_index, model, seed, _walk, _expected) in enumerate(
+            cells
+        ):
             if i in replayed:
                 summary, seconds, hit = replayed[i], 0.0, True
             else:
@@ -538,9 +590,10 @@ class ValidationCampaign:
         ) as pool:
             futures = [
                 pool.submit(
-                    _run_cell, i, mi, model, seed, walk, self.engine
+                    _run_cell, i, mi, model, seed, walk, self.engine,
+                    expected,
                 )
-                for i, (mi, model, seed, walk) in enumerate(cells)
+                for i, (mi, model, seed, walk, expected) in enumerate(cells)
             ]
             # Input order, not completion order — the result stream is
             # deterministic no matter which worker finishes first.

@@ -16,18 +16,84 @@ minimum feedback-loop delay — which is the regime FANTOM guarantees
 hazard-freedom in.  The ablation benchmark uses the same model, so any
 failure of the fsv-less machine is attributable to the missing
 protection, not to breaking the architecture's stated assumptions.
+
+Time quantum
+------------
+Every built-in model snaps its delays onto the dyadic grid
+``2**-TIME_GRID_BITS`` (a sub-3e-8 perturbation of the drawn value,
+physically meaningless at the model ranges in play).  On that grid every
+float the event kernels compute — sums and comparisons of event times —
+is *exact* IEEE arithmetic as long as times stay below
+``2**(53 - TIME_GRID_BITS)``, so a fixed-point tick kernel
+(:mod:`repro.sim.ring`) scaled by the negotiated quantum reproduces the
+float kernels bit for bit.  :func:`negotiate_time_quantum` is that
+negotiation: given a resolved delay vector it returns the shared shift,
+or ``None`` when no practical quantum exists (hand-annotated off-grid
+delays), in which case the kernel falls back to its calendar queue.
 """
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 
 from ..netlist.gates import Dff, Gate
 
+#: Built-in delay draws land on multiples of ``2**-TIME_GRID_BITS``.
+TIME_GRID_BITS = 24
+
+#: The largest per-vector tick shift the ring kernel will run on.  With
+#: shift ``k`` the exactness horizon is ``2**(53 - k)`` time units
+#: (~5.4e8 at the default grid) — far beyond any campaign walk.
+TICK_SHIFT_LIMIT = 30
+
+
+def snap_to_grid(value: float, bits: int = TIME_GRID_BITS) -> float:
+    """The nearest multiple of ``2**-bits`` (exact power-of-two scaling)."""
+    scale = 1 << bits
+    return round(value * scale) / scale
+
+
+def dyadic_shift(value: float) -> int:
+    """The smallest ``k`` with ``value * 2**k`` integral.
+
+    Exact for every finite float: ``float.as_integer_ratio`` always
+    returns a power-of-two denominator.
+    """
+    _num, den = float(value).as_integer_ratio()
+    return den.bit_length() - 1
+
+
+def negotiate_time_quantum(
+    values, limit: int = TICK_SHIFT_LIMIT
+) -> int | None:
+    """The shared tick shift for a resolved delay vector, or ``None``.
+
+    Returns the smallest ``k`` such that every value is an integer
+    multiple of ``2**-k`` — the vector's exact common quantum — provided
+    it does not exceed ``limit`` (a denominator-bounded stand-in for the
+    LCM blow-up of impractical quanta).  ``0`` means the plain integer
+    ring suffices.
+    """
+    shift = 0
+    for value in values:
+        k = dyadic_shift(value)
+        if k > limit:
+            return None
+        if k > shift:
+            shift = k
+    return shift
+
 
 class DelayModel:
-    """Assigns a fixed delay to every gate and flip-flop instance."""
+    """Assigns a fixed delay to every gate and flip-flop instance.
+
+    Built-in models keep their delays on the dyadic time grid
+    (:data:`TIME_GRID_BITS`) so the fixed-point tick kernel applies;
+    models are free to return off-grid values, at the cost of the
+    calendar-queue path.
+    """
 
     def gate_delay(self, gate: Gate) -> float:
         raise NotImplementedError
@@ -57,6 +123,12 @@ class RandomDelay(DelayModel):
     use and cached, so repeated evaluations of the same gate are
     consistent within a run, and two simulators built with the same seed
     see identical silicon.
+
+    Draws are snapped to the dyadic grid ``2**-grid_bits`` (and clamped
+    inside the stated range, whose ends may themselves be off-grid), so
+    the tick kernel's quantum negotiation always succeeds on built-in
+    silicon.  Pass ``grid_bits=None`` for raw uniform draws — the
+    calendar-queue regime.
     """
 
     def __init__(
@@ -64,18 +136,28 @@ class RandomDelay(DelayModel):
         seed: int,
         gate_range: tuple[float, float] = (0.8, 1.2),
         ff_range: tuple[float, float] = (0.2, 1.0),
+        grid_bits: int | None = TIME_GRID_BITS,
     ):
         if gate_range[0] <= 0 or ff_range[0] <= 0:
             raise ValueError("delays must be strictly positive")
         self.seed = seed
         self.gate_range = gate_range
         self.ff_range = ff_range
+        self.grid_bits = grid_bits
         self._cache: dict[str, float] = {}
 
     def _draw(self, key: str, lo: float, hi: float) -> float:
         if key not in self._cache:
             rng = random.Random(f"{self.seed}:{key}")
-            self._cache[key] = rng.uniform(lo, hi)
+            value = rng.uniform(lo, hi)
+            bits = self.grid_bits
+            if bits is not None:
+                scale = 1 << bits
+                tick = round(value * scale)
+                tick = max(tick, math.ceil(lo * scale))
+                tick = min(tick, math.floor(hi * scale))
+                value = tick / scale
+            self._cache[key] = value
         return self._cache[key]
 
     def gate_delay(self, gate: Gate) -> float:
@@ -138,6 +220,10 @@ class CornerDelay(DelayModel):
     loop floor.  Bank position is parsed from the instance name
     (``FFX3`` → 3), not from call order, so both event kernels and any
     evaluation order assign identical silicon.
+
+    Like the random models, the extremes are snapped to the dyadic time
+    grid (nearest multiple of ``2**-TIME_GRID_BITS``) so corner cells
+    run on the tick kernel; the snap moves a boundary by under 3e-8.
     """
 
     def __init__(
@@ -154,8 +240,8 @@ class CornerDelay(DelayModel):
         if min(ff_extremes) <= 0 or gate_floor <= 0:
             raise ValueError("delays must be strictly positive")
         self.phase = phase
-        self.gate_floor = gate_floor
-        self.ff_extremes = ff_extremes
+        self.gate_floor = snap_to_grid(gate_floor)
+        self.ff_extremes = tuple(snap_to_grid(v) for v in ff_extremes)
 
     def gate_delay(self, gate: Gate) -> float:
         if gate.delay is not None:

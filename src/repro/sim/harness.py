@@ -69,6 +69,14 @@ class FantomHarness:
         self._read_outputs = self.simulator.values_reader(
             machine.output_nets
         )
+        # Pre-resolved single-net readers: the hand-shake polls VOM and
+        # the pins every cycle, and resolving net names per poll is pure
+        # overhead on the campaign's hot path.
+        self._read_vom = self.simulator.net_reader(machine.vom)
+        self._pin_readers = [
+            (net, self.simulator.net_reader(net))
+            for net in machine.external_inputs
+        ]
         self._output_net_list = list(machine.output_nets)
         self.cycle_count = 0
 
@@ -91,11 +99,16 @@ class FantomHarness:
 
     # ------------------------------------------------------------------
     def _wait_for(self, net: str, value: int) -> None:
-        if self.simulator.value(net) == value:
+        # The hand-shake only ever waits on VOM; the pre-resolved
+        # reader skips the per-poll net-name lookup on this hot path.
+        read = self._read_vom if net == self.machine.vom else (
+            lambda: self.simulator.value(net)
+        )
+        if read() == value:
             return
         deadline = self.now + self.WAIT_BUDGET
         self.simulator.run(until=deadline, stop_net=net, stop_value=value)
-        if self.simulator.value(net) != value:
+        if read() != value:
             raise SimulationError(
                 f"timeout waiting for {net}={value} "
                 f"(machine {self.machine.netlist.name!r})"
@@ -113,12 +126,12 @@ class FantomHarness:
         sim.run_until_quiet(self.WAIT_BUDGET)
 
         start = self.now
-        for i, net in enumerate(machine.external_inputs):
+        for i, (net, read) in enumerate(self._pin_readers):
             bit = column >> i & 1
             # The pins are quiet here (the queue just drained), so a
             # pin already at its target level needs no event — walks
             # re-apply like-successive columns constantly.
-            if sim.value(net) != bit:
+            if read() != bit:
                 sim.schedule(net, bit, at=start + self.ENV_DELAY)
         sim.schedule(machine.vi, 1, at=start + 2 * self.ENV_DELAY)
         self._wait_for(machine.vom, 0)
@@ -133,8 +146,22 @@ class FantomHarness:
         self, column: int, reference: FlowTableInterpreter, index: int
     ) -> CycleReport:
         """Apply one column and judge the cycle against the reference."""
+        return self.scored_apply_expected(
+            column, reference.apply(column), index
+        )
+
+    def scored_apply_expected(
+        self, column: int, expected, index: int
+    ) -> CycleReport:
+        """Apply one column, judged against a precomputed reference step.
+
+        The campaign replays one walk under many delay models; the
+        expected :class:`~repro.sim.reference.ReferenceStep` stream
+        depends only on (table, walk), so precomputing it once and
+        passing each step here removes the interpreter from every
+        timed cell.
+        """
         window_start = self.now
-        expected = reference.apply(column)
         observed_state, observed_outputs = self.apply(column)
         window_end = self.now
         # The trace is appended in event order, so it is sorted by time;
@@ -171,6 +198,39 @@ class FantomHarness:
             output_changes=changes,
             vom_rises=vom_rises,
         )
+
+
+def kernel_snapshot(sim) -> dict | None:
+    """One walk's kernel telemetry in :class:`ValidationSummary` form.
+
+    Reads the simulator's ``kernel_stats`` (both event kernels expose
+    it; the reference kernel does not — ``None`` then) and normalises it
+    to the aggregatable shape ``merge_kernel`` folds: the walk counts
+    one unit towards the path it *ended* on, so a demoted walk shows up
+    under its fallback path with the demotion itself in ``migrations``.
+    """
+    stats = getattr(sim, "kernel_stats", None)
+    if stats is None:
+        return None
+    return {
+        "paths": {stats["path"]: 1},
+        "migrations": dict(stats.get("migrations", {})),
+        # The replay counters are deliberately absent: they vary with
+        # segment-cache warmth (an in-process execution detail), and
+        # the summary's wire form must be partition-independent.
+        "fronts": stats.get("fronts", 0),
+        "front_events": stats.get("front_events", 0),
+    }
+
+
+def expected_walk(table, walk: list[int]) -> list:
+    """The reference interpreter's step stream for one column walk.
+
+    Depends only on (table, walk) — the campaign computes it once per
+    (table, seed) and shares it across every delay model's cell.
+    """
+    reference = FlowTableInterpreter(table)
+    return [reference.apply(column) for column in walk]
 
 
 def random_legal_walk(
@@ -341,28 +401,34 @@ def validate_walk(
     delays: DelayModel | None = None,
     simulator_factory=Simulator,
     into: ValidationSummary | None = None,
+    expected: list | None = None,
 ) -> ValidationSummary:
     """Score one precomputed column walk on fresh silicon.
 
     The per-seed body of :func:`validate_against_reference`, split out so
     a :class:`~repro.sim.campaign.ValidationCampaign` can reuse one walk
     across many delay models (the walk depends only on the table and the
-    seed).  A :class:`~repro.errors.SimulationError` mid-walk is recorded
-    as a failed cycle and ends the walk, exactly as before.
+    seed).  Pass ``expected`` (from :func:`expected_walk`) to also reuse
+    the reference interpreter's step stream across those cells.  A
+    :class:`~repro.errors.SimulationError` mid-walk is recorded as a
+    failed cycle and ends the walk, exactly as before.  The walk's
+    kernel telemetry is folded into the summary's ``kernel`` aggregate.
     """
     summary = into if into is not None else ValidationSummary()
     harness = FantomHarness(
         machine, delays=delays, simulator_factory=simulator_factory
     )
-    reference = FlowTableInterpreter(machine.result.table)
+    if expected is None:
+        expected = expected_walk(machine.result.table, walk)
     for index, column in enumerate(walk):
+        step = expected[index]
         try:
-            report = harness.scored_apply(column, reference, index)
+            report = harness.scored_apply_expected(column, step, index)
         except SimulationError:
             report = CycleReport(
                 index=index,
                 column=column,
-                expected_state=reference.state,
+                expected_state=step.state,
                 observed_state=None,
                 expected_outputs=(),
                 observed_outputs=(),
@@ -372,4 +438,5 @@ def validate_walk(
             summary.add(report)
             break
         summary.add(report)
+    summary.merge_kernel(kernel_snapshot(harness.simulator))
     return summary

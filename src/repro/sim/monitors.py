@@ -91,14 +91,53 @@ class CycleReport:
         )
 
 
+#: Counter keys of a kernel-telemetry snapshot, in wire order.  Only
+#: counters that are deterministic for a given walk belong here: the
+#: ring kernel's replay counters depend on how warm its segment cache
+#: is (which cells ran earlier in the same process), so they stay
+#: in-process diagnostics on ``sim.kernel_stats`` and never enter the
+#: summary — the sharded store's byte-identity contract requires the
+#: wire form to be partition-independent.
+_KERNEL_COUNTERS = ("fronts", "front_events")
+
+
 @dataclass
 class ValidationSummary:
-    """Aggregate of a whole validation run (many cycles, many seeds)."""
+    """Aggregate of a whole validation run (many cycles, many seeds).
+
+    ``kernel`` aggregates the per-walk kernel telemetry the simulators
+    expose (``sim.kernel_stats``): which engine paths the walks ended on
+    (``ring``/``ticks``/``calendar``/``heap``), any fast-path demotions
+    (``migrations``), and the batching counters.  ``None`` means no walk
+    contributed telemetry (e.g. the reference kernel).
+    """
 
     cycles: list[CycleReport] = field(default_factory=list)
+    kernel: dict | None = None
 
     def add(self, report: CycleReport) -> None:
         self.cycles.append(report)
+
+    def merge_kernel(self, snapshot: dict | None) -> None:
+        """Fold one walk's kernel-telemetry snapshot into the aggregate."""
+        if snapshot is None:
+            return
+        kernel = self.kernel
+        if kernel is None:
+            kernel = self.kernel = {
+                "paths": {},
+                "migrations": {},
+                **{key: 0 for key in _KERNEL_COUNTERS},
+            }
+        for path, count in snapshot.get("paths", {}).items():
+            kernel["paths"][path] = kernel["paths"].get(path, 0) + count
+        for reason, count in snapshot.get("migrations", {}).items():
+            kernel["migrations"] = kernel.get("migrations", {})
+            kernel["migrations"][reason] = (
+                kernel["migrations"].get(reason, 0) + count
+            )
+        for key in _KERNEL_COUNTERS:
+            kernel[key] = kernel.get(key, 0) + snapshot.get(key, 0)
 
     @property
     def total(self) -> int:
@@ -134,14 +173,35 @@ class ValidationSummary:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """JSON wire form (cycle stream, in order)."""
-        return {"cycles": [cycle.to_dict() for cycle in self.cycles]}
+        """JSON wire form (cycle stream, in order).
+
+        ``kernel`` is emitted only when telemetry was collected, with
+        its sub-dicts in sorted key order — deterministic bytes for the
+        store's byte-identity contract, and old payloads (no kernel)
+        keep their exact historical shape.
+        """
+        payload: dict = {
+            "cycles": [cycle.to_dict() for cycle in self.cycles]
+        }
+        if self.kernel is not None:
+            kernel = self.kernel
+            payload["kernel"] = {
+                "paths": dict(sorted(kernel.get("paths", {}).items())),
+                "migrations": dict(
+                    sorted(kernel.get("migrations", {}).items())
+                ),
+                **{key: kernel.get(key, 0) for key in _KERNEL_COUNTERS},
+            }
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ValidationSummary":
         summary = cls()
         for cycle in payload["cycles"]:
             summary.add(CycleReport.from_dict(cycle))
+        kernel = payload.get("kernel")
+        if kernel is not None:
+            summary.merge_kernel(kernel)
         return summary
 
 

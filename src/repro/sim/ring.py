@@ -1,4 +1,4 @@
-"""The event-ring simulation kernel: batched fronts over integer time.
+"""The event-ring simulation kernel: batched fronts over tick time.
 
 :class:`RingSimulator` is the third event kernel (after the seed
 interpreter in :mod:`repro.sim._reference` and the compiled heap kernel
@@ -13,12 +13,21 @@ Where the compiled kernel replaced *interpretation* costs (string keys,
 virtual calls) with a flat integer program, the ring kernel replaces the
 *event queue* itself for the delay regimes that allow it:
 
-* **bucket-ring queue** — when every resolved delay is an integer (the
-  ``unit`` model, and any netlist with integral annotated delays), event
-  times are integers, so the heap becomes a sorted ring of time buckets:
-  scheduling is an append, popping is a batch take, and heap tie-break
-  order is exactly bucket append order (sequence numbers are assigned
-  monotonically);
+* **bucket-ring queue over negotiated ticks** — the resolved delay
+  vector is put to :func:`~repro.sim.delays.negotiate_time_quantum`:
+  every finite float is a dyadic rational, so when the vector's largest
+  denominator is practical (``2**k``, ``k <= TICK_SHIFT_LIMIT``) every
+  event time is an integer number of ``2**-k`` ticks and the heap
+  becomes a sorted ring of tick buckets — scheduling is an append,
+  popping is a batch take, and heap tie-break order is exactly bucket
+  append order.  Scaling by a power of two is exact both ways, and all
+  float time arithmetic on the grid is exact below the horizon
+  ``2**(53 - k)``, so the tick kernel is bit-for-bit trace-equivalent
+  to the float kernels — the built-in random sweep models
+  (``loop-safe``/``skewed``/``hostile``/``corner``) draw on the
+  :data:`~repro.sim.delays.TIME_GRID_BITS` grid precisely so their
+  campaign cells ride this path (``path: ticks``; the all-integer case
+  is ``path: ring``);
 * **batched front evaluation** — a whole same-timestamp fanout front is
   applied in one pass: values and flip-flop samples are committed in
   sequence order, then each *touched* gate is evaluated **once** against
@@ -37,14 +46,23 @@ virtual calls) with a flat integer program, the ring kernel replaces the
   values, counts, trace, queue and the clock advance in O(changes) with
   no event processing at all.
 
-Float-delay instances (``loop-safe``, ``skewed``, ``hostile``, and the
-``corner`` model's fractional clock-to-Q band) take the inherited
-compiled heap loop unchanged — for those regimes the ring layout has
-nothing to batch (measured same-timestamp fronts are of size 1–2), and
-the compiled loop is already within a small factor of the CPython floor.
-A non-integral external ``schedule()`` in ring mode migrates the buckets
-into the heap mid-session and continues there, so the kernel is a
-drop-in for arbitrary stimuli.
+Vectors with no practical quantum (hand-annotated off-grid delays, or a
+:class:`~repro.sim.delays.RandomDelay` built with ``grid_bits=None``)
+run on a **calendar-queue bucket ring** (``path: calendar``) — Brown's
+calendar queue: a wrapping slot wheel over exact float times with O(1)
+amortised schedule and pop, replacing the binary heap in that regime
+while reproducing its exact ``(time, sequence)`` total order.  An
+off-grid external ``schedule()`` mid-session migrates a tick ring onto
+the calendar the same way.  The only remaining use of the inherited
+compiled heap loop is the documented quantum-overflow fallback
+(``path: heap``): event times approaching the tick horizon migrate the
+buckets into the heap and continue there, so the kernel is a drop-in
+for arbitrary stimuli.
+
+Every path transition is counted in :attr:`RingSimulator.kernel_stats`
+(fronts, replays, migrations, current path) — the telemetry surfaced
+through :class:`~repro.sim.monitors.ValidationSummary` and
+``seance validate --json`` so a silent fast-path loss is visible.
 
 numpy is optional: without it the front path evaluates scalar-wise and
 everything else is pure python (see the ``REPRO_SIM_ENGINE`` fallback in
@@ -57,7 +75,13 @@ import heapq
 from bisect import insort
 
 from ..errors import SimulationError
-from .simulator import NetChange, Simulator
+from .delays import TICK_SHIFT_LIMIT, negotiate_time_quantum
+from .simulator import (
+    NetChange,
+    Simulator,
+    plan_cache_get,
+    plan_cache_put,
+)
 
 try:  # numpy is a declared dependency, but the kernel degrades gracefully
     import numpy as _np
@@ -72,27 +96,115 @@ FRONT_VECTOR_MIN = 32
 _INF = float("inf")
 
 
+class _CalendarIndex:
+    """Ascending multiplexer over distinct event times (floats).
+
+    Brown's calendar queue, reduced to what the bucket loop needs: the
+    bucket *dict* groups same-time entries, this index yields the
+    distinct times in ascending order.  A time belongs to absolute slot
+    ``int(t / width)`` (its physical slot is that modulo ``nslots``);
+    float division is monotone, so smaller absolute slots hold strictly
+    smaller times and the minimum always lives in the lowest non-empty
+    absolute slot — placement and lookup use the same computation, so
+    sub-ULP boundary rounding cannot reorder anything.  ``add`` is an
+    insort into a short slot list, ``peek`` resumes the cursor scan, and
+    a fruitless full wrap jumps the cursor straight to the next
+    occupied year (far-future events cost one O(nslots) scan, not one
+    lap per empty year).
+    """
+
+    __slots__ = ("width", "nslots", "wheel", "count", "pos")
+
+    def __init__(self, width: float = 1.0, nslots: int = 64):
+        self.width = width
+        self.nslots = nslots
+        self.wheel: list[list[float]] = [[] for _ in range(nslots)]
+        self.count = 0
+        #: absolute slot number of the search cursor; invariant: no
+        #: stored time has a smaller absolute slot.
+        self.pos = 0
+
+    def add(self, t: float) -> None:
+        a = int(t / self.width)
+        insort(self.wheel[a % self.nslots], t)
+        self.count += 1
+        if a < self.pos:
+            self.pos = a
+        if self.count > 4 * self.nslots:
+            self._grow()
+
+    def _grow(self) -> None:
+        times = [t for slot in self.wheel for t in slot]
+        pos = self.pos
+        self.nslots *= 2
+        self.wheel = [[] for _ in range(self.nslots)]
+        self.count = 0
+        for t in times:
+            self.add(t)
+        self.pos = pos
+
+    def peek(self) -> float:
+        """The smallest stored time (cursor advances, nothing removed)."""
+        wheel = self.wheel
+        nslots = self.nslots
+        width = self.width
+        pos = self.pos
+        scanned = 0
+        while True:
+            slot = wheel[pos % nslots]
+            if slot and int(slot[0] / width) == pos:
+                self.pos = pos
+                return slot[0]
+            pos += 1
+            scanned += 1
+            if scanned >= nslots:
+                # A whole year is empty: jump to the next occupied one.
+                pos = min(
+                    int(slot[0] / width) for slot in wheel if slot
+                )
+                scanned = 0
+
+    def remove(self, t: float) -> None:
+        slot = self.wheel[int(t / self.width) % self.nslots]
+        slot.remove(t)
+        self.count -= 1
+
+    def times(self) -> list[float]:
+        """All stored times, ascending (inspection paths only)."""
+        return sorted(t for slot in self.wheel for t in slot)
+
+
 class _Segment:
     """One memoised run segment (see module docs)."""
 
     __slots__ = (
-        "events", "end_dt", "values", "count_deltas", "trace", "queue",
-        "next",
+        "events", "end_dt", "exit_values", "exit_counts", "trace", "queue",
+        "fronts", "front_events", "next",
     )
 
-    def __init__(self, events, end_dt, values, count_deltas, trace, queue):
+    def __init__(self, events, end_dt, exit_values, exit_counts, trace,
+                 queue, fronts=0, front_events=0):
         self.events = events
         self.end_dt = end_dt
+        #: fronts fired while this segment was recorded; replays re-count
+        #: them so the telemetry totals match an all-live run no matter
+        #: how warm the cache was (the store's byte-identity contract).
+        self.fronts = fronts
+        self.front_events = front_events
         #: successor edges: (externals signature, run args) -> _Segment.
         #: The post-replay state is exact, so the next ``run()``'s full
         #: key is a function of this segment, the externally scheduled
         #: events since, and the call's arguments — steady-state walks
         #: chain segment to segment without rebuilding keys at all.
         self.next: dict = {}
-        #: ((nid, value), ...) final values of the nets the segment changed.
-        self.values = values
-        #: ((gate, delta), ...) aggregated ones-count adjustments.
-        self.count_deltas = count_deltas
+        #: Complete post-run net values.  The entry values are part of
+        #: the segment key, so the exit state is fixed — storing it whole
+        #: lets a replay restore it with one C-level slice copy instead
+        #: of a Python loop over per-net deltas.
+        self.exit_values = exit_values
+        #: Complete post-run per-gate ones-counts (derived from values,
+        #: hence equally fixed per segment).
+        self.exit_counts = exit_counts
         #: ((dt, nid, value), ...) watched changes, in apply order.
         self.trace = trace
         #: ((dt, ((nid, value, tracked), ...)), ...) the queue left
@@ -123,41 +235,68 @@ class RingSimulator(Simulator):
             max_events=max_events,
             inertial=inertial,
         )
-        # The compiled kernel's generated closures, kept as the fallback
-        # engine for float-delay instances and post-migration operation.
+        # The compiled kernel's generated closures, kept as the engine
+        # for post-migration (quantum overflow) operation.
         self._heap_run = self.run
         self._heap_schedule = self.schedule
+        self._running = False
+        self._calendar = False
 
         gate_delays = self._gate_delays
         dff_delays = self._dff_delays
-        self._ring = all(
-            float(d).is_integer() for d in gate_delays
-        ) and all(float(d).is_integer() for d in dff_delays)
-        if not self._ring:
+        shift = negotiate_time_quantum(
+            [*gate_delays, *dff_delays], limit=TICK_SHIFT_LIMIT
+        )
+        #: Kernel telemetry: current engine path, the negotiated tick
+        #: shift, batched-front and segment-replay counts, and any path
+        #: migrations (reason -> count).  Everything here is
+        #: deterministic for a deterministic workload.
+        self.kernel_stats = {
+            "path": "heap",
+            "shift": 0 if shift is None else shift,
+            "fronts": 0,
+            "front_events": 0,
+            "replays": 0,
+            "replayed_events": 0,
+            "migrations": {},
+        }
+        if shift is None:
+            # No practical common quantum: the calendar-queue regime.
+            self._ring = False
+            self._init_calendar()
             return
+
+        self._ring = True
+        self._shift = shift
+        #: tick <-> time scaling; powers of two, so both conversions are
+        #: exact for every representable value below the horizon.
+        self._up = float(1 << shift)
+        self._down = 1.0 / self._up
+        self.kernel_stats["path"] = "ring" if shift == 0 else "ticks"
 
         prog = self._prog
         plan_key = (tuple(gate_delays), tuple(dff_delays))
         self._plan_key = plan_key
 
         ring_key = ("ring-plans", plan_key)
-        cached = prog.plan_cache.get(ring_key)
+        cached = plan_cache_get(prog.plan_cache, ring_key)
         if cached is None:
+            up = self._up
             plans_i = [
                 None
                 if plan is None
                 else tuple(
-                    (g, out_nid, int(delay), table)
+                    (g, out_nid, int(delay * up), table)
                     for g, out_nid, delay, table in plan
                 )
                 for plan in self._plans
             ]
             dff_plans_i = [
-                tuple((d, q, int(delay)) for d, q, delay in fans)
+                tuple((d, q, int(delay * up)) for d, q, delay in fans)
                 for fans in self._dff_plans
             ]
-            gate_delays_i = [int(d) for d in gate_delays]
-            dff_delays_i = [int(d) for d in dff_delays]
+            gate_delays_i = [int(d * up) for d in gate_delays]
+            dff_delays_i = [int(d * up) for d in dff_delays]
             num_nets = prog.num_nets
             driver_gate = [-1] * num_nets
             for g, out in enumerate(prog.gate_output):
@@ -173,14 +312,24 @@ class RingSimulator(Simulator):
                 plans_i, dff_plans_i, gate_delays_i, dff_delays_i,
                 driver_gate, driver_dff, driven,
             )
-            prog.plan_cache[ring_key] = cached
+            plan_cache_put(prog.plan_cache, ring_key, cached)
         (
             self._plans_i, self._dff_plans_i, self._gate_delays_i,
             self._dff_delays_i, self._driver_gate, self._driver_dff,
             self._driven,
         ) = cached
 
-        #: sorted distinct integer event times (the ring index).
+        # Exactness horizon: every tick must stay below 2**53 for the
+        # tick<->float conversions (and the float kernels' arithmetic)
+        # to be exact.  The guard is conservative — one run can extend
+        # the queue by at most the remaining event budget times the
+        # largest delay, so checking at run/schedule entry suffices.
+        max_delay = max(self._gate_delays_i + self._dff_delays_i, default=1)
+        self._tick_safe = float(
+            2**53 - (max_events + 2) * (max_delay + 1)
+        )
+
+        #: sorted distinct integer event tick times (the ring index).
         self._times: list[int] = []
         #: time -> [(seq, nid, value), ...] in push (= pop tie-break) order.
         self._buckets: dict[int, list[tuple[int, int, int]]] = {}
@@ -255,18 +404,31 @@ class RingSimulator(Simulator):
         nid = self._ids.get(net)
         if nid is None:
             raise SimulationError(f"unknown net {net!r}")
-        if not float(at).is_integer():
-            # A fractional stimulus ends integer time: migrate the ring
-            # into the heap and continue on the compiled loop.
+        scaled = at * self._up
+        if scaled >= self._tick_safe:
+            # Quantum overflow: ticks would leave the exactness horizon.
+            # The documented fallback — migrate into the legacy heap.
             if self._running:
                 raise SimulationError(
-                    "cannot schedule a fractional-time event from a "
-                    "stop_when callback while the ring loop is running"
+                    "cannot schedule an event beyond the tick horizon "
+                    "from a stop_when callback while the ring loop is "
+                    "running"
                 )
-            self._migrate_to_heap()
+            self._migrate_to_heap("overflow")
             self._heap_schedule(net, value, at)
             return
-        t = int(at)
+        if not scaled.is_integer():
+            # An off-grid stimulus ends tick time: migrate the buckets
+            # onto the calendar queue and continue there.
+            if self._running:
+                raise SimulationError(
+                    "cannot schedule an off-grid event from a "
+                    "stop_when callback while the ring loop is running"
+                )
+            self._migrate_to_calendar("off-grid-stimulus")
+            self.schedule(net, value, at)
+            return
+        t = int(scaled)
         v = 1 if value else 0
         self._ext_log.append((t, nid, v))
         if self._queue_stub is not None:
@@ -288,25 +450,67 @@ class RingSimulator(Simulator):
         else:
             bucket.append((seq, nid, value))
 
-    def _migrate_to_heap(self) -> None:
+    def _migrate_to_heap(self, reason: str) -> None:
         """Convert the buckets into the inherited heap, preserving order."""
         self._materialise_queue()
         queue = self._queue
+        down = self._down
         for t in self._times:
-            ft = float(t)
+            ft = t * down
             for seq, nid, value in self._buckets[t]:
                 heapq.heappush(queue, (ft, seq, nid, value))
         self._times = []
         self._buckets = {}
         self._ring = False
         self._last_segment = None
+        stats = self.kernel_stats
+        stats["path"] = "heap"
+        migrations = stats["migrations"]
+        migrations[reason] = migrations.get(reason, 0) + 1
         self.run = self._heap_run
         self.schedule = self._heap_schedule
+
+    def _migrate_to_calendar(self, reason: str) -> None:
+        """Move the tick buckets onto the calendar queue, order intact.
+
+        Sequence numbers and pending entries survive untouched — only
+        the time representation changes (exact tick -> float), so the
+        pop order, supersession decisions and traces are unaffected.
+        """
+        self._materialise_queue()
+        down = self._down
+        times, buckets = self._times, self._buckets
+        self._times = []
+        self._buckets = {}
+        self._ring = False
+        self._last_segment = None
+        self._init_calendar()
+        cal_buckets = self._cal_buckets
+        index = self._cal_index
+        for t in times:
+            ft = t * down
+            cal_buckets[ft] = list(buckets[t])
+            index.add(ft)
+        stats = self.kernel_stats
+        stats["path"] = "calendar"
+        migrations = stats["migrations"]
+        migrations[reason] = migrations.get(reason, 0) + 1
 
     # ------------------------------------------------------------------
     # Queue inspection (the base class reads self._queue directly)
     # ------------------------------------------------------------------
     def has_live_events(self) -> bool:
+        if self._calendar:
+            pending = self._pending
+            inertial = self.inertial
+            for bucket in self._cal_buckets.values():
+                for seq, nid, _value in bucket:
+                    if inertial:
+                        live = pending[nid]
+                        if live and live != seq:
+                            continue
+                    return True
+            return False
         if not self._ring:
             return super().has_live_events()
         self._materialise_queue()
@@ -322,6 +526,8 @@ class RingSimulator(Simulator):
         return False
 
     def pending_events(self) -> int:
+        if self._calendar:
+            return sum(len(b) for b in self._cal_buckets.values())
         if not self._ring:
             return super().pending_events()
         self._materialise_queue()
@@ -329,7 +535,9 @@ class RingSimulator(Simulator):
 
     def run_until_quiet(self, timeout: float) -> float:
         deadline = self.now + timeout
-        if self._ring:
+        if self._calendar:
+            empty = not self._cal_index.count
+        elif self._ring:
             # A replay stub is only stored for a non-empty end queue.
             empty = not self._times and self._queue_stub is None
         else:
@@ -355,7 +563,16 @@ class RingSimulator(Simulator):
         stop_net=None,
         stop_value=1,
     ) -> float:
+        if self._calendar:
+            return self._calendar_run(until, stop_when, stop_net, stop_value)
         if not self._ring:
+            return self._heap_run(until, stop_when, stop_net, stop_value)
+        now = self.now
+        scaled = now * self._up
+        if scaled >= self._tick_safe:
+            # Quantum overflow: the next run could push ticks past the
+            # exactness horizon — take the documented heap fallback.
+            self._migrate_to_heap("overflow")
             return self._heap_run(until, stop_when, stop_net, stop_value)
         values = self._values
         stop_nid = -1
@@ -365,12 +582,11 @@ class RingSimulator(Simulator):
                 raise SimulationError(f"unknown net {stop_net!r}")
             if values[stop_nid] == stop_value:
                 return self.now
-        now = self.now
-        base = int(now)
-        if stop_when is not None or base != now:
-            # Callbacks may inspect or schedule arbitrarily, and a
-            # fractional ``now`` makes the horizon offset ambiguous
-            # relative to the integer bucket times: run live, unmemoised.
+        base = int(scaled)
+        if stop_when is not None or base != scaled:
+            # Callbacks may inspect or schedule arbitrarily, and an
+            # off-grid ``now`` makes the horizon offset ambiguous
+            # relative to the tick bucket times: run live, unmemoised.
             self._last_segment = None
             return self._ring_loop(
                 until, stop_when, stop_nid, stop_value, None
@@ -431,29 +647,20 @@ class RingSimulator(Simulator):
         # propagates before the cache write, so every revisit runs it
         # fresh and raises at the same point.
         events_before = self._events_processed
+        stats = self.kernel_stats
+        fronts_before = stats["fronts"]
+        front_events_before = stats["front_events"]
         recorder = {"changed": {}, "trace": [], "queue": ()}
         result = self._ring_loop(until, None, stop_nid, stop_value, recorder)
-        start_values = key[0]
-        changed = {
-            nid: value
-            for nid, value in recorder["changed"].items()
-            if value != start_values[nid]
-        }
-        count_deltas: dict[int, int] = {}
-        fan_counts = self._prog.fan_counts
-        for nid, value in changed.items():
-            step = 1 if value else -1
-            for g, mult in fan_counts[nid]:
-                count_deltas[g] = count_deltas.get(g, 0) + step * mult
         segments[key] = segment = _Segment(
             events=self._events_processed - events_before,
             end_dt=self.now - now,
-            values=tuple(changed.items()),
-            count_deltas=tuple(
-                (g, d) for g, d in count_deltas.items() if d
-            ),
+            exit_values=list(values),
+            exit_counts=list(self._counts),
             trace=tuple(recorder["trace"]),
             queue=recorder["queue"],
+            fronts=stats["fronts"] - fronts_before,
+            front_events=stats["front_events"] - front_events_before,
         )
         if edge is not None:
             last.next[edge] = segment
@@ -473,24 +680,32 @@ class RingSimulator(Simulator):
                     if flag
                 ),
             )
-            cache = self._prog.plan_cache.setdefault(root_key, {})
+            cache = plan_cache_get(self._prog.plan_cache, root_key)
+            if cache is None:
+                cache = {}
+                plan_cache_put(self._prog.plan_cache, root_key, cache)
             self._segments = cache
         return cache
 
     def _replay(self, segment: _Segment) -> float:
-        values = self._values
-        counts = self._counts
         pending = self._pending
         now = self.now
-        for nid, value in segment.values:
-            values[nid] = value
-        for g, delta in segment.count_deltas:
-            counts[g] += delta
+        stats = self.kernel_stats
+        stats["replays"] += 1
+        stats["replayed_events"] += segment.events
+        if segment.fronts:
+            stats["fronts"] += segment.fronts
+            stats["front_events"] += segment.front_events
+        # Slice-assign so the list identities survive (values_reader
+        # closures and the base class hold references to these lists).
+        self._values[:] = segment.exit_values
+        self._counts[:] = segment.exit_counts
         if segment.trace:
             names = self._prog.net_names
             trace = self.trace
+            down = self._down
             for dt, nid, value in segment.trace:
-                trace.append(NetChange(now + dt, names[nid], value))
+                trace.append(NetChange(now + dt * down, names[nid], value))
         # The replayed-from state had exactly the keyed queue; discard it.
         # An unmaterialised stub never wrote its pending entries, so only
         # a materialised queue needs them cleared (buffered external
@@ -511,7 +726,7 @@ class RingSimulator(Simulator):
         # per-event rebuild (fresh sequence numbers, pending writes) is
         # deferred to :meth:`_materialise_queue` and usually never runs.
         if segment.queue:
-            self._queue_stub = (segment, int(now))
+            self._queue_stub = (segment, int(now * self._up))
         self._events_processed += segment.events
         self.now = now + segment.end_dt
         return self.now
@@ -539,15 +754,20 @@ class RingSimulator(Simulator):
         net_names = self._prog.net_names
         inertial = self.inertial
         max_events = self.max_events
-        deadline = _INF if until is None else until
+        up = self._up
+        down = self._down
+        deadline = _INF if until is None else until * up
         events = self._events_processed
         now = self.now
         start = now
+        rec_base = 0
         if recorder is not None:
             rec_changed = recorder["changed"]
             rec_trace = recorder["trace"]
+            rec_base = int(start * up)
         else:
             rec_changed = rec_trace = None
+        stats = self.kernel_stats
         front_ok = inertial and stop_when is None
         self._running = True
         try:
@@ -557,7 +777,7 @@ class RingSimulator(Simulator):
                     now = until
                     return now
                 batch = buckets[t]
-                ft = float(t)
+                ft = t * down
                 if (
                     front_ok
                     and len(batch) >= FRONT_MIN
@@ -566,9 +786,11 @@ class RingSimulator(Simulator):
                     del buckets[t]
                     times.pop(0)
                     now = ft
+                    stats["fronts"] += 1
+                    stats["front_events"] += len(batch)
                     events, stopped, error = self._front(
                         t, batch, stop_nid, stop_value, events,
-                        rec_changed, rec_trace, start,
+                        rec_changed, rec_trace, rec_base,
                     )
                     if error is not None:
                         raise error
@@ -612,7 +834,7 @@ class RingSimulator(Simulator):
                     if watched[nid]:
                         trace.append(NetChange(ft, net_names[nid], value))
                         if rec_trace is not None:
-                            rec_trace.append((t - int(start), nid, value))
+                            rec_trace.append((t - rec_base, nid, value))
                     plan = plans[nid]
                     if plan is None:
                         if value:
@@ -678,10 +900,9 @@ class RingSimulator(Simulator):
             self.now = now
             self._events_processed = events
             if recorder is not None:
-                base = int(start)
                 recorder["queue"] = tuple(
                     (
-                        t - base,
+                        t - rec_base,
                         tuple(
                             (nid, value, pending[nid] == seq)
                             for seq, nid, value in buckets[t]
@@ -716,7 +937,7 @@ class RingSimulator(Simulator):
 
     def _front(
         self, t, batch, stop_nid, stop_value, events,
-        rec_changed, rec_trace, start,
+        rec_changed, rec_trace, rec_base,
     ):
         """Apply one same-timestamp front in a single batched pass.
 
@@ -760,8 +981,7 @@ class RingSimulator(Simulator):
         driver_dff = self._driver_dff
         net_names = self._prog.net_names
         max_events = self.max_events
-        ft = float(t)
-        rec_base = int(start)
+        ft = t * self._down
 
         #: gate -> list of ones-counts after each touch (batch order).
         touch_counts: dict[int, list[int]] = {}
@@ -911,3 +1131,191 @@ class RingSimulator(Simulator):
                 self._buckets[t] = rest
                 insort(self._times, t)
         return events, stopped, error
+
+    # ------------------------------------------------------------------
+    # Calendar-queue mode (vectors with no practical tick quantum)
+    # ------------------------------------------------------------------
+    def _init_calendar(self) -> None:
+        """Switch the driving surface onto the calendar-queue loop.
+
+        Same bucket semantics as the tick ring — a dict groups same-time
+        entries in push order, the index yields distinct times ascending
+        — but keyed on exact float times, so any delay vector runs here.
+        Segments and fronts stay off: without a shared quantum the
+        relative-time rebasing they rely on is not exact, and measured
+        same-timestamp fronts are of size 1–2 anyway.
+        """
+        self._calendar = True
+        self.kernel_stats["path"] = "calendar"
+        #: time -> [(seq, nid, value), ...] in push (= pop) order.
+        self._cal_buckets: dict[float, list[tuple[int, int, int]]] = {}
+        self._cal_index = _CalendarIndex()
+        self.run = self._calendar_run
+        self.schedule = self._calendar_schedule
+
+    def _calendar_schedule(self, net: str, value: int, at: float) -> None:
+        if at < self.now:
+            raise SimulationError(
+                f"cannot schedule {net} at {at} before now ({self.now})"
+            )
+        nid = self._ids.get(net)
+        if nid is None:
+            raise SimulationError(f"unknown net {net!r}")
+        self._cal_push(float(at), nid, 1 if value else 0, tracked=False)
+
+    def _cal_push(
+        self, t: float, nid: int, value: int, tracked: bool
+    ) -> None:
+        self._sequence = seq = self._sequence + 1
+        if tracked:
+            self._pending[nid] = seq
+        bucket = self._cal_buckets.get(t)
+        if bucket is None:
+            self._cal_buckets[t] = [(seq, nid, value)]
+            self._cal_index.add(t)
+        else:
+            bucket.append((seq, nid, value))
+
+    def _calendar_run(
+        self,
+        until=None,
+        stop_when=None,
+        stop_net=None,
+        stop_value=1,
+    ) -> float:
+        """The serial bucket loop over the calendar index.
+
+        Event application is the compiled heap loop verbatim (same
+        supersession, push filtering and plan walks, on the same float
+        delays), so the two orderings coincide exactly: the calendar
+        yields times ascending and buckets preserve sequence order —
+        the heap's ``(time, seq)`` total order.
+        """
+        values = self._values
+        stop_nid = -1
+        if stop_net is not None:
+            stop_nid = self._ids.get(stop_net, -1)
+            if stop_nid < 0:
+                raise SimulationError(f"unknown net {stop_net!r}")
+            if values[stop_nid] == stop_value:
+                return self.now
+        index_q = self._cal_index
+        buckets = self._cal_buckets
+        pending = self._pending
+        counts = self._counts
+        watched = self._watched_flags
+        trace = self.trace
+        plans = self._plans
+        dff_plans = self._dff_plans
+        fan_counts = self._prog.fan_counts
+        fan_gates = self._prog.fan_gates
+        gate_output = self._prog.gate_output
+        tts = self._prog.gate_tt
+        gate_delays = self._gate_delays
+        net_names = self._prog.net_names
+        inertial = self.inertial
+        max_events = self.max_events
+        cal_push = self._cal_push
+        deadline = _INF if until is None else until
+        events = self._events_processed
+        now = self.now
+        self._running = True
+        try:
+            while index_q.count:
+                t = index_q.peek()
+                if t > deadline:
+                    now = until
+                    return now
+                batch = buckets[t]
+                index = 0
+                stop_here = False
+                # Index loop: a stop_when callback may schedule into the
+                # current instant, growing this bucket (heap order puts
+                # such events after the existing ones, as append does).
+                while index < len(batch):
+                    eseq, nid, value = batch[index]
+                    index += 1
+                    events += 1
+                    if events > max_events:
+                        now = t
+                        rest = batch[index:]
+                        if rest:
+                            buckets[t] = rest
+                        else:
+                            del buckets[t]
+                            index_q.remove(t)
+                        raise SimulationError(
+                            f"event budget exceeded ({max_events}); "
+                            f"oscillating feedback loop in "
+                            f"{self.netlist.name!r}?"
+                        )
+                    now = t
+                    live = pending[nid]
+                    if live:
+                        if inertial and live != eseq:
+                            continue  # superseded by a re-evaluation
+                        if live == eseq:
+                            pending[nid] = 0
+                    if values[nid] == value:
+                        continue
+                    values[nid] = value
+                    if watched[nid]:
+                        trace.append(NetChange(t, net_names[nid], value))
+                    plan = plans[nid]
+                    if plan is None:
+                        if value:
+                            for g, mult in fan_counts[nid]:
+                                counts[g] += mult
+                        else:
+                            for g, mult in fan_counts[nid]:
+                                counts[g] -= mult
+                        for g in fan_gates[nid]:
+                            out_nid = gate_output[g]
+                            out = tts[g] >> counts[g] & 1
+                            if pending[out_nid] or out != values[out_nid]:
+                                cal_push(
+                                    t + gate_delays[g], out_nid, out, True
+                                )
+                    elif value:
+                        for g, out_nid, delay, table in plan:
+                            ones = counts[g] + 1
+                            counts[g] = ones
+                            out = table >> ones & 1
+                            if pending[out_nid] or out != values[out_nid]:
+                                cal_push(t + delay, out_nid, out, True)
+                    else:
+                        for g, out_nid, delay, table in plan:
+                            ones = counts[g] - 1
+                            counts[g] = ones
+                            out = table >> ones & 1
+                            if pending[out_nid] or out != values[out_nid]:
+                                cal_push(t + delay, out_nid, out, True)
+                    if value == 1:
+                        for d_nid, q_nid, delay in dff_plans[nid]:
+                            sampled = values[d_nid]
+                            if pending[q_nid] or sampled != values[q_nid]:
+                                cal_push(t + delay, q_nid, sampled, True)
+                    if stop_nid >= 0 and values[stop_nid] == stop_value:
+                        stop_here = True
+                        break
+                    if stop_when is not None:
+                        self.now = now
+                        self._events_processed = events
+                        if stop_when(self):
+                            stop_here = True
+                            break
+                rest = batch[index:]
+                if rest:
+                    buckets[t] = rest
+                else:
+                    del buckets[t]
+                    index_q.remove(t)
+                if stop_here:
+                    return now
+            if until is not None and until > now:
+                now = until
+            return now
+        finally:
+            self._running = False
+            self.now = now
+            self._events_processed = events

@@ -50,6 +50,28 @@ from ..errors import SimulationError
 from ..netlist.netlist import Netlist
 from .delays import DelayModel, UnitDelay
 
+#: Entries kept in a compiled program's plan cache.  Campaign sweeps
+#: cycle through one plan set per (model, seed) — an LRU keeps the live
+#: working set warm where the old wholesale clear-at-16 threw away every
+#: cell's plans (and the ring kernel's segment memos) mid-sweep.
+PLAN_CACHE_LIMIT = 64
+
+
+def plan_cache_get(cache: dict, key):
+    """LRU lookup: a hit is refreshed to most-recently-used."""
+    entry = cache.pop(key, None)
+    if entry is not None:
+        cache[key] = entry
+    return entry
+
+
+def plan_cache_put(cache: dict, key, entry) -> None:
+    """LRU insert, evicting the stalest entries beyond the cap."""
+    cache.pop(key, None)
+    while len(cache) >= PLAN_CACHE_LIMIT:
+        del cache[next(iter(cache))]
+    cache[key] = entry
+
 
 @dataclass(frozen=True)
 class NetChange:
@@ -128,13 +150,8 @@ class Simulator:
         # compiled program — every unit-delay (or same-seed) cell of a
         # campaign shares them.
         plan_key = (tuple(self._gate_delays), tuple(self._dff_delays))
-        cached = prog.plan_cache.get(plan_key)
+        cached = plan_cache_get(prog.plan_cache, plan_key)
         if cached is None:
-            # Bound the memo: deterministic models resolve to a handful
-            # of keys and hit forever, but a long random-delay sweep
-            # would otherwise retain one never-reused plan set per seed.
-            if len(prog.plan_cache) >= 16:
-                prog.plan_cache.clear()
             gate_delays = self._gate_delays
             plans: list[tuple | None] = []
             for readers in prog.fan_gates:
@@ -161,8 +178,11 @@ class Simulator:
                 for fans in prog.fan_dffs
             ]
             cached = (plans, dff_plans)
-            prog.plan_cache[plan_key] = cached
+            plan_cache_put(prog.plan_cache, plan_key, cached)
         self._plans, self._dff_plans = cached
+        #: Engine-path provenance; the ring kernel replaces this with its
+        #: full telemetry dict.  The compiled kernel *is* the heap path.
+        self.kernel_stats = {"path": "heap", "migrations": {}}
         self._run_events = self._make_runner()
         # Shadow the class methods with generated closures: one frame,
         # zero rebinding, per harness wait / input-pin edge.
@@ -481,6 +501,23 @@ class Simulator:
             ids.append(nid)
         values = self._values
         return lambda: tuple(values[nid] for nid in ids)
+
+    def net_reader(self, net: str):
+        """A zero-argument reader of one net's current value.
+
+        The single-net analogue of :meth:`values_reader`: the harness
+        polls ``VOM`` and the external pins every hand-shake phase, so
+        resolving the name once removes a dict lookup from each of the
+        campaign's hottest shared reads.  Both kernels provide this.
+        """
+        nid = self._ids.get(net)
+        if nid is not None:
+            values = self._values
+            return lambda: values[nid]
+        if net in self._extra:
+            extra = self._extra
+            return lambda: extra[net]
+        raise SimulationError(f"unknown net {net!r}")
 
     def pending_events(self) -> int:
         return len(self._queue)

@@ -52,6 +52,7 @@ def canonical_campaign_payload(result) -> dict:
                 "table": cell.table,
                 "model": cell.model,
                 "seed": cell.seed,
+                "engine_path": cell.engine_path,
                 "summary": cell.summary.to_dict(),
             }
             for cell in result.cells

@@ -76,15 +76,20 @@ class TestCornerDelay:
         model = CornerDelay()
         bank = dffs(6)
         values = [model.clk_to_q(dff) for dff in bank]
-        assert set(values) == {0.2, 1.0}
+        # The extremes sit on the dyadic time grid: snapped 0.2, exact 1.0.
+        assert set(values) == set(model.ff_extremes)
+        assert model.ff_extremes[1] == 1.0
+        assert abs(model.ff_extremes[0] - 0.2) < 2**-24
         for left, right in zip(values, values[1:]):
             assert left != right
 
     def test_phase_flips_polarity(self):
         bank = dffs(4)
-        even = [CornerDelay(phase=0).clk_to_q(dff) for dff in bank]
+        even_model = CornerDelay(phase=0)
+        even = [even_model.clk_to_q(dff) for dff in bank]
         odd = [CornerDelay(phase=1).clk_to_q(dff) for dff in bank]
-        flip = {0.2: 1.0, 1.0: 0.2}
+        slow, fast = even_model.ff_extremes
+        flip = {slow: fast, fast: slow}
         assert odd == [flip[value] for value in even]
 
     def test_assignment_is_name_keyed_not_call_order_keyed(self):
