@@ -79,7 +79,11 @@ HEADLINES = {
 
 #: Row fields holding {label: seconds} maps, rendered as sub-tables by
 #: ``--merge`` and gated per-label by ``--gate``.
-SERIES_FIELDS = ("logic_width_seconds", "batch_pass_seconds")
+SERIES_FIELDS = (
+    "logic_width_seconds",
+    "batch_pass_seconds",
+    "corpus_family_seconds",
+)
 
 
 def _dig(document, path):
@@ -137,6 +141,26 @@ def collect(args) -> int:
         seconds = document.get("service_smoke_seconds")
         if isinstance(seconds, (int, float)):
             row["service_smoke_seconds"] = seconds
+    fuzz = Path(args.corpus_fuzz)
+    if fuzz.is_file():
+        # The CI corpus-smoke fuzz sweep (`seance fuzz --timing`):
+        # total wall clock as a gated ``*_seconds`` scalar, the
+        # per-family split as a gated labelled series, and the corpus
+        # size as ungated context so a seconds drift can be read
+        # against a corpus-size change.
+        document = json.loads(fuzz.read_text())
+        seconds = document.get("corpus_fuzz_seconds")
+        if isinstance(seconds, (int, float)):
+            row["corpus_fuzz_seconds"] = seconds
+        machines = document.get("corpus_fuzz_machines")
+        if isinstance(machines, int):
+            row["corpus_fuzz_machines"] = machines
+        family = document.get("family_seconds")
+        if isinstance(family, dict) and family:
+            row["corpus_family_seconds"] = {
+                label: round(float(value), 6)
+                for label, value in sorted(family.items())
+            }
     telemetry = Path(args.batch_telemetry)
     if telemetry.is_file():
         items = json.loads(telemetry.read_text())
@@ -239,6 +263,9 @@ def merge(args) -> int:
     _print_table(["sha"] + fields, lines)
     _series_table(rows, "logic_width_seconds", "logic engine seconds by width")
     _series_table(rows, "batch_pass_seconds", "batch seconds by pass")
+    _series_table(
+        rows, "corpus_family_seconds", "corpus fuzz seconds by family"
+    )
     return 0
 
 
@@ -357,6 +384,13 @@ def main() -> int:
         default="service-smoke-timing.json",
         help="a `service_smoke.py --timing` capture (clean leg) whose "
         "wall clock is folded in as service_smoke_seconds",
+    )
+    parser.add_argument(
+        "--corpus-fuzz",
+        default="corpus-fuzz-timing.json",
+        help="a `seance fuzz --timing` capture whose wall clock and "
+        "per-family seconds are folded in as corpus_fuzz_seconds / "
+        "corpus_family_seconds",
     )
     parser.add_argument(
         "--window",

@@ -40,6 +40,10 @@ def load_table(source, name: str | None = None) -> FlowTable:
       ``to_flow_table`` converters;
     * a :class:`FlowTableBuilder` is rejected with guidance (call
       ``build(...)`` yourself — it chooses the reset state and name);
+    * a ``corpus:FAMILY[:k=v,...]:SEED`` key generates that corpus
+      machine (:mod:`repro.corpus`), raising
+      :class:`~repro.errors.CorpusError` with the known family and
+      parameter names on anything unknown;
     * a string naming a built-in benchmark loads that benchmark;
     * a path loads the file — ``.json`` as a serialised flow table
       (:func:`repro.core.serialize.table_from_dict`), anything else as
@@ -68,6 +72,14 @@ def load_table(source, name: str | None = None) -> FlowTable:
 def _load_path_or_name(spec: str, name: str | None) -> FlowTable:
     from ..bench.suite import benchmark, benchmark_names
 
+    if spec.startswith("corpus:"):
+        # Corpus keys are workload names, never paths: resolve them
+        # first so a typo'd family errors with the known families
+        # instead of falling through to a confusing file-not-found.
+        from ..corpus import generate
+
+        table = generate(spec)
+        return table.with_name(name) if name else table
     if spec in benchmark_names():
         table = benchmark(spec)
         return table.with_name(name) if name else table

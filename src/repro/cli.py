@@ -852,6 +852,201 @@ def cmd_show(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Scenario corpus and differential fuzzing
+# ----------------------------------------------------------------------
+def _parse_corpus_params(pairs) -> dict[str, int] | None:
+    """``k=v`` flags → an int parameter dict (None when no flags)."""
+    if not pairs:
+        return None
+    params = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if not name or not value:
+            raise ReproError(f"--param wants name=value, got {pair!r}")
+        try:
+            params[name] = int(value)
+        except ValueError:
+            raise ReproError(
+                f"--param {name} wants an integer, got {value!r}"
+            ) from None
+    return params
+
+
+def cmd_corpus_build(args: argparse.Namespace) -> int:
+    from .corpus import build_corpus, corpus_fingerprint, generate
+
+    keys = build_corpus(
+        args.family or None,
+        args.count,
+        args.seed,
+        _parse_corpus_params(args.param),
+    )
+    rows = []
+    for key in keys:
+        table = generate(key)
+        rows.append(
+            {
+                "key": str(key),
+                "fingerprint": corpus_fingerprint(table),
+                "states": table.num_states,
+                "inputs": table.num_inputs,
+                "outputs": table.num_outputs,
+            }
+        )
+    if args.manifest:
+        Path(args.manifest).write_text(
+            "".join(row["key"] + "\n" for row in rows)
+        )
+        print(
+            f"wrote {len(rows)} key(s) to {args.manifest}",
+            file=sys.stderr if args.json else sys.stdout,
+        )
+    if args.json:
+        import json
+
+        print(json.dumps(rows, indent=2))
+    elif not args.manifest:
+        for row in rows:
+            print(
+                f"{row['key']:40s} {row['states']:2d} states, "
+                f"{row['inputs']} inputs, {row['outputs']} outputs  "
+                f"{row['fingerprint'][:12]}"
+            )
+    return 0
+
+
+def cmd_corpus_list(args: argparse.Namespace) -> int:
+    from .corpus import FAMILIES
+
+    for name in sorted(FAMILIES):
+        family = FAMILIES[name]
+        defaults = ", ".join(
+            f"{k}={v}" for k, v in sorted(family.defaults.items())
+        )
+        print(f"{name:14s} {family.summary}")
+        print(f"{'':14s} defaults: {defaults}")
+    return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .corpus import DEFAULT_MODELS, build_corpus, run_fuzz
+
+    sources: list = [_load_table(spec) for spec in args.specs]
+    if args.manifest:
+        try:
+            lines = Path(args.manifest).read_text().splitlines()
+        except OSError as error:
+            raise ReproError(
+                f"cannot read --manifest {args.manifest!r}: {error}"
+            ) from error
+        sources.extend(line.strip() for line in lines if line.strip())
+    if args.family:
+        sources.extend(
+            build_corpus(
+                args.family,
+                args.count,
+                args.seed,
+                _parse_corpus_params(args.param),
+            )
+        )
+    if not sources:
+        raise ReproError(
+            "nothing to fuzz: give corpus keys/table files, --manifest, "
+            "or --family"
+        )
+    report = run_fuzz(
+        sources,
+        models=tuple(args.delay_models or DEFAULT_MODELS),
+        steps=args.steps,
+        walk_seed=args.walk_seed,
+        shard=_parse_shard(args.shard) if args.shard else None,
+        store=_open_store(args),
+        strict=args.strict,
+    )
+    if args.timing:
+        import json
+
+        Path(args.timing).write_text(
+            json.dumps(
+                {
+                    "corpus_fuzz_seconds": round(report.seconds, 6),
+                    "corpus_fuzz_machines": report.machines,
+                    "corpus_fuzz_checks": report.checks,
+                    "corpus_fuzz_findings": len(report.findings),
+                    "corpus_fuzz_known_findings": len(
+                        report.known_findings
+                    ),
+                    "corpus_fuzz_store_hits": report.store_hits,
+                    "family_seconds": {
+                        family: round(seconds, 6)
+                        for family, seconds in sorted(
+                            report.family_seconds.items()
+                        )
+                    },
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+    if args.fixtures and report.findings:
+        from .corpus import write_finding_fixture
+        from .corpus.fuzz import _resolve_source
+
+        written = set()
+        for finding in report.findings:
+            if (finding.fingerprint, finding.check) in written:
+                continue
+            written.add((finding.fingerprint, finding.check))
+            _, _, table = _resolve_source(finding.key)
+            path = write_finding_fixture(args.fixtures, table, finding)
+            print(f"minimised {finding.check} on {finding.key} -> {path}")
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"fuzzed {report.machines} machine(s), {report.checks} "
+            f"check(s) in {report.seconds:.2f}s "
+            f"({report.store_hits} store hit(s))"
+        )
+        for finding in report.known_findings:
+            print(
+                f"  known {finding.check} on {finding.key} "
+                f"[{finding.model or '-'}/{finding.engine or '-'}]: "
+                f"{finding.detail}"
+            )
+        for finding in report.findings:
+            print(
+                f"  FINDING {finding.check} on {finding.key} "
+                f"[{finding.model or '-'}/{finding.engine or '-'}]: "
+                f"{finding.detail}"
+            )
+        if report.clean:
+            print("no divergences: every engine pair agrees")
+    return 0 if report.clean else 1
+
+
+def cmd_vcd_diff(args: argparse.Namespace) -> int:
+    from .sim.vcd import vcd_diff
+
+    try:
+        a = Path(args.a).read_text()
+        b = Path(args.b).read_text()
+    except OSError as error:
+        raise ReproError(f"cannot read VCD: {error}") from error
+    try:
+        report = vcd_diff(a, b, limit=args.limit)
+    except ValueError as error:
+        raise ReproError(str(error)) from error
+    if report:
+        print(report)
+        return 1
+    print("VCD documents are observably equivalent")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="seance",
@@ -1428,6 +1623,139 @@ def build_parser() -> argparse.ArgumentParser:
     show = sub.add_parser("show", help="print a benchmark as KISS2")
     show.add_argument("name")
     show.set_defaults(func=cmd_show)
+
+    corpus = sub.add_parser(
+        "corpus",
+        help="build and inspect the generated scenario corpus",
+    )
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+    cbuild = corpus_sub.add_parser(
+        "build",
+        help="generate corpus keys (and verify their tables build)",
+    )
+    cbuild.add_argument(
+        "--family",
+        action="append",
+        help="family to draw from (repeatable; default: all families)",
+    )
+    cbuild.add_argument(
+        "--count", type=int, default=10, help="seeds per family"
+    )
+    cbuild.add_argument(
+        "--seed", type=int, default=0, help="first seed of the range"
+    )
+    cbuild.add_argument(
+        "--param",
+        action="append",
+        metavar="NAME=VALUE",
+        help="family parameter override (repeatable)",
+    )
+    cbuild.add_argument(
+        "--manifest", help="write the key list to this file"
+    )
+    cbuild.add_argument(
+        "--json", action="store_true", help="print rows as JSON"
+    )
+    cbuild.set_defaults(func=cmd_corpus_build)
+    clist = corpus_sub.add_parser(
+        "list", help="list the generator families and their defaults"
+    )
+    clist.set_defaults(func=cmd_corpus_list)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help=(
+            "differential fuzzing: drive corpus machines through every "
+            "redundant engine pair"
+        ),
+    )
+    fuzz.add_argument(
+        "specs",
+        nargs="*",
+        help="corpus keys, table files, or benchmark names",
+    )
+    fuzz.add_argument(
+        "--family",
+        action="append",
+        help="fuzz generated machines of this family (repeatable)",
+    )
+    fuzz.add_argument(
+        "--count", type=int, default=10, help="seeds per --family"
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0, help="first corpus seed"
+    )
+    fuzz.add_argument(
+        "--param",
+        action="append",
+        metavar="NAME=VALUE",
+        help="family parameter override (repeatable)",
+    )
+    fuzz.add_argument(
+        "--manifest", help="read additional corpus keys from this file"
+    )
+    fuzz.add_argument(
+        "--steps", type=int, default=18, help="walk length per machine"
+    )
+    fuzz.add_argument(
+        "--walk-seed", type=int, default=0, help="walk/delay seed"
+    )
+    fuzz.add_argument(
+        "--delay-model",
+        dest="delay_models",
+        action="append",
+        help="delay model to walk under (repeatable; default: "
+        "unit, loop-safe, loop-safe-offgrid)",
+    )
+    fuzz.add_argument(
+        "--shard",
+        metavar="i/N",
+        help="fuzz only the machines whose digest lands on shard i of N",
+    )
+    fuzz.add_argument(
+        "--store",
+        help="archive per-machine reports here and skip warm machines",
+    )
+    fuzz.add_argument(
+        "--retry", type=int, dest="store_retry", default=None,
+        help="store transport retries",
+    )
+    fuzz.add_argument(
+        "--timeout", type=float, dest="store_timeout", default=None,
+        help="store transport timeout (seconds)",
+    )
+    fuzz.add_argument(
+        "--fixtures",
+        help="minimise each finding into a fixture under this directory",
+    )
+    fuzz.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat known (pinned) anomalies as hard findings",
+    )
+    fuzz.add_argument(
+        "--timing", help="write a machine-readable timing JSON here"
+    )
+    fuzz.add_argument(
+        "--json", action="store_true", help="print the full report JSON"
+    )
+    fuzz.set_defaults(func=cmd_fuzz)
+
+    vcd = sub.add_parser("vcd", help="VCD trace utilities")
+    vcd_sub = vcd.add_subparsers(dest="vcd_command", required=True)
+    vdiff = vcd_sub.add_parser(
+        "diff",
+        help=(
+            "compare two VCD documents; exit 1 (and report per-net "
+            "first divergences) when they are not observably equivalent"
+        ),
+    )
+    vdiff.add_argument("a", help="first VCD file")
+    vdiff.add_argument("b", help="second VCD file")
+    vdiff.add_argument(
+        "--limit", type=int, default=20, help="max divergent nets to print"
+    )
+    vdiff.set_defaults(func=cmd_vcd_diff)
     return parser
 
 

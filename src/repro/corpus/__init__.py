@@ -1,0 +1,86 @@
+"""Scenario corpus: seeded generator families, differential fuzzing,
+and auto-minimised regression fixtures.
+
+``corpus:<family>:<seed>[:k=v...]`` keys name generated workloads the
+way benchmark names label the paper suite — :func:`generate` is a pure
+function of the key, so a manifest of keys is a corpus.  The fuzz loop
+(:mod:`repro.corpus.fuzz`) drives each machine through every redundant
+engine pair in the repo; the shrinker (:mod:`repro.corpus.shrink`)
+turns findings into the minimal reproducers that live under
+``tests/corpus/fixtures/`` (:mod:`repro.corpus.fixtures`).
+"""
+
+from .families import (
+    FAMILIES,
+    Family,
+    MAX_ATTEMPTS,
+    build_corpus,
+    corpus_fingerprint,
+    generate,
+)
+from .fixtures import (
+    FIXTURE_VERSION,
+    check_fixture,
+    collect_fixtures,
+    load_fixture,
+    write_finding_fixture,
+    write_fixture,
+)
+from .fuzz import (
+    DEFAULT_MODELS,
+    KNOWN_DIRTY,
+    KNOWN_DIRTY_FAMILIES,
+    SELFTEST_ENV,
+    Finding,
+    FuzzReport,
+    dirty_cell_vcd_pair,
+    fuzz_table,
+    perturb_table,
+    run_fuzz,
+    selftest_divergence,
+    selftest_enabled,
+)
+from .keys import CorpusKey, is_corpus_key, make_key, parse_key
+from .shrink import (
+    Minimized,
+    finding_predicate,
+    minimize_finding,
+    minimize_table,
+    minimize_walk,
+)
+
+__all__ = [
+    "CorpusKey",
+    "DEFAULT_MODELS",
+    "FAMILIES",
+    "FIXTURE_VERSION",
+    "Family",
+    "Finding",
+    "FuzzReport",
+    "KNOWN_DIRTY",
+    "KNOWN_DIRTY_FAMILIES",
+    "MAX_ATTEMPTS",
+    "Minimized",
+    "SELFTEST_ENV",
+    "build_corpus",
+    "check_fixture",
+    "collect_fixtures",
+    "corpus_fingerprint",
+    "dirty_cell_vcd_pair",
+    "finding_predicate",
+    "fuzz_table",
+    "generate",
+    "is_corpus_key",
+    "load_fixture",
+    "make_key",
+    "minimize_finding",
+    "minimize_table",
+    "minimize_walk",
+    "parse_key",
+    "perturb_table",
+    "run_fuzz",
+    "selftest_divergence",
+    "selftest_enabled",
+    "write_finding_fixture",
+    "write_fixture",
+]

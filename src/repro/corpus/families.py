@@ -1,0 +1,573 @@
+"""Seeded, fingerprinted generator families for the scenario corpus.
+
+Five parameterised families, each a deterministic function of its
+:class:`~repro.corpus.keys.CorpusKey`:
+
+``random-flow``
+    random normal-mode flow tables grown as a connected induced
+    subgraph of the input hypercube (one resting column per state,
+    arcs between Hamming-adjacent homes), plus random extra
+    transitions; SIC-disciplined (every legal walk is
+    single-input-change);
+``random-stg``
+    random signal-transition-graph cycles, one signal transition per
+    arc (the balanced toggle walk closes the cycle), expanded through
+    :class:`~repro.flowtable.stg.Stg`;
+``burst-mode``
+    the same balanced cycles expressed as input bursts through
+    :class:`~repro.flowtable.burst.BurstSpec`;
+``protocol-ring``
+    arbiter/DME-style token rings: stations stable on a Gray-coded
+    2-wire handshake with single-step (SIC) advance arcs — the
+    lion9/train11 geometry, scaled.  Earlier drafts added random 2-bit
+    fast-forward skips; those MIC arcs excite a dynamic hazard the fsv
+    correction does not cover (a stale input term races the state
+    feedback and glitches an excitation into an unspecified region —
+    see the minimised reproducer in ``tests/corpus/fixtures/``), so the
+    family stays SIC and MIC stress lives in ``burst-mode`` and
+    ``hazard-dense``;
+``hazard-dense``
+    pathological tables biased toward multiple-input-change transitions
+    whose intermediate columns are themselves specified (the geometry
+    that excites static/dynamic hazards).
+
+Generation is rejection-sampled: a family draws from a ``random.Random``
+derived from ``(key, attempt)`` and the result must pass
+:func:`repro.flowtable.validation.validate`; a failed draw retries with
+the next derived seed.  The loop is deterministic, so the same key
+always yields the same table — and therefore the same fingerprint
+(:func:`corpus_fingerprint`, the store's canonical table digest).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import CorpusError, FlowTableError, SpecificationError
+from ..flowtable.burst import BurstSpec
+from ..flowtable.stg import Stg
+from ..flowtable.table import Entry, FlowTable
+from ..flowtable.validation import validate
+from .keys import CorpusKey, is_corpus_key, make_key, parse_key
+
+#: Rejection-sampling budget per key; generously above the observed
+#: worst case so a legitimate key never fails to generate.
+MAX_ATTEMPTS = 64
+
+
+@dataclass(frozen=True)
+class Family:
+    """One named generator: defaults plus a ``build(rng, params)``."""
+
+    name: str
+    summary: str
+    defaults: dict[str, int]
+    build: Callable[[random.Random, dict[str, int]], FlowTable]
+
+
+def corpus_fingerprint(table: FlowTable) -> str:
+    """sha256 of the canonical flow-table text — the same digest the
+    result store files the table's work under."""
+    from ..store.keys import table_digest
+
+    return table_digest(table)
+
+
+def _derived_seed(key: CorpusKey, attempt: int) -> int:
+    digest = hashlib.sha256(f"{key}#{attempt}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def generate(key: "CorpusKey | str") -> FlowTable:
+    """The flow table a corpus key names (deterministic; validated).
+
+    The returned table's *name* is the key string, so downstream
+    consumers (batch reports, store keys, campaign rows) label the
+    machine by its reproducible identity.
+    """
+    if isinstance(key, str):
+        key = parse_key(key)
+    family = FAMILIES[key.family]
+    params = key.merged_params(family.defaults)
+    last_error: Exception | None = None
+    for attempt in range(MAX_ATTEMPTS):
+        rng = random.Random(_derived_seed(key, attempt))
+        try:
+            table = family.build(rng, params)
+            validate(table)
+        except CorpusError:
+            # The key itself is infeasible — no draw can fix it.
+            raise
+        except (FlowTableError, SpecificationError) as error:
+            last_error = error
+            continue
+        return table.with_name(str(key))
+    raise CorpusError(
+        f"family {key.family!r} failed to generate a valid table for "
+        f"{key} after {MAX_ATTEMPTS} attempts (last: {last_error})"
+    )
+
+
+def build_corpus(
+    families: "list[str] | None" = None,
+    count: int = 10,
+    seed: int = 0,
+    params: dict[str, int] | None = None,
+) -> list[CorpusKey]:
+    """Keys of a corpus batch: ``count`` consecutive seeds per family.
+
+    ``families=None`` selects every family.  Generation itself stays
+    with :func:`generate`, so a manifest of keys is all a fuzzing run
+    needs to travel between machines.
+    """
+    if count < 1:
+        raise CorpusError(f"corpus count must be >= 1, got {count}")
+    chosen = list(families) if families else sorted(FAMILIES)
+    keys = []
+    for family in chosen:
+        for offset in range(count):
+            keys.append(make_key(family, seed + offset, params))
+    return keys
+
+
+# ----------------------------------------------------------------------
+# Shared construction helpers
+# ----------------------------------------------------------------------
+def _random_outputs(rng: random.Random, count: int) -> tuple[int, ...]:
+    return tuple(rng.randint(0, 1) for _ in range(count))
+
+
+def _transit_outputs(
+    rng: random.Random, dest_outputs: tuple[int | None, ...]
+) -> tuple[int | None, ...]:
+    """Outputs of an unstable entry: mostly unspecified, sometimes
+    pinned early — but only ever to the *destination's* resting value.
+    A transition bit contradicting where the machine settles is a
+    specification bug (the outputs would have to glitch), and the
+    fuzzer's job is to find engine divergences, not to seed broken
+    specs."""
+    return tuple(
+        bit if rng.random() < 0.3 else None for bit in dest_outputs
+    )
+
+
+class _TableDraft:
+    """Mutable scaffolding for the direct (non-front-end) families."""
+
+    def __init__(self, rng, n_states, n_inputs, n_outputs, sic=False):
+        self.rng = rng
+        self.n_outputs = n_outputs
+        self.columns = 1 << n_inputs
+        self.inputs = tuple(f"x{i + 1}" for i in range(n_inputs))
+        self.outputs = tuple(f"z{i + 1}" for i in range(n_outputs))
+        self.states = tuple(f"s{i}" for i in range(n_states))
+        self.entries: dict[tuple[str, int], Entry] = {}
+        self.stable: dict[str, set[int]] = {s: set() for s in self.states}
+        #: SIC discipline: every specified column of a state must sit
+        #: one bit from each of its stable (resting) columns, so no
+        #: legal walk ever applies a multiple-input change.  The MIC
+        #: families leave this off.
+        self.sic = sic
+
+    def sic_ok(self, state: str, column: int) -> bool:
+        """True when specifying ``(state, column)`` respects SIC."""
+        if not self.sic:
+            return True
+        return all(
+            ((column ^ resting).bit_count() == 1)
+            for resting in self.stable[state]
+        )
+
+    def _stable_ok(self, state: str, column: int) -> bool:
+        """True when ``column`` may become a *resting* column of
+        ``state`` under SIC: every already-specified column of the
+        state must stay within one bit of it."""
+        if not self.sic:
+            return True
+        return all(
+            ((column ^ other).bit_count() <= 1)
+            for (owner, other) in self.entries
+            if owner == state
+        )
+
+    def make_stable(self, state: str, column: int) -> None:
+        self.entries[(state, column)] = Entry(
+            state, _random_outputs(self.rng, self.n_outputs)
+        )
+        self.stable[state].add(column)
+
+    def add_transition(self, source: str, column: int, target: str):
+        dest = self.entries[(target, column)]
+        self.entries[(source, column)] = Entry(
+            target, _transit_outputs(self.rng, dest.outputs)
+        )
+
+    def link(self, source: str, target: str) -> None:
+        """Add one normal-mode transition source -> target, creating a
+        fresh stable column for the target when no legal column exists."""
+        rng = self.rng
+        candidates = [
+            c
+            for c in self.stable[target]
+            if (source, c) not in self.entries and self.sic_ok(source, c)
+        ]
+        if not candidates:
+            free = [
+                c
+                for c in range(self.columns)
+                if (target, c) not in self.entries
+                and (source, c) not in self.entries
+                and self.sic_ok(source, c)
+                and self._stable_ok(target, c)
+            ]
+            if not free:
+                raise FlowTableError(
+                    f"no free column to link {source} -> {target}"
+                )
+            column = rng.choice(free)
+            self.make_stable(target, column)
+            candidates = [column]
+        self.add_transition(source, rng.choice(candidates), target)
+
+    def stable_states_at(self, column: int) -> list[str]:
+        return [s for s in self.states if column in self.stable[s]]
+
+    def build(self, reset: str, name: str) -> FlowTable:
+        return FlowTable(
+            self.inputs,
+            self.outputs,
+            self.states,
+            self.entries,
+            reset,
+            name,
+        )
+
+
+def _connectivity_ring(draft: _TableDraft) -> list[str]:
+    """Link every state into one random cycle (strong connectivity by
+    construction); returns the ring order."""
+    order = list(draft.states)
+    draft.rng.shuffle(order)
+    for i, source in enumerate(order):
+        draft.link(source, order[(i + 1) % len(order)])
+    return order
+
+
+# ----------------------------------------------------------------------
+# random-flow
+# ----------------------------------------------------------------------
+def _build_random_flow(rng: random.Random, params) -> FlowTable:
+    # SIC discipline: random normal-mode tables gate the zero-finding
+    # runs, so every legal walk must be single-input-change — at scale,
+    # genuinely simultaneous MIC arrivals excite a known dynamic-hazard
+    # gap in the synthesis (see tests/corpus/fixtures/); that geometry
+    # is burst-mode's job.
+    draft = _TableDraft(
+        rng, params["states"], params["inputs"], params["outputs"],
+        sic=True,
+    )
+    # Under strict SIC normal mode each state rests at exactly one
+    # column (two resting columns leave no third column within one bit
+    # of both) and an arc S -> T lands on T's resting column, so arcs
+    # exist only between Hamming-adjacent homes: the table is an
+    # induced subgraph of the input hypercube.  Grow a connected one —
+    # every new home is adjacent to an earlier home — and remember that
+    # adjacency as a spanning tree.
+    if len(draft.states) > draft.columns:
+        raise SpecificationError(
+            "random-flow rests each state at its own column: "
+            f"states={len(draft.states)} needs 2**inputs >= that, "
+            f"got {draft.columns} columns"
+        )
+    columns = list(range(draft.columns))
+    homes = [rng.choice(columns)]
+    tree: list[tuple[int, int]] = []
+    while len(homes) < len(draft.states):
+        frontier = [
+            (h, c)
+            for c in columns
+            if c not in homes
+            for h in homes
+            if (c ^ h).bit_count() == 1
+        ]
+        parent, child = rng.choice(frontier)
+        homes.append(child)
+        tree.append((parent, child))
+    state_at = {}
+    for state, home in zip(draft.states, homes):
+        draft.make_stable(state, home)
+        state_at[home] = state
+    # Arcs both ways along every tree edge make the table strongly
+    # connected by construction.
+    for parent, child in tree:
+        draft.add_transition(state_at[parent], child, state_at[child])
+        draft.add_transition(state_at[child], parent, state_at[parent])
+    # Sprinkle extra transitions into free cells that already have a
+    # legal (stable) destination — density is what makes the table a
+    # workload rather than a skeleton.
+    for state in draft.states:
+        for column in range(draft.columns):
+            if (state, column) in draft.entries:
+                continue
+            if not draft.sic_ok(state, column):
+                continue
+            if rng.random() >= 0.45:
+                continue
+            targets = [
+                t for t in draft.stable_states_at(column) if t != state
+            ]
+            if targets:
+                draft.add_transition(state, column, rng.choice(targets))
+    return draft.build(draft.states[0], "random-flow")
+
+
+# ----------------------------------------------------------------------
+# hazard-dense
+# ----------------------------------------------------------------------
+def _build_hazard_dense(rng: random.Random, params) -> FlowTable:
+    draft = _TableDraft(
+        rng, params["states"], params["inputs"], params["outputs"]
+    )
+    # Home columns spread across the input cube so ring transitions
+    # cross >= 2 bits wherever the space allows (MIC geometry).
+    columns = list(range(draft.columns))
+    rng.shuffle(columns)
+    homes = sorted(
+        columns,
+        key=lambda c: (c ^ columns[0]).bit_count(),
+        reverse=False,
+    )
+    picked = []
+    for candidate in homes:
+        if all((candidate ^ c).bit_count() >= 2 for c in picked):
+            picked.append(candidate)
+    pool = picked + [c for c in columns if c not in picked]
+    for i, state in enumerate(draft.states):
+        draft.make_stable(state, pool[i % len(pool)])
+    order = _connectivity_ring(draft)
+    # Specify the intermediate columns of every MIC transition: the
+    # state vector flies through them mid-transition, and a specified
+    # entry there (pointing at whoever is stable) is exactly what
+    # excites hazards in an unprotected machine.
+    for (state, column), entry in list(draft.entries.items()):
+        for start in list(draft.stable[state]):
+            span = start ^ column
+            if span.bit_count() < 2:
+                continue
+            bits = [i for i in range(span.bit_length()) if span >> i & 1]
+            for combo in range(1, (1 << len(bits)) - 1):
+                middle = start
+                for j, bit in enumerate(bits):
+                    if combo >> j & 1:
+                        middle ^= 1 << bit
+                if (state, middle) in draft.entries:
+                    continue
+                targets = draft.stable_states_at(middle)
+                if targets:
+                    draft.add_transition(
+                        state, middle, rng.choice(targets)
+                    )
+    return draft.build(order[0], "hazard-dense")
+
+
+# ----------------------------------------------------------------------
+# Balanced toggle cycles (random-stg / burst-mode)
+# ----------------------------------------------------------------------
+def _toggle_cycle(
+    rng: random.Random,
+    signals: tuple[str, ...],
+    length: int,
+    max_width: int = 2,
+) -> tuple[dict[str, int], list[list[str]]]:
+    """A cycle of input bursts returning to the initial vector.
+
+    Each burst toggles up to ``max_width`` distinct signals and is
+    rendered as signed edges (``x1+``/``x1-``); the closing bursts
+    retire whatever the random walk left flipped, so the cycle is
+    consistent.  ``max_width=1`` yields a classic one-transition-per-arc
+    STG cycle; ``max_width=2`` is burst-mode's genuinely concurrent
+    geometry.
+
+    Single-toggle cycles additionally never toggle the same signal on
+    consecutive arcs (cyclically): an x-toggle arc followed by another
+    x-toggle arc is Unger's essential-hazard geometry — the state after
+    one change of x differs from the state after three — and a skewed
+    feedback delay then settles the machine in the three-change state.
+    That hazard class needs feedback padding the synthesis does not add,
+    so the fuzz-clean families avoid specifying it; a draw that cannot
+    satisfy the constraint is rejected for the sampler to retry.
+    """
+    initial = {s: rng.randint(0, 1) for s in signals}
+    vector = dict(initial)
+    bursts: list[list[str]] = []
+    last: str | None = None
+
+    def burst_of(chosen: list[str]) -> list[str]:
+        nonlocal last
+        edges = []
+        for signal in chosen:
+            vector[signal] ^= 1
+            edges.append(f"{signal}{'+' if vector[signal] else '-'}")
+        last = chosen[-1] if len(chosen) == 1 else None
+        return edges
+
+    for _ in range(max(length - 1, 1)):
+        if len(signals) == 1 or max_width == 1:
+            width = 1
+        else:
+            width = rng.choice((1, 1, 2))
+        pool = [s for s in signals if s != last] if width == 1 else list(
+            signals
+        )
+        if not pool:
+            raise SpecificationError("toggle cycle cannot avoid repeat")
+        bursts.append(burst_of(rng.sample(pool, width)))
+    pending = [s for s in signals if vector[s] != initial[s]]
+    rng.shuffle(pending)
+    while pending:
+        take = (
+            2
+            if max_width >= 2 and len(pending) >= 2 and rng.random() < 0.5
+            else 1
+        )
+        if take == 1 and pending[0] == last and len(pending) > 1:
+            pending[0], pending[1] = pending[1], pending[0]
+        bursts.append(burst_of(pending[:take]))
+        pending = pending[take:]
+    if len(bursts) < 2:
+        raise SpecificationError("degenerate toggle cycle")
+    if max_width == 1:
+        arcs = [b[0][:-1] for b in bursts]
+        if any(
+            arcs[i] == arcs[(i + 1) % len(arcs)] for i in range(len(arcs))
+        ):
+            raise SpecificationError(
+                "toggle cycle repeats a signal on consecutive arcs"
+            )
+    return initial, bursts
+
+
+def _build_random_stg(rng: random.Random, params) -> FlowTable:
+    signals = tuple(f"x{i + 1}" for i in range(params["inputs"]))
+    outputs = tuple(f"z{i + 1}" for i in range(params["outputs"]))
+    if len(signals) == 2 and params["phases"] % 2 == 0:
+        # Two signals must strictly alternate on single-toggle arcs, and
+        # an even phase count can never close the cycle without a
+        # consecutive repeat (each signal needs an even toggle count).
+        raise CorpusError(
+            "random-stg with inputs=2 needs an odd phase count: two "
+            "signals alternating one toggle per arc can only close a "
+            "balanced cycle from an odd number of phases"
+        )
+    initial, bursts = _toggle_cycle(
+        rng, signals, params["phases"], max_width=1
+    )
+    stg = Stg(signals, outputs, "p0", initial)
+    stg.phase("p0", _random_outputs(rng, len(outputs)))
+    names = ["p0"]
+    for i in range(1, len(bursts)):
+        name = f"p{i}"
+        stg.phase(name, _random_outputs(rng, len(outputs)))
+        names.append(name)
+    for i, edges in enumerate(bursts):
+        stg.arc(names[i], names[(i + 1) % len(names)], edges)
+    return stg.to_flow_table(name="random-stg")
+
+
+def _build_burst_mode(rng: random.Random, params) -> FlowTable:
+    signals = tuple(f"x{i + 1}" for i in range(params["inputs"]))
+    outputs = tuple(f"z{i + 1}" for i in range(params["outputs"]))
+    initial, bursts = _toggle_cycle(rng, signals, params["states"])
+    spec = BurstSpec(signals, outputs, "b0", initial)
+    spec.state("b0", _random_outputs(rng, len(outputs)))
+    names = ["b0"]
+    for i in range(1, len(bursts)):
+        name = f"b{i}"
+        spec.state(name, _random_outputs(rng, len(outputs)))
+        names.append(name)
+    for i, edges in enumerate(bursts):
+        spec.burst(names[i], names[(i + 1) % len(names)], edges)
+    return spec.to_flow_table(name="burst-mode")
+
+
+# ----------------------------------------------------------------------
+# protocol-ring
+# ----------------------------------------------------------------------
+#: Gray-coded 4-phase handshake over (req, ack): req+ ack+ req- ack-.
+_GRAY = (0b00, 0b01, 0b11, 0b10)
+
+
+def _build_protocol_ring(rng: random.Random, params) -> FlowTable:
+    stations = max(4, 4 * round(params["stations"] / 4))
+    n_outputs = params["outputs"]
+    inputs = ("req", "ack")
+    outputs = tuple(f"g{i + 1}" for i in range(n_outputs))
+    states = tuple(f"t{i}" for i in range(stations))
+    entries: dict[tuple[str, int], Entry] = {}
+    for i, state in enumerate(states):
+        entries[(state, _GRAY[i % 4])] = Entry(
+            state, _random_outputs(rng, n_outputs)
+        )
+    for i, state in enumerate(states):
+        # The handshake advances the token one station per Gray phase;
+        # adjacent Gray columns differ in one bit, so every arc is SIC
+        # (stations % 4 == 0 keeps the wrap normal-mode).
+        target = states[(i + 1) % stations]
+        entries[(state, _GRAY[(i + 1) % 4])] = Entry(
+            target,
+            _transit_outputs(
+                rng, entries[(target, _GRAY[(i + 1) % 4])].outputs
+            ),
+        )
+    return FlowTable(
+        inputs, outputs, states, entries, states[0], "protocol-ring"
+    )
+
+
+#: The registry `seance corpus list` prints and keys resolve against.
+FAMILIES: dict[str, Family] = {
+    "random-flow": Family(
+        "random-flow",
+        "random SIC normal-mode flow tables grown on the input hypercube",
+        {"states": 5, "inputs": 3, "outputs": 2},
+        _build_random_flow,
+    ),
+    "random-stg": Family(
+        "random-stg",
+        "random STG cycles, one signal transition per arc",
+        {"phases": 6, "inputs": 3, "outputs": 2},
+        _build_random_stg,
+    ),
+    "burst-mode": Family(
+        "burst-mode",
+        "burst-mode controllers over balanced input-burst cycles",
+        {"states": 5, "inputs": 3, "outputs": 2},
+        _build_burst_mode,
+    ),
+    "protocol-ring": Family(
+        "protocol-ring",
+        "arbiter/DME-style token rings with SIC Gray handshake advance",
+        {"stations": 8, "outputs": 2},
+        _build_protocol_ring,
+    ),
+    "hazard-dense": Family(
+        "hazard-dense",
+        "pathological MIC-heavy tables with specified intermediate "
+        "columns",
+        {"states": 5, "inputs": 3, "outputs": 2},
+        _build_hazard_dense,
+    ),
+}
+
+__all__ = [
+    "FAMILIES",
+    "Family",
+    "MAX_ATTEMPTS",
+    "build_corpus",
+    "corpus_fingerprint",
+    "generate",
+    "is_corpus_key",
+]

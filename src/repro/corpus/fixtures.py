@@ -1,0 +1,215 @@
+"""Regression fixtures: minimised fuzz findings as loadable tables.
+
+A fixture is one JSON file in ``tests/corpus/fixtures/`` (or any
+directory): the full :func:`repro.core.serialize.table_to_dict` payload
+of the minimised table — so :func:`repro.core.serialize.table_from_dict`
+and every ``seance`` command that accepts a table file load it directly
+— plus a ``"corpus"`` block the serialiser ignores, recording where the
+table came from and what it must keep reproducing:
+
+``expect: "divergent"``
+    replaying the recorded check on this machine must still produce the
+    finding (the committed reproducer of a characterised anomaly);
+``expect: "clean"``
+    the machine was once divergent and the underlying bug is fixed —
+    the fixture pins the fix.
+
+Simulation fixtures carry the minimised walk and a ``.diff`` sidecar
+(the :func:`repro.sim.vcd.vcd_diff` rendering of the clean-vs-divergent
+VCD pair, which is also written out as ``*.a.vcd``/``*.b.vcd`` for
+``seance vcd diff``).  :func:`check_fixture` is the replay entry point
+the test suite auto-collects fixtures through.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.serialize import table_from_dict, table_to_dict
+from ..errors import CorpusError
+from ..flowtable.table import FlowTable
+from .families import corpus_fingerprint
+from .fuzz import Finding
+from .shrink import Minimized, finding_predicate
+
+#: Bump when the fixture payload layout changes incompatibly.
+FIXTURE_VERSION = 1
+
+
+def fixture_name(finding: Finding, fingerprint: str) -> str:
+    """``<check>-<fingerprint prefix>.json`` — stable and greppable."""
+    return f"{finding.check}-{fingerprint[:12]}.json"
+
+
+def write_fixture(
+    directory,
+    finding: Finding,
+    minimized: Minimized,
+    *,
+    expect: str = "divergent",
+    vcd_pair: tuple[str, str] | None = None,
+) -> Path:
+    """Write one minimised finding as a fixture; returns its path.
+
+    ``vcd_pair`` (clean, divergent) adds the ``.a.vcd``/``.b.vcd``
+    sidecars and the rendered ``.diff``.
+    """
+    from ..sim.vcd import vcd_diff
+
+    if expect not in ("divergent", "clean"):
+        raise CorpusError(
+            f"fixture expectation must be divergent/clean, not {expect!r}"
+        )
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / fixture_name(finding, minimized.fingerprint)
+    payload = {
+        **table_to_dict(minimized.table),
+        "corpus": {
+            "version": FIXTURE_VERSION,
+            "key": finding.key,
+            "check": finding.check,
+            "detail": finding.detail,
+            "expect": expect,
+            "model": finding.model,
+            "walk": list(minimized.walk),
+            "walk_seed": finding.walk_seed,
+            "steps": finding.steps,
+            "source_fingerprint": finding.fingerprint,
+            "fingerprint": minimized.fingerprint,
+            "history": minimized.history,
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    if vcd_pair is not None:
+        stem = path.with_suffix("")
+        a = stem.with_suffix(".a.vcd")
+        b = stem.with_suffix(".b.vcd")
+        a.write_text(vcd_pair[0])
+        b.write_text(vcd_pair[1])
+        stem.with_suffix(".diff").write_text(
+            vcd_diff(vcd_pair[0], vcd_pair[1]) + "\n"
+        )
+    return path
+
+
+def write_finding_fixture(
+    directory,
+    table: FlowTable,
+    finding: Finding,
+    budget: int | None = None,
+) -> Path:
+    """Minimise ``finding`` on ``table`` and write the fixture.
+
+    One-call form of ``minimize_finding`` + ``write_fixture`` used by
+    ``seance fuzz --fixtures``; simulation checks get their VCD pair
+    regenerated on the *minimised* machine.
+    """
+    from ..api import synthesize
+    from ..sim.harness import build_timed_fantom
+    from .fuzz import dirty_cell_vcd_pair, selftest_divergence
+    from .shrink import DEFAULT_BUDGET, minimize_finding
+
+    minimized = minimize_finding(
+        table, finding, budget if budget is not None else DEFAULT_BUDGET
+    )
+    model = finding.model or "unit"
+    walk_seed = finding.walk_seed or 0
+    pair = None
+    if finding.check in ("trace", "dirty-cell"):
+        machine = build_timed_fantom(synthesize(minimized.table))
+        pair = dirty_cell_vcd_pair(
+            machine, list(minimized.walk), model, walk_seed
+        )
+    elif finding.check == "selftest":
+        outcome = selftest_divergence(
+            minimized.table, list(minimized.walk), model, walk_seed
+        )
+        if outcome is not None:
+            pair = (outcome[1], outcome[2])
+    return write_fixture(
+        directory, finding, minimized, expect="divergent", vcd_pair=pair
+    )
+
+
+def load_fixture(path) -> tuple[FlowTable, dict]:
+    """(table, corpus metadata) of one fixture file."""
+    payload = json.loads(Path(path).read_text())
+    meta = payload.get("corpus")
+    if not isinstance(meta, dict) or "check" not in meta:
+        raise CorpusError(f"{path}: not a corpus fixture (no corpus block)")
+    table = table_from_dict(payload)
+    recorded = meta.get("fingerprint")
+    if recorded and corpus_fingerprint(table) != recorded:
+        raise CorpusError(
+            f"{path}: table does not match its recorded fingerprint — "
+            "fixture was edited without re-minimising"
+        )
+    return table, meta
+
+
+def collect_fixtures(directory) -> list[Path]:
+    """Every fixture file under ``directory``, sorted by name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(
+        path
+        for path in directory.glob("*.json")
+        if "corpus" in json.loads(path.read_text())
+    )
+
+
+def check_fixture(path) -> tuple[bool, str]:
+    """Replay one fixture; ``(ok, detail)``.
+
+    ``ok`` means the observed outcome matches the fixture's ``expect``
+    field.  Simulation checks replay the *recorded* walk; logic checks
+    re-run their differential leg.
+    """
+    from .fuzz import _sim_findings, selftest_divergence
+    from ..api import synthesize
+    from ..sim.harness import build_timed_fantom
+
+    table, meta = load_fixture(path)
+    check = meta["check"]
+    walk = [int(c) for c in meta.get("walk") or []]
+    walk_seed = meta.get("walk_seed") or 0
+    model = meta.get("model") or "unit"
+    if check in ("trace", "dirty-cell") and walk:
+        machine = build_timed_fantom(synthesize(table))
+        found = _sim_findings(
+            "fixture", machine, walk, (model,), walk_seed, meta["fingerprint"]
+        )
+        diverged = any(f.check == check for f in found)
+    elif check == "selftest" and walk:
+        diverged = (
+            selftest_divergence(table, walk, model, walk_seed) is not None
+        )
+    else:
+        predicate = finding_predicate(
+            check,
+            model=meta.get("model"),
+            steps=meta.get("steps") or 18,
+            walk_seed=walk_seed,
+        )
+        diverged = predicate(table)
+    expect = meta.get("expect", "divergent")
+    ok = diverged == (expect == "divergent")
+    detail = (
+        f"{Path(path).name}: check {check!r} "
+        f"{'fired' if diverged else 'did not fire'}, expected {expect}"
+    )
+    return ok, detail
+
+
+__all__ = [
+    "FIXTURE_VERSION",
+    "check_fixture",
+    "collect_fixtures",
+    "fixture_name",
+    "load_fixture",
+    "write_finding_fixture",
+    "write_fixture",
+]

@@ -45,6 +45,11 @@ class FlowTableError(SpecificationError):
     """
 
 
+class CorpusError(SpecificationError):
+    """A corpus key names an unknown family/parameter, or a generator
+    family exhausted its retry budget without emitting a valid table."""
+
+
 class SynthesisError(ReproError):
     """A synthesis stage failed to produce a result."""
 

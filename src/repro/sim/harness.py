@@ -348,6 +348,28 @@ def validate_against_reference(
     return summary
 
 
+def build_timed_fantom(result, use_fsv: bool = True) -> FantomMachine:
+    """Build a FANTOM machine with Gate A padded per Section 4.3.
+
+    ``build_fantom`` leaves the VOM AND gate at the default unit delay;
+    on deep output covers that lets ``VOM`` rise in the same instant a
+    transiently-asserted ``Ẑ`` falls, and ``FFZ`` latches the stale
+    value (critical path 3 violated).  The paper's prescription —
+    realised by :func:`repro.netlist.timing.timing_report`'s default
+    ``gate_a_padding`` — is to set ``t_f`` one level above the ``Ẑ``
+    settling depth, which this constructor applies.  The differential
+    fuzzer and the corpus regression suite build every machine this
+    way, so a dirty cell there is a logic anomaly, never a CP3 race.
+    """
+    from ..netlist.fantom import build_fantom
+    from ..netlist.timing import timing_report
+
+    padding = timing_report(result).t_f
+    return build_fantom(
+        result, use_fsv=use_fsv, vom_gate_delay=float(padding)
+    )
+
+
 def export_walk_vcd(
     machine: FantomMachine,
     walk: list[int],

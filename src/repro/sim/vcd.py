@@ -73,6 +73,104 @@ def trace_to_vcd(
     return "\n".join(lines) + "\n"
 
 
+def parse_vcd(text: str) -> dict[str, list[tuple[int, int]]]:
+    """Parse VCD text back into per-net ``(timestamp, value)`` streams.
+
+    Inverse of :func:`trace_to_vcd` for the single-bit subset this
+    library emits: identifier codes are resolved to net names and the
+    ``$dumpvars`` section contributes the t=0 initial values.  Scope
+    nesting, wide vectors and real variables are out of scope — a
+    malformed or non-scalar document raises :class:`ValueError`.
+    """
+    names: dict[str, str] = {}
+    streams: dict[str, list[tuple[int, int]]] = {}
+    time = 0
+    in_definitions = True
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if in_definitions:
+            if line.startswith("$var"):
+                parts = line.split()
+                # $var wire 1 <id> <net> $end
+                if len(parts) < 6 or parts[2] != "1":
+                    raise ValueError(f"unsupported VCD variable: {line}")
+                names[parts[3]] = parts[4]
+                streams[parts[4]] = []
+            elif line.startswith("$enddefinitions"):
+                in_definitions = False
+            continue
+        if line.startswith("#"):
+            time = int(line[1:])
+            continue
+        if line.startswith("$"):  # $dumpvars / $end markers
+            continue
+        value, code = line[0], line[1:]
+        if value not in "01" or code not in names:
+            raise ValueError(f"unsupported VCD change: {line}")
+        streams[names[code]].append((time, int(value)))
+    return streams
+
+
+def _dedupe_stream(
+    stream: list[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    """Collapse a change stream to its observable value sequence.
+
+    Repeated writes of the same value (an initial 0 followed by a #0
+    re-dump, say) carry no information; equivalence must not depend on
+    them.
+    """
+    out: list[tuple[int, int]] = []
+    for time, value in stream:
+        if out and out[-1][1] == value:
+            continue
+        out.append((time, value))
+    return out
+
+
+def vcd_diff(a: str, b: str, limit: int = 20) -> str:
+    """Line-oriented report of where two VCD documents diverge.
+
+    Returns the empty string when the documents are *observably*
+    equivalent: same nets, and per net the same deduplicated
+    ``(timestamp, value)`` change stream.  Otherwise one line per
+    divergent net — the first differing change and the two stream
+    lengths — capped at ``limit`` nets.  Built for
+    ``seance vcd diff`` and for attaching to minimised fuzz fixtures.
+    """
+    streams_a = {k: _dedupe_stream(v) for k, v in parse_vcd(a).items()}
+    streams_b = {k: _dedupe_stream(v) for k, v in parse_vcd(b).items()}
+    lines: list[str] = []
+    for net in sorted(set(streams_a) | set(streams_b)):
+        if len(lines) >= limit:
+            lines.append("... (further nets elided)")
+            break
+        if net not in streams_a:
+            lines.append(f"{net}: only in B ({len(streams_b[net])} changes)")
+            continue
+        if net not in streams_b:
+            lines.append(f"{net}: only in A ({len(streams_a[net])} changes)")
+            continue
+        sa, sb = streams_a[net], streams_b[net]
+        if sa == sb:
+            continue
+        for (ta, va), (tb, vb) in zip(sa, sb):
+            if (ta, va) != (tb, vb):
+                lines.append(
+                    f"{net}: A has {va}@#{ta}, B has {vb}@#{tb} "
+                    f"({len(sa)} vs {len(sb)} changes)"
+                )
+                break
+        else:
+            lines.append(
+                f"{net}: streams agree for {min(len(sa), len(sb))} "
+                f"changes, then lengths differ ({len(sa)} vs {len(sb)})"
+            )
+    return "\n".join(lines)
+
+
 def write_vcd(
     path,
     trace: Iterable[NetChange],

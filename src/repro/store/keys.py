@@ -35,6 +35,7 @@ STORE_FORMAT_VERSION = 1
 #: Blob kinds the store understands.
 KIND_SYNTHESIS = "synthesis"
 KIND_VALIDATION = "validation"
+KIND_FUZZ = "fuzz"
 
 
 def table_digest(table: FlowTable) -> str:
@@ -89,6 +90,30 @@ def synthesis_key(table: FlowTable, spec: PipelineSpec) -> StoreKey:
         table=table_digest(table),
         spec=spec.fingerprint(),
         workload="synth",
+    )
+
+
+def fuzz_key(
+    table: FlowTable,
+    spec: PipelineSpec,
+    *,
+    models: tuple[str, ...],
+    steps: int,
+    walk_seed: int,
+) -> StoreKey:
+    """The key of one differential-fuzz report for a corpus machine.
+
+    The report is pure data of ``(table, spec, models, steps,
+    walk_seed)``: every engine pair is deterministic, so a warm store
+    can skip re-fuzzing an unchanged machine.
+    """
+    return StoreKey(
+        kind=KIND_FUZZ,
+        table=table_digest(table),
+        spec=spec.fingerprint(),
+        workload=(
+            f"models={','.join(models)}:steps={steps}:walk={walk_seed}"
+        ),
     )
 
 

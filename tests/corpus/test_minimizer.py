@@ -1,0 +1,163 @@
+"""Minimiser unit tests, anchored on the pinned train11 anomaly.
+
+``train11`` under the hostile model (seed 2, steps 30 — the exact
+configuration ``tests/sim/test_anomalies.py`` pins) is the repo's
+canonical *real* divergence, so it is the oracle here: the shrinker
+must terminate within its budget, keep the anomaly alive at every
+accepted step, and emit a loadable fixture with a non-empty VCD diff.
+The campaign builds its machines with the unit-delay Gate A (the
+anomaly is an output-latch staleness the Section-4.3 padding cures), so
+the oracle predicate replicates the campaign cell rather than the fuzz
+loop's padded machine.
+"""
+
+import pytest
+
+from repro.api import synthesize
+from repro.bench import benchmark
+from repro.corpus import (
+    Finding,
+    dirty_cell_vcd_pair,
+    load_fixture,
+    minimize_table,
+    minimize_walk,
+    write_fixture,
+)
+from repro.corpus.shrink import Minimized
+from repro.corpus.families import corpus_fingerprint
+from repro.flowtable.validation import validate
+from repro.netlist.fantom import build_fantom
+from repro.sim.campaign import delay_model
+from repro.sim.harness import random_legal_walk, validate_walk
+
+
+def train11_walk(result):
+    return random_legal_walk(result.reduction.table, 30, seed=2)
+
+
+def train11_predicate(table) -> bool:
+    """One campaign cell: (hostile, seed 2, steps 30), unit Gate A."""
+    result = synthesize(table)
+    machine = build_fantom(result, use_fsv=True)
+    summary = validate_walk(
+        machine,
+        train11_walk(result),
+        delay_model("hostile", 2, machine),
+    )
+    return not summary.all_clean
+
+
+class TestTrain11Oracle:
+    @pytest.fixture(scope="class")
+    def shrink(self):
+        accepted = []
+
+        def recording(table):
+            holds = train11_predicate(table)
+            if holds:
+                accepted.append(table)
+            return holds
+
+        table = benchmark("train11")
+        assert train11_predicate(table)
+        shrunk, history, calls = minimize_table(
+            table, recording, budget=80
+        )
+        return table, shrunk, history, calls, accepted
+
+    def test_terminates_within_budget_and_shrinks(self, shrink):
+        table, shrunk, history, calls, _ = shrink
+        assert calls <= 80
+        assert history, "no shrink step accepted at all"
+        assert len(shrunk.states) < len(table.states)
+
+    def test_divergence_preserved_at_every_accepted_step(self, shrink):
+        """Greedy first-improvement accepts exactly the candidates the
+        predicate blessed — so the accepted chain *is* the history, each
+        link a valid table that still shows the anomaly."""
+        _, shrunk, history, _, accepted = shrink
+        assert len(accepted) == len(history)
+        for step, table in zip(history, accepted):
+            validate(table)
+            assert corpus_fingerprint(table) == step["fingerprint"]
+        costs = [step["cost"] for step in history]
+        assert costs == sorted(costs, reverse=True)
+        assert len(set(costs)) == len(costs)  # strictly decreasing
+        assert corpus_fingerprint(accepted[-1]) == corpus_fingerprint(
+            shrunk
+        )
+
+    def test_emits_loadable_fixture_with_vcd_diff(self, shrink, tmp_path):
+        _, shrunk, history, _, _ = shrink
+        result = synthesize(shrunk)
+        machine = build_fantom(result, use_fsv=True)
+        walk = train11_walk(result)
+        pair = dirty_cell_vcd_pair(machine, walk, "hostile", 2)
+        finding = Finding(
+            key="train11",
+            check="dirty-cell",
+            detail="hostile output-latch staleness (pinned anomaly)",
+            fingerprint=corpus_fingerprint(benchmark("train11")),
+            model="hostile",
+            walk=tuple(walk),
+            walk_seed=2,
+            steps=30,
+        )
+        minimized = Minimized(
+            table=shrunk,
+            walk=tuple(walk),
+            fingerprint=corpus_fingerprint(shrunk),
+            history=history,
+        )
+        path = write_fixture(
+            tmp_path, finding, minimized, vcd_pair=pair
+        )
+        loaded, meta = load_fixture(path)
+        assert loaded.states == shrunk.states
+        assert meta["history"] == history
+        diff = path.with_suffix("").with_suffix(".diff").read_text()
+        assert diff.strip(), "the anomaly must diff expected vs observed"
+        # And the replayed minimal machine still shows the anomaly.
+        assert train11_predicate(loaded)
+
+
+class TestMinimizeWalk:
+    def test_shrinks_to_the_essential_step(self):
+        walk, calls = minimize_walk(
+            [1, 2, 3, 7, 4, 5, 6, 2, 1, 7], lambda w: 7 in w
+        )
+        assert walk == [7]
+        assert calls > 0
+
+    def test_never_returns_an_empty_walk(self):
+        walk, _ = minimize_walk([3, 3, 3], lambda w: True)
+        assert walk == [3]
+
+    def test_exceptions_reject_the_candidate(self):
+        def fragile(w):
+            if len(w) < 2:
+                raise ValueError("boom")
+            return True
+
+        walk, _ = minimize_walk([1, 2, 3, 4], fragile)
+        assert len(walk) == 2
+
+
+class TestTableShrinkSafety:
+    def test_never_accepts_an_invalid_table(self):
+        """A predicate that blesses everything still only sees valid
+        tables: structurally broken candidates are filtered before the
+        predicate runs."""
+        seen = []
+
+        def greedy(table):
+            validate(table)  # raises if shrink ever hands us junk
+            seen.append(table)
+            return True
+
+        shrunk, history, _ = minimize_table(
+            benchmark("hazard_demo"), greedy, budget=40
+        )
+        assert seen
+        validate(shrunk)
+        assert len(history) <= len(seen)
